@@ -1,0 +1,430 @@
+// Benchmarks regenerating every figure of the paper's evaluation (one
+// bench per table/figure; see DESIGN.md section 3 for the index) plus
+// micro-benchmarks of the core mechanisms. Figure benches run the quick
+// experiment scale per iteration; use cmd/blowfish-bench for full-scale
+// series output.
+package blowfish_test
+
+import (
+	"fmt"
+	"testing"
+
+	"blowfish"
+	"blowfish/internal/constraints"
+	"blowfish/internal/datagen"
+	"blowfish/internal/domain"
+	"blowfish/internal/experiments"
+	"blowfish/internal/hierarchy"
+	"blowfish/internal/infer"
+	"blowfish/internal/noise"
+	"blowfish/internal/ordered"
+	"blowfish/internal/secgraph"
+	"blowfish/internal/wavelet"
+)
+
+// benchFigure runs one experiment harness per iteration at quick scale.
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	runner := experiments.Registry[id]
+	if runner == nil {
+		b.Fatalf("unknown figure %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fig, err := runner(experiments.QuickScale, 1)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if fig == nil {
+			b.Fatalf("%s returned nil figure", id)
+		}
+	}
+}
+
+func BenchmarkFig1aTwitterKMeans(b *testing.B)   { benchFigure(b, "fig1a") }
+func BenchmarkFig1bSkinKMeans(b *testing.B)      { benchFigure(b, "fig1b") }
+func BenchmarkFig1cSyntheticKMeans(b *testing.B) { benchFigure(b, "fig1c") }
+func BenchmarkFig1dSkinRatio(b *testing.B)       { benchFigure(b, "fig1d") }
+func BenchmarkFig1eAttribute(b *testing.B)       { benchFigure(b, "fig1e") }
+func BenchmarkFig1fPartition(b *testing.B)       { benchFigure(b, "fig1f") }
+func BenchmarkFig2aTreeBuild(b *testing.B)       { benchFigure(b, "fig2a") }
+func BenchmarkFig2bAdultRange(b *testing.B)      { benchFigure(b, "fig2b") }
+func BenchmarkFig2cTwitterRange(b *testing.B)    { benchFigure(b, "fig2c") }
+func BenchmarkSec5Sensitivity(b *testing.B)      { benchFigure(b, "sec5") }
+func BenchmarkSec7ErrorModel(b *testing.B)       { benchFigure(b, "sec7") }
+func BenchmarkSec8PolicyGraph(b *testing.B)      { benchFigure(b, "sec8") }
+
+// --- mechanism micro-benchmarks ---
+
+func BenchmarkLaplaceSample(b *testing.B) {
+	src := noise.NewSource(1)
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += src.Laplace(2)
+	}
+	_ = sink
+}
+
+func BenchmarkHistogramRelease4357(b *testing.B) {
+	d := domain.MustLine("v", 4357)
+	ds := domain.NewDataset(d)
+	src := noise.NewSource(2)
+	for i := 0; i < 10000; i++ {
+		ds.MustAdd(domain.Point(src.Int63n(d.Size())))
+	}
+	pol := blowfish.DifferentialPrivacy(d)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := blowfish.ReleaseHistogram(pol, ds, 1.0, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIsotonicRegression4096(b *testing.B) {
+	src := noise.NewSource(3)
+	y := make([]float64, 4096)
+	for i := range y {
+		y[i] = float64(i) + src.Laplace(10)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		infer.IsotonicRegression(y)
+	}
+}
+
+func BenchmarkTreeConsistency4096(b *testing.B) {
+	tr, err := hierarchy.New(4096, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts := make([]float64, 4096)
+	src := noise.NewSource(4)
+	for i := range counts {
+		counts[i] = float64(src.Intn(50))
+	}
+	rel, err := tr.Release(counts, 1.0, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rel.Consistent(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOHReleaseAndQuery(b *testing.B) {
+	for _, theta := range []int{1, 100, 4357} {
+		b.Run(fmt.Sprintf("theta=%d", theta), func(b *testing.B) {
+			counts := make([]float64, 4357)
+			src := noise.NewSource(5)
+			for i := range counts {
+				counts[i] = float64(src.Intn(20))
+			}
+			oh, err := ordered.NewOH(4357, theta, 16)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rel, err := oh.Release(counts, 1.0, src)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := rel.Range(100, 4000); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPrivateKMeansIteration(b *testing.B) {
+	src := noise.NewSource(6)
+	ds, err := datagen.Twitter(10000, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := blowfish.DistanceThreshold(ds.Domain(), 90)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol := blowfish.NewPolicy(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := blowfish.PrivateKMeans(pol, ds, 4, 1, 1.0, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPolicyGraphAlphaXi(b *testing.B) {
+	d := domain.MustNew(
+		domain.Attribute{Name: "A1", Size: 3},
+		domain.Attribute{Name: "A2", Size: 3},
+		domain.Attribute{Name: "A3", Size: 2},
+	)
+	m, err := constraints.NewMarginal(d, []int{0, 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref := domain.NewDataset(d)
+	ref.MustAdd(0)
+	set, err := m.Set(ref)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := secgraph.NewComplete(d)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pg, err := constraints.BuildPolicyGraph(set, g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pg.SensitivityBound() <= 0 {
+			b.Fatal("non-positive bound")
+		}
+	}
+}
+
+func BenchmarkTwitterGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := datagen.Twitter(50000, noise.NewSource(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablation benchmarks (design choices called out in DESIGN.md) ---
+
+// Ablation: the Eq. (15) optimal budget split vs naive alternatives. The
+// reported metric (range MSE at the end of one release sweep) is printed
+// via b.ReportMetric so splits can be compared from the bench output.
+func BenchmarkAblationOHBudgetSplit(b *testing.B) {
+	const (
+		size = 4357
+		eps  = 0.5
+	)
+	counts := make([]float64, size)
+	gen := noise.NewSource(11)
+	for i := range counts {
+		if gen.Uniform() < 0.05 {
+			counts[i] = float64(gen.Intn(100))
+		}
+	}
+	cum := make([]float64, size)
+	run := 0.0
+	for i, c := range counts {
+		run += c
+		cum[i] = run
+	}
+	oh, err := ordered.NewOH(size, 100, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	optS, optH := oh.OptimalSplit(eps)
+	splits := []struct {
+		name       string
+		epsS, epsH float64
+	}{
+		{"optimal-eq15", optS, optH},
+		{"half-half", eps / 2, eps / 2},
+		{"s-heavy", 0.9 * eps, 0.1 * eps},
+		{"h-heavy", 0.1 * eps, 0.9 * eps},
+	}
+	for _, sp := range splits {
+		b.Run(sp.name, func(b *testing.B) {
+			src := noise.NewSource(13)
+			qrng := noise.NewSource(17)
+			var sq float64
+			var queries int
+			for i := 0; i < b.N; i++ {
+				rel, err := oh.ReleaseWithSplit(counts, sp.epsS, sp.epsH, src)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for q := 0; q < 50; q++ {
+					lo := qrng.Intn(size)
+					hi := lo + qrng.Intn(size-lo)
+					got, err := rel.Range(lo, hi)
+					if err != nil {
+						b.Fatal(err)
+					}
+					truth := cum[hi]
+					if lo > 0 {
+						truth -= cum[lo-1]
+					}
+					sq += (got - truth) * (got - truth)
+					queries++
+				}
+			}
+			b.ReportMetric(sq/float64(queries), "range-mse")
+		})
+	}
+}
+
+// Ablation: constrained inference on vs off for the ordered mechanism on
+// sparse data — the Section 7.1 accuracy boost.
+func BenchmarkAblationOrderedInference(b *testing.B) {
+	const (
+		size = 4357
+		eps  = 0.5
+	)
+	gen := noise.NewSource(19)
+	counts := make([]float64, size)
+	var n float64
+	for i := range counts {
+		if gen.Uniform() < 0.03 {
+			counts[i] = float64(gen.Intn(200))
+		}
+		n += counts[i]
+	}
+	cum := make([]float64, size)
+	run := 0.0
+	for i, c := range counts {
+		run += c
+		cum[i] = run
+	}
+	for _, mode := range []string{"raw", "inferred"} {
+		b.Run(mode, func(b *testing.B) {
+			src := noise.NewSource(23)
+			var sq float64
+			var cells int
+			for i := 0; i < b.N; i++ {
+				noisy, err := ordered.ReleaseCumulative(cum, 1, eps, src)
+				if err != nil {
+					b.Fatal(err)
+				}
+				est := noisy
+				if mode == "inferred" {
+					est = ordered.InferCumulative(noisy, n)
+				}
+				for j := range est {
+					d := est[j] - cum[j]
+					sq += d * d
+					cells++
+				}
+			}
+			b.ReportMetric(sq/float64(cells), "cumulative-mse")
+		})
+	}
+}
+
+// Ablation: the three differential-privacy baselines for range queries —
+// flat Laplace histogram, hierarchical (Hay), Privelet wavelet — against
+// the Blowfish ordered mechanism.
+func BenchmarkAblationRangeBaselines(b *testing.B) {
+	const (
+		size = 1024
+		eps  = 0.5
+	)
+	gen := noise.NewSource(29)
+	counts := make([]float64, size)
+	for i := range counts {
+		counts[i] = float64(gen.Intn(30))
+	}
+	cum := make([]float64, size)
+	run := 0.0
+	for i, c := range counts {
+		run += c
+		cum[i] = run
+	}
+	truthRange := func(lo, hi int) float64 {
+		t := cum[hi]
+		if lo > 0 {
+			t -= cum[lo-1]
+		}
+		return t
+	}
+	type answerer func(src *noise.Source) (func(lo, hi int) (float64, error), error)
+	hierTree, err := hierarchy.New(size, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wave, err := wavelet.New(size)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ordMech, err := ordered.NewOH(size, 1, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	systems := []struct {
+		name string
+		mk   answerer
+	}{
+		{"flat-laplace", func(src *noise.Source) (func(int, int) (float64, error), error) {
+			noisy := make([]float64, size)
+			for i := range counts {
+				noisy[i] = counts[i] + src.Laplace(2/eps)
+			}
+			return func(lo, hi int) (float64, error) {
+				var s float64
+				for i := lo; i <= hi; i++ {
+					s += noisy[i]
+				}
+				return s, nil
+			}, nil
+		}},
+		{"hierarchical", func(src *noise.Source) (func(int, int) (float64, error), error) {
+			rel, err := hierTree.Release(counts, eps, src)
+			if err != nil {
+				return nil, err
+			}
+			return func(lo, hi int) (float64, error) {
+				v, _, err := rel.RangeQuery(lo, hi)
+				return v, err
+			}, nil
+		}},
+		{"wavelet-privelet", func(src *noise.Source) (func(int, int) (float64, error), error) {
+			rel, err := wave.Release(counts, eps, src)
+			if err != nil {
+				return nil, err
+			}
+			return rel.RangeQuery, nil
+		}},
+		{"blowfish-ordered", func(src *noise.Source) (func(int, int) (float64, error), error) {
+			rel, err := ordMech.Release(counts, eps, src)
+			if err != nil {
+				return nil, err
+			}
+			return rel.Range, nil
+		}},
+	}
+	for _, sys := range systems {
+		b.Run(sys.name, func(b *testing.B) {
+			src := noise.NewSource(31)
+			qrng := noise.NewSource(37)
+			var sq float64
+			var queries int
+			for i := 0; i < b.N; i++ {
+				answer, err := sys.mk(src)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for q := 0; q < 50; q++ {
+					lo := qrng.Intn(size)
+					hi := lo + qrng.Intn(size-lo)
+					got, err := answer(lo, hi)
+					if err != nil {
+						b.Fatal(err)
+					}
+					diff := got - truthRange(lo, hi)
+					sq += diff * diff
+					queries++
+				}
+			}
+			b.ReportMetric(sq/float64(queries), "range-mse")
+		})
+	}
+}

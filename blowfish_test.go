@@ -1,0 +1,414 @@
+package blowfish
+
+import (
+	"math"
+	"testing"
+)
+
+func testDataset(t *testing.T) (*Domain, *Dataset) {
+	t.Helper()
+	d, err := LineDomain("v", 64)
+	if err != nil {
+		t.Fatalf("LineDomain: %v", err)
+	}
+	ds := NewDataset(d)
+	src := NewSource(1)
+	for i := 0; i < 500; i++ {
+		if err := ds.Add(Point(src.Intn(64))); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	return d, ds
+}
+
+func TestFacadeHistogramRelease(t *testing.T) {
+	d, ds := testDataset(t)
+	pol := DifferentialPrivacy(d)
+	rel, err := ReleaseHistogram(pol, ds, 1.0, NewSource(2))
+	if err != nil {
+		t.Fatalf("ReleaseHistogram: %v", err)
+	}
+	if len(rel) != 64 {
+		t.Fatalf("len = %d, want 64", len(rel))
+	}
+	s, err := HistogramSensitivity(pol)
+	if err != nil || s != 2 {
+		t.Fatalf("HistogramSensitivity = %v (err %v), want 2", s, err)
+	}
+}
+
+func TestFacadePrivateKMeans(t *testing.T) {
+	d, err := GridDomain(50, 50)
+	if err != nil {
+		t.Fatalf("GridDomain: %v", err)
+	}
+	ds := NewDataset(d)
+	src := NewSource(3)
+	for i := 0; i < 400; i++ {
+		x, y := src.Intn(10), src.Intn(10)
+		if src.Uniform() < 0.5 {
+			x, y = 40+x, 40+y
+		}
+		p, err := d.Encode(x, y)
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		if err := ds.Add(p); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	base, err := KMeans(ds, 2, 5, NewSource(4))
+	if err != nil {
+		t.Fatalf("KMeans: %v", err)
+	}
+	g, err := DistanceThreshold(d, 5)
+	if err != nil {
+		t.Fatalf("DistanceThreshold: %v", err)
+	}
+	priv, err := PrivateKMeans(NewPolicy(g), ds, 2, 5, 1.0, NewSource(4))
+	if err != nil {
+		t.Fatalf("PrivateKMeans: %v", err)
+	}
+	if priv.Objective < base.Objective*0.5 {
+		t.Fatalf("private objective %v implausibly below baseline %v", priv.Objective, base.Objective)
+	}
+	// Mismatched domains rejected.
+	other, err := GridDomain(10, 10)
+	if err != nil {
+		t.Fatalf("GridDomain: %v", err)
+	}
+	if _, err := PrivateKMeans(DifferentialPrivacy(other), ds, 2, 5, 1.0, NewSource(5)); err == nil {
+		t.Error("mismatched policy domain accepted")
+	}
+}
+
+func TestFacadeCumulativeRelease(t *testing.T) {
+	d, ds := testDataset(t)
+	g, err := LineGraph(d)
+	if err != nil {
+		t.Fatalf("LineGraph: %v", err)
+	}
+	rel, err := ReleaseCumulativeHistogram(NewPolicy(g), ds, 1.0, NewSource(6))
+	if err != nil {
+		t.Fatalf("ReleaseCumulativeHistogram: %v", err)
+	}
+	for i := 1; i < len(rel.Inferred); i++ {
+		if rel.Inferred[i] < rel.Inferred[i-1] {
+			t.Fatal("inferred cumulative not monotone")
+		}
+	}
+	if rel.Inferred[len(rel.Inferred)-1] > float64(ds.Len()) {
+		t.Fatal("inferred cumulative exceeds n")
+	}
+	got, err := rel.Range(10, 20)
+	if err != nil {
+		t.Fatalf("Range: %v", err)
+	}
+	truth, err := ds.RangeCount(10, 20)
+	if err != nil {
+		t.Fatalf("RangeCount: %v", err)
+	}
+	if math.Abs(got-truth) > 30 {
+		t.Fatalf("range answer %v far from truth %v", got, truth)
+	}
+}
+
+func TestFacadeRangeReleaser(t *testing.T) {
+	d, ds := testDataset(t)
+	g, err := DistanceThreshold(d, 8)
+	if err != nil {
+		t.Fatalf("DistanceThreshold: %v", err)
+	}
+	rel, err := NewRangeReleaser(NewPolicy(g), ds, 4, 1.0, NewSource(7))
+	if err != nil {
+		t.Fatalf("NewRangeReleaser: %v", err)
+	}
+	got, err := rel.Range(5, 50)
+	if err != nil {
+		t.Fatalf("Range: %v", err)
+	}
+	truth, err := ds.RangeCount(5, 50)
+	if err != nil {
+		t.Fatalf("RangeCount: %v", err)
+	}
+	if math.Abs(got-truth) > 60 {
+		t.Fatalf("range answer %v far from truth %v", got, truth)
+	}
+	// Full-domain policy behaves as the hierarchical baseline.
+	if _, err := NewRangeReleaser(DifferentialPrivacy(d), ds, 4, 1.0, NewSource(8)); err != nil {
+		t.Fatalf("NewRangeReleaser(DP): %v", err)
+	}
+	// Attribute policy rejected (no θ semantics on a line).
+	if _, err := NewRangeReleaser(NewPolicy(AttributeSecrets(d)), ds, 4, 1.0, NewSource(9)); err == nil {
+		t.Error("attribute policy accepted by range releaser")
+	}
+	// Multi-dimensional domain rejected.
+	grid, err := GridDomain(4, 4)
+	if err != nil {
+		t.Fatalf("GridDomain: %v", err)
+	}
+	gds := NewDataset(grid)
+	if err := gds.Add(0); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if _, err := NewRangeReleaser(DifferentialPrivacy(grid), gds, 4, 1.0, NewSource(10)); err == nil {
+		t.Error("2-D domain accepted by range releaser")
+	}
+}
+
+func TestFacadeConstrainedRelease(t *testing.T) {
+	d, err := NewDomain(Attribute{Name: "A1", Size: 2}, Attribute{Name: "A2", Size: 3})
+	if err != nil {
+		t.Fatalf("NewDomain: %v", err)
+	}
+	ds := NewDataset(d)
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 3; b++ {
+			p, err := d.Encode(a, b)
+			if err != nil {
+				t.Fatalf("Encode: %v", err)
+			}
+			for r := 0; r < 2+a+b; r++ {
+				if err := ds.Add(p); err != nil {
+					t.Fatalf("Add: %v", err)
+				}
+			}
+		}
+	}
+	m, err := NewMarginal(d, []int{0})
+	if err != nil {
+		t.Fatalf("NewMarginal: %v", err)
+	}
+	set, err := m.Set(ds)
+	if err != nil {
+		t.Fatalf("Marginal.Set: %v", err)
+	}
+	pol := NewConstrainedPolicy(FullDomain(d), set)
+	sens, err := HistogramSensitivity(pol)
+	if err != nil {
+		t.Fatalf("HistogramSensitivity: %v", err)
+	}
+	if want := m.FullDomainSensitivity(); sens != want {
+		t.Fatalf("sensitivity = %v, want %v", sens, want)
+	}
+	rel, err := ReleaseHistogram(pol, ds, 1.0, NewSource(11))
+	if err != nil {
+		t.Fatalf("ReleaseHistogram: %v", err)
+	}
+	cons, err := ConsistentWithConstraints(pol, rel)
+	if err != nil {
+		t.Fatalf("ConsistentWithConstraints: %v", err)
+	}
+	// Marginal cells hold exactly after projection.
+	truthA0, err := ds.AttrHistogram(0)
+	if err != nil {
+		t.Fatalf("AttrHistogram: %v", err)
+	}
+	var gotA0 float64
+	for b := 0; b < 3; b++ {
+		p, err := d.Encode(0, b)
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		gotA0 += cons[p]
+	}
+	if math.Abs(gotA0-truthA0[0]) > 1e-6 {
+		t.Fatalf("projected A1=0 count %v, want %v", gotA0, truthA0[0])
+	}
+	// Unconstrained policy has no constraints to project onto.
+	if _, err := ConsistentWithConstraints(DifferentialPrivacy(d), rel); err == nil {
+		t.Error("projection accepted for unconstrained policy")
+	}
+}
+
+func TestFacadeAccountant(t *testing.T) {
+	a, err := NewAccountant(1.0)
+	if err != nil {
+		t.Fatalf("NewAccountant: %v", err)
+	}
+	if err := a.Spend("q1", 0.6); err != nil {
+		t.Fatalf("Spend: %v", err)
+	}
+	if err := a.Spend("q2", 0.6); err == nil {
+		t.Error("over-budget spend accepted")
+	}
+}
+
+func TestFacadeIsotonic(t *testing.T) {
+	out := IsotonicRegression([]float64{3, 1, 2})
+	if out[0] != 2 || out[1] != 2 || out[2] != 2 {
+		t.Fatalf("IsotonicRegression = %v, want [2 2 2]", out)
+	}
+}
+
+func TestFacadeLInfThreshold(t *testing.T) {
+	d, err := GridDomain(10, 10)
+	if err != nil {
+		t.Fatalf("GridDomain: %v", err)
+	}
+	g, err := LInfDistanceThreshold(d, 2)
+	if err != nil {
+		t.Fatalf("LInfDistanceThreshold: %v", err)
+	}
+	a, err := d.Encode(0, 0)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	b, err := d.Encode(2, 2)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if !g.Adjacent(a, b) {
+		t.Fatal("diagonal within θ not adjacent under L∞")
+	}
+	if _, err := LInfDistanceThreshold(d, -1); err == nil {
+		t.Error("negative θ accepted")
+	}
+}
+
+func TestFacadeUnknownPresence(t *testing.T) {
+	d, err := LineDomain("age", 50)
+	if err != nil {
+		t.Fatalf("LineDomain: %v", err)
+	}
+	base, err := DistanceThreshold(d, 3)
+	if err != nil {
+		t.Fatalf("DistanceThreshold: %v", err)
+	}
+	ext, err := WithUnknownPresence(base)
+	if err != nil {
+		t.Fatalf("WithUnknownPresence: %v", err)
+	}
+	extDom, bottom, err := ExtendedDomain(ext)
+	if err != nil {
+		t.Fatalf("ExtendedDomain: %v", err)
+	}
+	if extDom.Size() != 51 || bottom != Point(50) {
+		t.Fatalf("extended domain %v, ⊥ %d", extDom, bottom)
+	}
+	if !ext.Adjacent(Point(7), bottom) {
+		t.Fatal("⊥ not adjacent to a real value")
+	}
+	// ExtendedDomain on a non-bottom graph errors.
+	if _, _, err := ExtendedDomain(base); err == nil {
+		t.Error("ExtendedDomain accepted a plain graph")
+	}
+	// End-to-end: cumulative release over the extended domain.
+	ds := NewDataset(extDom)
+	src := NewSource(9)
+	for i := 0; i < 300; i++ {
+		v := Point(src.Intn(50))
+		if src.Uniform() < 0.3 {
+			v = bottom
+		}
+		if err := ds.Add(v); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	rel, err := ReleaseCumulativeHistogram(NewPolicy(ext), ds, 1.0, src)
+	if err != nil {
+		t.Fatalf("ReleaseCumulativeHistogram: %v", err)
+	}
+	if len(rel.Inferred) != 51 {
+		t.Fatalf("inferred length = %d", len(rel.Inferred))
+	}
+}
+
+func TestFacadeWithParticipants(t *testing.T) {
+	d, err := LineDomain("v", 8)
+	if err != nil {
+		t.Fatalf("LineDomain: %v", err)
+	}
+	pol := DifferentialPrivacy(d).WithParticipants([]int{0, 2})
+	if pol.Participates(1) || !pol.Participates(2) {
+		t.Fatal("participant restriction not visible through the facade")
+	}
+}
+
+func TestFacadePartitionsAndConstraintsFromDataset(t *testing.T) {
+	d, err := GridDomain(8, 6)
+	if err != nil {
+		t.Fatalf("GridDomain: %v", err)
+	}
+	part, err := UniformGridPartition(d, []int{4, 3})
+	if err != nil {
+		t.Fatalf("UniformGridPartition: %v", err)
+	}
+	if part.NumBlocks() != 4 {
+		t.Fatalf("NumBlocks = %d, want 4", part.NumBlocks())
+	}
+	byCount, err := UniformPartitionByCount(d, 12)
+	if err != nil {
+		t.Fatalf("UniformPartitionByCount: %v", err)
+	}
+	if byCount.NumBlocks() < 3 || byCount.NumBlocks() > 48 {
+		t.Fatalf("NumBlocks = %d", byCount.NumBlocks())
+	}
+	// Partition-policy release through the facade: exact when the policy
+	// partition refines the released one.
+	pol := NewPolicy(PartitionedSecrets(part))
+	ds := NewDataset(d)
+	src := NewSource(1)
+	for i := 0; i < 200; i++ {
+		p, err := d.Encode(src.Intn(8), src.Intn(6))
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		if err := ds.Add(p); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	rel, err := ReleasePartitionHistogram(pol, ds, part, 1.0, NewSource(2))
+	if err != nil {
+		t.Fatalf("ReleasePartitionHistogram: %v", err)
+	}
+	truth, err := ds.PartitionHistogram(part)
+	if err != nil {
+		t.Fatalf("PartitionHistogram: %v", err)
+	}
+	for i := range truth {
+		if rel[i] != truth[i] {
+			t.Fatal("same-partition release not exact")
+		}
+	}
+	// ConstraintsFromDataset round trip.
+	q := CountQuery{Name: "x<4", Pred: func(p Point) bool { return d.Value(p, 0) < 4 }}
+	set, err := ConstraintsFromDataset([]CountQuery{q}, ds)
+	if err != nil {
+		t.Fatalf("ConstraintsFromDataset: %v", err)
+	}
+	if !set.Satisfied(ds) {
+		t.Fatal("defining dataset does not satisfy its own constraints")
+	}
+}
+
+func TestFacadeRangeReleaserCumulative(t *testing.T) {
+	d, ds := testDataset(t)
+	g, err := DistanceThreshold(d, 4)
+	if err != nil {
+		t.Fatalf("DistanceThreshold: %v", err)
+	}
+	rel, err := NewRangeReleaser(NewPolicy(g), ds, 4, 1.0, NewSource(3))
+	if err != nil {
+		t.Fatalf("NewRangeReleaser: %v", err)
+	}
+	c, err := rel.Cumulative(63)
+	if err != nil {
+		t.Fatalf("Cumulative: %v", err)
+	}
+	if math.Abs(c-float64(ds.Len())) > 40 {
+		t.Fatalf("C(max) = %v, far from n = %d", c, ds.Len())
+	}
+	// ReleaseCumulativeHistogram rejects mismatched domains and 2-D ones.
+	other, err := LineDomain("w", 10)
+	if err != nil {
+		t.Fatalf("LineDomain: %v", err)
+	}
+	og, err := LineGraph(other)
+	if err != nil {
+		t.Fatalf("LineGraph: %v", err)
+	}
+	if _, err := ReleaseCumulativeHistogram(NewPolicy(og), ds, 1.0, NewSource(4)); err == nil {
+		t.Error("mismatched domain accepted")
+	}
+}

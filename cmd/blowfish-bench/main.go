@@ -1,0 +1,65 @@
+// Command blowfish-bench regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	blowfish-bench -figure fig1a            # one figure, default scale
+//	blowfish-bench -figure all -scale quick # everything, fast
+//	blowfish-bench -figure fig2b -scale paper -seed 7
+//
+// Each figure prints the same rows/series the paper plots (see DESIGN.md
+// section 3 for the experiment index and EXPERIMENTS.md for the recorded
+// paper-vs-measured comparison).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"blowfish/internal/experiments"
+)
+
+func main() {
+	var (
+		figure = flag.String("figure", "all", "figure id ("+strings.Join(experiments.IDs(), ", ")+") or 'all'")
+		scale  = flag.String("scale", "default", "experiment scale: quick, default, or paper")
+		seed   = flag.Int64("seed", 1, "base random seed")
+	)
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.QuickScale
+	case "default":
+		sc = experiments.DefaultScale
+	case "paper":
+		sc = experiments.PaperScale
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick, default, or paper)\n", *scale)
+		os.Exit(2)
+	}
+
+	ids := experiments.IDs()
+	if *figure != "all" {
+		if _, ok := experiments.Registry[*figure]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown figure %q; available: %s\n", *figure, strings.Join(ids, ", "))
+			os.Exit(2)
+		}
+		ids = []string{*figure}
+	}
+
+	fmt.Printf("# blowfish-bench scale=%s seed=%d\n", sc.Name, *seed)
+	for _, id := range ids {
+		start := time.Now()
+		fig, err := experiments.Registry[id](sc, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fig.Print(os.Stdout)
+		fmt.Printf("# %s done in %v\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,67 @@
+package blowfish_test
+
+import (
+	"fmt"
+
+	"blowfish"
+)
+
+// ExampleHistogramSensitivity shows how policies trade privacy for utility:
+// the k-means qsum sensitivity shrinks from the full domain diameter to the
+// distance threshold (Lemma 6.1).
+func ExampleHistogramSensitivity() {
+	dom, _ := blowfish.GridDomain(400, 300)
+
+	dp := blowfish.DifferentialPrivacy(dom)
+	sDP, _ := dp.SumSensitivity()
+
+	g, _ := blowfish.DistanceThreshold(dom, 100)
+	bf := blowfish.NewPolicy(g)
+	sBF, _ := bf.SumSensitivity()
+
+	fmt.Printf("S(qsum) under differential privacy: %g\n", sDP)
+	fmt.Printf("S(qsum) under Blowfish θ=100:       %g\n", sBF)
+	// Output:
+	// S(qsum) under differential privacy: 1396
+	// S(qsum) under Blowfish θ=100:       200
+}
+
+// ExampleNewPolicy builds the standard policy families of Section 3.1.
+func ExampleNewPolicy() {
+	dom, _ := blowfish.LineDomain("salary", 128)
+
+	full := blowfish.NewPolicy(blowfish.FullDomain(dom))
+	line, _ := blowfish.LineGraph(dom)
+	ordered := blowfish.NewPolicy(line)
+
+	fmt.Println(full.Name())
+	fmt.Println(ordered.Name())
+	// Output:
+	// (T, full, In)
+	// (T, L1|θ=1, In)
+}
+
+// ExampleNewAccountant tracks sequential and parallel privacy spending
+// (Theorems 4.1 and 4.2).
+func ExampleNewAccountant() {
+	acct, _ := blowfish.NewAccountant(1.0)
+	_ = acct.Spend("histogram", 0.3)
+	_ = acct.SpendParallel("per-region clustering", []float64{0.4, 0.2, 0.4})
+	fmt.Printf("spent %.1f of %.1f\n", acct.Spent(), acct.Budget())
+	// Output:
+	// spent 0.7 of 1.0
+}
+
+// ExampleMarginal computes the Theorem 8.4 sensitivity for a known
+// marginal.
+func ExampleMarginal() {
+	dom, _ := blowfish.NewDomain(
+		blowfish.Attribute{Name: "gender", Size: 2},
+		blowfish.Attribute{Name: "age", Size: 4},
+		blowfish.Attribute{Name: "income", Size: 5},
+	)
+	m, _ := blowfish.NewMarginal(dom, []int{0, 1})
+	fmt.Printf("size(C) = %d, S(h,P) = %g\n", m.Size(), m.FullDomainSensitivity())
+	// Output:
+	// size(C) = 8, S(h,P) = 16
+}

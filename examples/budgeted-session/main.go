@@ -1,0 +1,74 @@
+// Command budgeted-session shows the production workflow: a data publisher
+// answers several analyses about one dataset under a single total privacy
+// budget, with the Session enforcing sequential composition (Theorem 4.1)
+// so nothing can be released past the budget.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"blowfish"
+	"blowfish/internal/datagen"
+)
+
+func main() {
+	// Synthetic capital-loss data under a θ=100 policy.
+	data, err := datagen.AdultCapitalLoss(48842, blowfish.NewSource(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	dom := data.Domain()
+	g, err := blowfish.DistanceThreshold(dom, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const budget = 1.0
+	session, err := blowfish.NewSession(blowfish.NewPolicy(g), budget, blowfish.NewSource(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session over %v with total budget ε = %g\n\n", dom, budget)
+
+	// Analysis 1: a coarse histogram of loss bands (ε = 0.3).
+	bands, err := blowfish.UniformGridPartition(dom, []int{500})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hist, err := session.ReleasePartitionHistogram(data, bands, 0.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("1. released %d-band histogram        (remaining ε = %.2f)\n", len(hist), session.Remaining())
+
+	// Analysis 2: a range-query structure for analysts (ε = 0.5).
+	ranges, err := session.NewRangeReleaser(data, 16, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mid, err := ranges.Range(1500, 2500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("2. released range structure; q[1500,2500] ≈ %.0f (remaining ε = %.2f)\n", mid, session.Remaining())
+
+	// Analysis 3: one more histogram — too expensive, refused unpublished.
+	if _, err := session.ReleaseHistogram(data, 0.5); errors.Is(err, blowfish.ErrBudgetExceeded) {
+		fmt.Printf("3. full histogram at ε=0.5 refused: %v\n", err)
+	} else if err != nil {
+		log.Fatal(err)
+	}
+
+	// Analysis 3 retried within the remainder.
+	if _, err := session.ReleaseHistogram(data, 0.2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("4. full histogram at ε=0.2 released  (remaining ε = %.2f)\n\n", session.Remaining())
+
+	fmt.Println("ledger:")
+	for _, r := range session.Accountant().Releases() {
+		fmt.Printf("   %-28s ε=%g\n", r.Label, r.Epsilon)
+	}
+}

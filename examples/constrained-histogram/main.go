@@ -1,0 +1,118 @@
+// Command constrained-histogram demonstrates Section 8: releasing a
+// histogram when the adversary already knows a marginal of the data.
+//
+// Publicly known constraints correlate tuples — the Kifer–Machanavajjhala
+// "no free lunch" attack reconstructs plain differentially private releases
+// by averaging them against the constraints. Blowfish counters by widening
+// the neighbor relation: noise is calibrated to the policy-graph
+// sensitivity 2·size(C) (Theorem 8.4), and the released histogram is then
+// projected to agree with the public marginal exactly (free, by
+// post-processing).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blowfish"
+)
+
+func main() {
+	// Census-like micro-domain: gender × age-band × income-band.
+	dom, err := blowfish.NewDomain(
+		blowfish.Attribute{Name: "gender", Size: 2},
+		blowfish.Attribute{Name: "age", Size: 4},
+		blowfish.Attribute{Name: "income", Size: 5},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data := blowfish.NewDataset(dom)
+	src := blowfish.NewSource(5)
+	for i := 0; i < 20000; i++ {
+		gender := src.Intn(2)
+		age := src.Intn(4)
+		income := (age + src.Intn(3)) % 5 // income correlates with age
+		p, err := dom.Encode(gender, age, income)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := data.Add(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The gender × age marginal was published last year: the adversary
+	// knows it exactly.
+	marginal, err := blowfish.NewMarginal(dom, []int{0, 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	public, err := marginal.Set(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pol := blowfish.NewConstrainedPolicy(blowfish.FullDomain(dom), public)
+	sens, err := blowfish.HistogramSensitivity(pol)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("domain %v\n", dom)
+	fmt.Printf("known marginal [gender, age]: size(C) = %d cells\n", marginal.Size())
+	fmt.Printf("policy-graph histogram sensitivity = %g (Theorem 8.4: 2·size(C) = %g)\n\n",
+		sens, marginal.FullDomainSensitivity())
+
+	const eps = 1.0
+	rel, err := blowfish.ReleaseHistogram(pol, data, eps, blowfish.NewSource(9))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cons, err := blowfish.ConsistentWithConstraints(pol, rel)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	truth, err := data.Histogram()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-28s %12s %12s\n", "", "raw release", "projected")
+	fmt.Printf("%-28s %12.1f %12.1f\n", "mean squared error", mse(truth, rel), mse(truth, cons))
+
+	// The projected release satisfies the public marginal exactly.
+	var rawViol, consViol float64
+	for qi, q := range public.Queries() {
+		var raw, con float64
+		if err := dom.Points(func(p blowfish.Point) bool {
+			if q.Pred(p) {
+				raw += rel[p]
+				con += cons[p]
+			}
+			return true
+		}); err != nil {
+			log.Fatal(err)
+		}
+		rawViol += abs(raw - public.Answers()[qi])
+		consViol += abs(con - public.Answers()[qi])
+	}
+	fmt.Printf("%-28s %12.1f %12.1f\n", "total marginal violation", rawViol, consViol)
+	fmt.Println("\nprojection onto the known constraints is free post-processing: it removes")
+	fmt.Println("the inconsistency an analyst would notice and never increases the error.")
+}
+
+func mse(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s / float64(len(a))
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,79 @@
+// Command location-kmeans reproduces the Figure 1 scenario on synthetic
+// location data: clustering geo-points privately under differential privacy
+// versus Blowfish distance-threshold policies.
+//
+// The policy G^{L1,θ} promises that an adversary cannot tell two locations
+// apart when they are within θ grid cells (≈ θ·5.5 km on the paper's
+// western-USA grid) — rough whereabouts may leak, precise position never —
+// and the k-means qsum sensitivity drops from 2·d(T) to 2θ (Lemma 6.1).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blowfish"
+	"blowfish/internal/datagen"
+)
+
+func main() {
+	src := blowfish.NewSource(11)
+	data, err := datagen.Twitter(30000, src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dom := data.Domain()
+	fmt.Printf("clustering %d geo-points over %v\n\n", data.Len(), dom)
+
+	const (
+		k     = 4
+		iters = 10
+		eps   = 0.5
+		reps  = 5
+	)
+
+	// Non-private baseline.
+	var baseline float64
+	for r := int64(0); r < reps; r++ {
+		res, err := blowfish.KMeans(data, k, iters, blowfish.NewSource(100+r))
+		if err != nil {
+			log.Fatal(err)
+		}
+		baseline += res.Objective
+	}
+	baseline /= reps
+	fmt.Printf("%-24s objective = %.3e (ratio 1.00)\n", "non-private", baseline)
+
+	policies := []struct {
+		name string
+		pol  *blowfish.Policy
+	}{
+		{"laplace (DP)", blowfish.DifferentialPrivacy(dom)},
+	}
+	for _, thetaKM := range []float64{2000, 1000, 500, 100} {
+		cells := thetaKM / 5.555 // ~5.5 km per grid cell
+		g, err := blowfish.DistanceThreshold(dom, cells)
+		if err != nil {
+			log.Fatal(err)
+		}
+		policies = append(policies, struct {
+			name string
+			pol  *blowfish.Policy
+		}{fmt.Sprintf("blowfish θ=%gkm", thetaKM), blowfish.NewPolicy(g)})
+	}
+
+	for _, item := range policies {
+		var total float64
+		for r := int64(0); r < reps; r++ {
+			res, err := blowfish.PrivateKMeans(item.pol, data, k, iters, eps, blowfish.NewSource(100+r))
+			if err != nil {
+				log.Fatal(err)
+			}
+			total += res.Objective
+		}
+		total /= reps
+		fmt.Printf("%-24s objective = %.3e (ratio %.2f)\n", item.name, total, total/baseline)
+	}
+	fmt.Println("\nsmaller θ ⇒ weaker protection radius ⇒ less noise ⇒ better clustering;")
+	fmt.Println("the Laplace/DP row pays for protecting the full 2222 km domain diameter.")
+}

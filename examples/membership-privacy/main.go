@@ -1,0 +1,98 @@
+// Command membership-privacy demonstrates the paper's deferred
+// unknown-cardinality extension (end of Section 3.1): by adding a ⊥ value
+// ("this individual is not in the dataset") to the domain and connecting it
+// to every real value in the secret graph, *presence itself* becomes a
+// protected secret — the adversary cannot tell whether someone is in the
+// data at all, not just which value they have.
+//
+// The price is quantified: cumulative releases pay sensitivity |T| instead
+// of θ, because an appearance shifts every prefix count above it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blowfish"
+)
+
+func main() {
+	// Ages 0..99.
+	base, err := blowfish.LineDomain("age", 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Value secrets: ages within 5 years are indistinguishable.
+	g, err := blowfish.DistanceThreshold(base, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Membership secrets: wrap with ⊥.
+	ext, err := blowfish.WithUnknownPresence(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	extDom, bottom, err := blowfish.ExtendedDomain(ext)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("base domain %v extended to %v; ⊥ at index %d\n\n", base, extDom, bottom)
+
+	// A cohort where some registrants never showed up: absent individuals
+	// hold ⊥. The cohort size is public; who attended is not.
+	data := blowfish.NewDataset(extDom)
+	src := blowfish.NewSource(21)
+	attended := 0
+	for i := 0; i < 2000; i++ {
+		if src.Uniform() < 0.8 {
+			age := 20 + src.Intn(60)
+			if err := data.Add(blowfish.Point(age)); err != nil {
+				log.Fatal(err)
+			}
+			attended++
+		} else {
+			if err := data.Add(bottom); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Printf("cohort of %d registrants, %d attended (protected!)\n\n", data.Len(), attended)
+
+	polValue := blowfish.NewPolicy(g)    // protects values only
+	polMember := blowfish.NewPolicy(ext) // protects values AND membership
+	sv, err := polValue.CumulativeHistogramSensitivity()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sm, err := polMember.CumulativeHistogramSensitivity()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cumulative-histogram sensitivity, value secrets only: %g\n", sv)
+	fmt.Printf("cumulative-histogram sensitivity, with membership:    %g\n\n", sm)
+
+	// Release the attendance curve under the membership policy.
+	const eps = 1.0
+	rel, err := blowfish.ReleaseCumulativeHistogram(polMember, data, eps, blowfish.NewSource(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, age := range []int{30, 50, 70} {
+		got, err := rel.Range(0, age)
+		if err != nil {
+			log.Fatal(err)
+		}
+		truth, err := data.RangeCount(0, blowfish.Point(age))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("attendees aged ≤ %d: released %7.1f (truth %g)\n", age, got, truth)
+	}
+	// The released total attendance is noisy too: membership is hidden.
+	tot, err := rel.Range(0, int(bottom)-1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreleased total attendance: %.1f (truth %d) — noisy, as membership demands\n", tot, attended)
+	fmt.Println("the cohort size is public; who actually attended is protected at ε =", eps)
+}

@@ -1,0 +1,99 @@
+// Command quickstart is the smallest end-to-end Blowfish program: it builds
+// a salary dataset, releases its histogram under differential privacy and
+// under a distance-threshold Blowfish policy, and compares the error.
+//
+// The Blowfish policy protects whether a salary is x or y only for
+// |x − y| ≤ θ — an adversary may learn someone's rough pay band but never
+// the value within it — and in exchange the same ε buys the same noise here
+// (histogram sensitivity stays 2) while the cumulative release below gets
+// dramatically more accurate.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"blowfish"
+)
+
+func main() {
+	// A salary domain: 128 pay levels.
+	dom, err := blowfish.LineDomain("salary-level", 128)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A skewed dataset: most salaries low, a long tail.
+	data := blowfish.NewDataset(dom)
+	src := blowfish.NewSource(7)
+	for i := 0; i < 5000; i++ {
+		v := int(src.Gaussian(18))
+		if v < 0 {
+			v = -v
+		}
+		if v > 127 {
+			v = 127
+		}
+		if err := data.Add(blowfish.Point(v)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	const eps = 0.5
+
+	// Differential privacy = Blowfish with full-domain secrets.
+	dp := blowfish.DifferentialPrivacy(dom)
+	// Blowfish: protect salaries within θ = 10 levels of each other.
+	g, err := blowfish.DistanceThreshold(dom, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bf := blowfish.NewPolicy(g)
+
+	fmt.Printf("domain: %v, n=%d, ε=%g\n\n", dom, data.Len(), eps)
+
+	// 1. Plain histograms: the sensitivity (and so the noise) is identical —
+	// Blowfish never does worse than differential privacy.
+	for _, item := range []struct {
+		name string
+		pol  *blowfish.Policy
+	}{{"differential privacy", dp}, {"blowfish θ=10", bf}} {
+		s, err := blowfish.HistogramSensitivity(item.pol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("histogram sensitivity under %-20s = %g\n", item.name, s)
+	}
+
+	// 2. Cumulative histograms / range queries: the Blowfish sensitivity
+	// drops from |T|−1 = 127 to θ = 10, and the ordered hierarchical
+	// mechanism turns that into much less error per range query.
+	truth, err := data.RangeCount(20, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntrue count of salaries in [20, 60]: %g\n", truth)
+	const reps = 200
+	for _, item := range []struct {
+		name string
+		pol  *blowfish.Policy
+	}{{"differential privacy", dp}, {"blowfish θ=10", bf}} {
+		src := blowfish.NewSource(42)
+		var sq, sample float64
+		for r := 0; r < reps; r++ {
+			rel, err := blowfish.NewRangeReleaser(item.pol, data, 16, eps, src)
+			if err != nil {
+				log.Fatal(err)
+			}
+			got, err := rel.Range(20, 60)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sample = got
+			sq += (got - truth) * (got - truth)
+		}
+		fmt.Printf("%-22s sample answer = %8.1f, RMSE over %d releases = %.1f\n",
+			item.name, sample, reps, math.Sqrt(sq/reps))
+	}
+}

@@ -1,0 +1,84 @@
+// Command range-queries reproduces the Figure 2 scenario: answering range
+// count queries over the (synthetic) adult capital-loss attribute with the
+// Ordered Hierarchical Mechanism at different distance thresholds θ.
+//
+// θ = |T| is differential privacy (the hierarchical baseline); θ = 1 is the
+// pure Ordered Mechanism whose per-query error 4/ε² is independent of the
+// domain size — below what any differentially private strategy can achieve.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blowfish"
+	"blowfish/internal/datagen"
+)
+
+func main() {
+	data, err := datagen.AdultCapitalLoss(48842, blowfish.NewSource(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	dom := data.Domain()
+	size := int(dom.Size())
+	fmt.Printf("domain %v, n=%d, distinct values=%d (sparse!)\n\n", dom, data.Len(), data.DistinctCount())
+
+	const (
+		eps     = 0.5
+		fanout  = 16
+		queries = 2000
+	)
+
+	// A fixed workload of random range queries.
+	qsrc := blowfish.NewSource(17)
+	type rq struct {
+		lo, hi int
+		truth  float64
+	}
+	workload := make([]rq, queries)
+	for i := range workload {
+		a, b := qsrc.Intn(size), qsrc.Intn(size)
+		if a > b {
+			a, b = b, a
+		}
+		truth, err := data.RangeCount(blowfish.Point(a), blowfish.Point(b))
+		if err != nil {
+			log.Fatal(err)
+		}
+		workload[i] = rq{a, b, truth}
+	}
+
+	for _, theta := range []int{size, 1000, 100, 10, 1} {
+		var pol *blowfish.Policy
+		label := fmt.Sprintf("θ=%d", theta)
+		if theta == size {
+			pol = blowfish.DifferentialPrivacy(dom)
+			label = "θ=|T| (diff. privacy)"
+		} else {
+			g, err := blowfish.DistanceThreshold(dom, float64(theta))
+			if err != nil {
+				log.Fatal(err)
+			}
+			pol = blowfish.NewPolicy(g)
+		}
+		rel, err := blowfish.NewRangeReleaser(pol, data, fanout, eps, blowfish.NewSource(23))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var sq float64
+		for _, q := range workload {
+			got, err := rel.Range(q.lo, q.hi)
+			if err != nil {
+				log.Fatal(err)
+			}
+			diff := got - q.truth
+			sq += diff * diff
+		}
+		fmt.Printf("%-22s range query MSE = %12.1f\n", label, sq/float64(queries))
+	}
+
+	fmt.Println("\nθ controls the privacy-utility knob: protecting only nearby capital-loss")
+	fmt.Println("values (θ small) buys orders of magnitude in accuracy over protecting")
+	fmt.Println("every pair of values (differential privacy).")
+}

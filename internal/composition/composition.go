@@ -1,0 +1,143 @@
+// Package composition provides privacy-budget accounting for Blowfish
+// mechanisms: sequential composition (Theorem 4.1), parallel composition
+// with the cardinality constraint (Theorem 4.2), and the sufficient
+// condition for parallel composition under general count constraints
+// (Theorem 4.3) via critical secret pairs.
+package composition
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"blowfish/internal/constraints"
+	"blowfish/internal/secgraph"
+)
+
+// ErrBudgetExceeded is returned when a spend would push the accountant past
+// its total budget.
+var ErrBudgetExceeded = errors.New("composition: privacy budget exceeded")
+
+// Release records one budgeted release.
+type Release struct {
+	Label   string
+	Epsilon float64
+}
+
+// Accountant tracks cumulative privacy loss against a fixed total budget.
+// Sequential releases add up (Theorem 4.1); parallel groups over disjoint
+// id-subsets cost their maximum (Theorem 4.2). The zero value is unusable;
+// construct with NewAccountant. Accountants are safe for concurrent use.
+type Accountant struct {
+	mu       sync.Mutex
+	budget   float64
+	spent    float64
+	releases []Release
+}
+
+// NewAccountant creates an accountant with the given total ε budget.
+func NewAccountant(budget float64) (*Accountant, error) {
+	if budget <= 0 || math.IsNaN(budget) || math.IsInf(budget, 0) {
+		return nil, fmt.Errorf("composition: invalid budget %v", budget)
+	}
+	return &Accountant{budget: budget}, nil
+}
+
+// Budget returns the total budget.
+func (a *Accountant) Budget() float64 { return a.budget }
+
+// Spent returns the cumulative privacy loss so far.
+func (a *Accountant) Spent() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.spent
+}
+
+// Remaining returns budget − spent.
+func (a *Accountant) Remaining() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.budget - a.spent
+}
+
+// Releases returns a copy of the release log.
+func (a *Accountant) Releases() []Release {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Release(nil), a.releases...)
+}
+
+// Spend charges a sequential release of the given ε. It fails without
+// charging when the budget would be exceeded.
+func (a *Accountant) Spend(label string, eps float64) error {
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return fmt.Errorf("composition: invalid epsilon %v", eps)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.spent+eps > a.budget+1e-12 {
+		return fmt.Errorf("%w: spent %v + %v > budget %v", ErrBudgetExceeded, a.spent, eps, a.budget)
+	}
+	a.spent += eps
+	a.releases = append(a.releases, Release{Label: label, Epsilon: eps})
+	return nil
+}
+
+// SpendParallel charges a group of mechanisms run on disjoint id-subsets:
+// by Theorem 4.2 the group costs max(eps). The caller is responsible for
+// the disjointness of the subsets; for constrained policies, validate the
+// grouping first with VerifyParallelGroups (Theorem 4.3).
+func (a *Accountant) SpendParallel(label string, eps []float64) error {
+	if len(eps) == 0 {
+		return errors.New("composition: empty parallel group")
+	}
+	maxEps := 0.0
+	for _, e := range eps {
+		if e <= 0 || math.IsNaN(e) || math.IsInf(e, 0) {
+			return fmt.Errorf("composition: invalid epsilon %v", e)
+		}
+		if e > maxEps {
+			maxEps = e
+		}
+	}
+	return a.Spend(label, maxEps)
+}
+
+// Group assigns a set of count constraints to one id-subset of a parallel
+// composition.
+type Group struct {
+	// Label names the subset (diagnostics only).
+	Label string
+	// Queries are the constraints assigned to this subset.
+	Queries []constraints.CountQuery
+}
+
+// VerifyParallelGroups checks the Theorem 4.3 sufficient condition for the
+// paper's uniform, id-symmetric secret specifications: parallel composition
+// over disjoint id-subsets is safe when every constraint involved has no
+// critical secret pairs at all (crit(q) ∩ E(G) = ∅). A constraint whose
+// critical pairs are non-empty pertains to every individual's secrets and
+// therefore cannot be confined to a single subset.
+//
+// This is exactly the situation of the example closing Section 4.1: count
+// constraints over the connected components of G are critical-pair-free,
+// so mechanisms over disjoint id-subsets compose in parallel without loss.
+func VerifyParallelGroups(g secgraph.Graph, groups []Group) error {
+	if len(groups) == 0 {
+		return errors.New("composition: no groups")
+	}
+	for _, grp := range groups {
+		for _, q := range grp.Queries {
+			crit, err := constraints.CriticalPairs(q, g)
+			if err != nil {
+				return fmt.Errorf("composition: group %q query %q: %w", grp.Label, q.Name, err)
+			}
+			if len(crit) > 0 {
+				return fmt.Errorf("composition: group %q: constraint %q has %d critical secret pairs (e.g. %v); parallel composition is not justified",
+					grp.Label, q.Name, len(crit), crit[0])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package composition
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"blowfish/internal/constraints"
+	"blowfish/internal/domain"
+	"blowfish/internal/secgraph"
+)
+
+func TestNewAccountantValidation(t *testing.T) {
+	for _, bad := range []float64{0, -1} {
+		if _, err := NewAccountant(bad); err == nil {
+			t.Errorf("budget %v accepted", bad)
+		}
+	}
+}
+
+func TestSequentialComposition(t *testing.T) {
+	a, err := NewAccountant(1.0)
+	if err != nil {
+		t.Fatalf("NewAccountant: %v", err)
+	}
+	if err := a.Spend("histogram", 0.4); err != nil {
+		t.Fatalf("Spend: %v", err)
+	}
+	if err := a.Spend("kmeans", 0.5); err != nil {
+		t.Fatalf("Spend: %v", err)
+	}
+	if got := a.Spent(); got != 0.9 {
+		t.Fatalf("Spent = %v, want 0.9", got)
+	}
+	// Exceeding the budget fails and does not charge.
+	if err := a.Spend("extra", 0.2); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("over-budget spend: err = %v, want ErrBudgetExceeded", err)
+	}
+	if got := a.Spent(); got != 0.9 {
+		t.Fatalf("failed spend charged the accountant: %v", got)
+	}
+	// Exactly consuming the remainder succeeds.
+	if err := a.Spend("last", 0.1); err != nil {
+		t.Fatalf("Spend: %v", err)
+	}
+	if rem := a.Remaining(); rem > 1e-9 || rem < -1e-9 {
+		t.Fatalf("Remaining = %v, want 0", rem)
+	}
+	if got := len(a.Releases()); got != 3 {
+		t.Fatalf("release log has %d entries, want 3", got)
+	}
+	if a.Releases()[0].Label != "histogram" {
+		t.Fatalf("first release = %+v", a.Releases()[0])
+	}
+}
+
+func TestSpendValidation(t *testing.T) {
+	a, err := NewAccountant(1)
+	if err != nil {
+		t.Fatalf("NewAccountant: %v", err)
+	}
+	for _, bad := range []float64{0, -0.1} {
+		if err := a.Spend("bad", bad); err == nil {
+			t.Errorf("epsilon %v accepted", bad)
+		}
+	}
+}
+
+func TestParallelComposition(t *testing.T) {
+	a, err := NewAccountant(1.0)
+	if err != nil {
+		t.Fatalf("NewAccountant: %v", err)
+	}
+	// Theorem 4.2: the group costs its max, not its sum.
+	if err := a.SpendParallel("per-state histograms", []float64{0.3, 0.5, 0.2}); err != nil {
+		t.Fatalf("SpendParallel: %v", err)
+	}
+	if got := a.Spent(); got != 0.5 {
+		t.Fatalf("Spent = %v, want 0.5", got)
+	}
+	if err := a.SpendParallel("empty", nil); err == nil {
+		t.Error("empty group accepted")
+	}
+	if err := a.SpendParallel("bad", []float64{0.1, -1}); err == nil {
+		t.Error("invalid group epsilon accepted")
+	}
+}
+
+func TestAccountantConcurrentSpend(t *testing.T) {
+	a, err := NewAccountant(100)
+	if err != nil {
+		t.Fatalf("NewAccountant: %v", err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = a.Spend("p", 1)
+		}()
+	}
+	wg.Wait()
+	if got := a.Spent(); got != 50 {
+		t.Fatalf("concurrent Spent = %v, want 50", got)
+	}
+}
+
+// The Section 4.1 closing example: G has two disconnected components S and
+// T\S; the count constraints qS and qT\S have no critical pairs, so
+// parallel composition is justified. A constraint cutting across a
+// component has critical pairs and is rejected.
+func TestVerifyParallelGroups(t *testing.T) {
+	d := domain.MustLine("v", 8)
+	part, err := domain.NewUniformGrid(d, []int{4}) // blocks {0..3}, {4..7}
+	if err != nil {
+		t.Fatalf("NewUniformGrid: %v", err)
+	}
+	g := secgraph.NewPartition(part)
+	qS := constraints.CountQuery{Name: "count(v<4)", Pred: func(p domain.Point) bool { return p < 4 }}
+	qT := constraints.CountQuery{Name: "count(v>=4)", Pred: func(p domain.Point) bool { return p >= 4 }}
+	groups := []Group{
+		{Label: "S", Queries: []constraints.CountQuery{qS}},
+		{Label: "T\\S", Queries: []constraints.CountQuery{qT}},
+	}
+	if err := VerifyParallelGroups(g, groups); err != nil {
+		t.Fatalf("component-aligned constraints rejected: %v", err)
+	}
+	// A constraint splitting a component has critical pairs within it.
+	qBad := constraints.CountQuery{Name: "count(v<2)", Pred: func(p domain.Point) bool { return p < 2 }}
+	err = VerifyParallelGroups(g, []Group{{Label: "bad", Queries: []constraints.CountQuery{qBad}}})
+	if err == nil {
+		t.Fatal("component-splitting constraint accepted")
+	}
+	if err := VerifyParallelGroups(g, nil); err == nil {
+		t.Error("empty groups accepted")
+	}
+}
+
+func TestCriticalPairsDirect(t *testing.T) {
+	d := domain.MustLine("v", 6)
+	g := secgraph.MustDistanceThreshold(d, 1)
+	q := constraints.CountQuery{Name: "v<3", Pred: func(p domain.Point) bool { return p < 3 }}
+	crit, err := constraints.CriticalPairs(q, g)
+	if err != nil {
+		t.Fatalf("CriticalPairs: %v", err)
+	}
+	// Only the boundary edge (2,3) lifts/lowers the predicate.
+	if len(crit) != 1 || crit[0] != [2]domain.Point{2, 3} {
+		t.Fatalf("critical pairs = %v, want [(2,3)]", crit)
+	}
+}

@@ -1,0 +1,140 @@
+package constraints
+
+import (
+	"fmt"
+	"testing"
+
+	"blowfish/internal/domain"
+	"blowfish/internal/noise"
+	"blowfish/internal/secgraph"
+)
+
+// chainConstraints builds the Section 3.2 auxiliary knowledge: the k-1
+// overlapping pair sums c(r_i) + c(r_{i+1}) = a_i.
+func chainConstraints(d *domain.Domain, ds *domain.Dataset) (*Set, error) {
+	k := int(d.Size())
+	queries := make([]CountQuery, 0, k-1)
+	for i := 0; i < k-1; i++ {
+		lo := domain.Point(i)
+		queries = append(queries, CountQuery{
+			Name: fmt.Sprintf("c(r%d)+c(r%d)", i, i+1),
+			Pred: func(p domain.Point) bool { return p == lo || p == lo+1 },
+		})
+	}
+	return FromDataset(queries, ds)
+}
+
+// reconstruct runs the paper's averaging attack on a noisy histogram: for
+// target cell 0, each noisy count c̃(r_j) yields an independent estimator
+// via the telescoping chain c(r_0) = a_0 - a_1 + ... ± c̃(r_j); the
+// adversary averages all k of them.
+func reconstruct(noisy []float64, answers []float64) float64 {
+	k := len(noisy)
+	var sum float64
+	for j := 0; j < k; j++ {
+		// prefix = Σ_{i<j} (-1)^i a_i; estimator = prefix + (-1)^j c̃(r_j).
+		est := 0.0
+		sign := 1.0
+		for i := 0; i < j; i++ {
+			est += sign * answers[i]
+			sign = -sign
+		}
+		est += sign * noisy[j]
+		sum += est
+	}
+	return sum / float64(k)
+}
+
+// The Section 3.2 "no free lunch" attack: differentially private counts
+// plus publicly known chain constraints reconstruct every count with
+// variance 2/(kε²) — vanishing as the domain grows. Calibrating to the
+// Blowfish constrained policy (Corollary 8.3, since chain constraints are
+// NOT sparse) makes the same attack useless: the averaged estimator's
+// error grows with k instead of shrinking.
+func TestSection32ReconstructionAttack(t *testing.T) {
+	const (
+		eps  = 1.0
+		reps = 3000
+	)
+	attackVariance := func(k int, scale float64, seed int64) float64 {
+		d := domain.MustLine("r", k)
+		ds := domain.NewDataset(d)
+		// counts c(r_i) = 5 + i.
+		for i := 0; i < k; i++ {
+			for c := 0; c < 5+i; c++ {
+				ds.MustAdd(domain.Point(i))
+			}
+		}
+		truth, err := ds.Histogram()
+		if err != nil {
+			t.Fatalf("Histogram: %v", err)
+		}
+		set, err := chainConstraints(d, ds)
+		if err != nil {
+			t.Fatalf("chainConstraints: %v", err)
+		}
+		answers := set.Answers()
+		src := noise.NewSource(seed)
+		var sq float64
+		for r := 0; r < reps; r++ {
+			noisy := make([]float64, k)
+			for i := range noisy {
+				noisy[i] = truth[i] + src.Laplace(scale)
+			}
+			rec := reconstruct(noisy, answers)
+			diff := rec - truth[0]
+			sq += diff * diff
+		}
+		return sq / reps
+	}
+
+	// 1. The chain constraints are NOT sparse w.r.t. the complete graph
+	// (a change can lift two overlapping pair-sums), so Blowfish falls back
+	// to the coarse Corollary 8.3 bound 2|Q| = 2(k-1).
+	d8 := domain.MustLine("r", 8)
+	ref := domain.NewDataset(d8)
+	ref.MustAdd(0)
+	set8, err := chainConstraints(d8, ref)
+	if err != nil {
+		t.Fatalf("chainConstraints: %v", err)
+	}
+	sparse, err := set8.IsSparse(secgraph.NewComplete(d8))
+	if err != nil {
+		t.Fatalf("IsSparse: %v", err)
+	}
+	if sparse {
+		t.Fatal("overlapping chain constraints reported sparse")
+	}
+	sens, wasSparse, err := HistogramSensitivity(set8, secgraph.NewComplete(d8))
+	if err != nil {
+		t.Fatalf("HistogramSensitivity: %v", err)
+	}
+	if wasSparse || sens != 2*7 {
+		t.Fatalf("constrained sensitivity = %v (sparse %v), want coarse bound 14", sens, wasSparse)
+	}
+
+	// 2. Against DP calibration (scale 2/ε) the attack improves with k:
+	// reconstruction variance ≈ 8/(kε²).
+	dp4 := attackVariance(4, 2/eps, 11)
+	dp16 := attackVariance(16, 2/eps, 12)
+	if dp16 > dp4*0.6 {
+		t.Fatalf("attack did not improve with k against DP: var(k=4)=%v, var(k=16)=%v", dp4, dp16)
+	}
+	// Within 2x of the paper's predicted 8/(kε²).
+	predicted16 := 8.0 / (16 * eps * eps)
+	if dp16 < predicted16/2 || dp16 > predicted16*2 {
+		t.Fatalf("DP reconstruction variance %v far from predicted %v", dp16, predicted16)
+	}
+
+	// 3. Against the Blowfish constrained calibration (scale 2(k-1)/ε) the
+	// attack's error GROWS with k — the policy defends exactly the leak the
+	// constraints enabled.
+	bf4 := attackVariance(4, 2*3/eps, 13)
+	bf16 := attackVariance(16, 2*15/eps, 14)
+	if bf16 < bf4 {
+		t.Fatalf("Blowfish reconstruction error shrank with k: var(k=4)=%v, var(k=16)=%v", bf4, bf16)
+	}
+	if bf16 < 100*dp16 {
+		t.Fatalf("Blowfish calibration did not defeat the attack: %v vs DP %v", bf16, dp16)
+	}
+}

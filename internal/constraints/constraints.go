@@ -1,0 +1,189 @@
+// Package constraints implements Blowfish policies with publicly known
+// deterministic constraints (Section 8 of the paper): count query
+// constraints, the lift/lower analysis and sparsity condition, policy
+// graphs with their α/ξ statistics, the resulting histogram sensitivity
+// bounds (Theorem 8.2, Corollary 8.3), and the closed forms for the
+// practical scenarios — marginals with full-domain secrets (Theorem 8.4),
+// disjoint marginals with attribute secrets (Theorem 8.5), and disjoint
+// range constraints with distance-threshold secrets (Theorem 8.6).
+package constraints
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"blowfish/internal/domain"
+	"blowfish/internal/policy"
+	"blowfish/internal/secgraph"
+)
+
+// CountQuery is a count query q_φ: it counts the tuples whose value
+// satisfies a predicate over the domain (Section 8.1).
+type CountQuery struct {
+	// Name identifies the query in diagnostics, e.g. "A1=a1 ∧ A2=b2".
+	Name string
+	// Pred is the predicate φ over domain values.
+	Pred func(domain.Point) bool
+}
+
+// Count evaluates q_φ(D).
+func (q CountQuery) Count(ds *domain.Dataset) float64 {
+	var n float64
+	for _, p := range ds.Points() {
+		if q.Pred(p) {
+			n++
+		}
+	}
+	return n
+}
+
+// Lifts reports whether the value change x→y lifts q (φ(x)=false ∧
+// φ(y)=true, Definition 8.1).
+func (q CountQuery) Lifts(x, y domain.Point) bool { return !q.Pred(x) && q.Pred(y) }
+
+// Lowers reports whether x→y lowers q (φ(x)=true ∧ φ(y)=false).
+func (q CountQuery) Lowers(x, y domain.Point) bool { return q.Pred(x) && !q.Pred(y) }
+
+// Set is the auxiliary knowledge Q: count queries together with their
+// publicly known answers. It implements policy.ConstraintSet, so
+// policy.NewConstrained(g, set) forms the full Blowfish policy (T, G, I_Q).
+type Set struct {
+	dom     *domain.Domain
+	queries []CountQuery
+	answers []float64
+	name    string
+}
+
+var _ policy.ConstraintSet = (*Set)(nil)
+
+// NewSet builds a constraint set with explicit answers.
+func NewSet(dom *domain.Domain, queries []CountQuery, answers []float64) (*Set, error) {
+	if dom == nil {
+		return nil, errors.New("constraints: nil domain")
+	}
+	if len(queries) != len(answers) {
+		return nil, fmt.Errorf("constraints: %d queries but %d answers", len(queries), len(answers))
+	}
+	for i, q := range queries {
+		if q.Pred == nil {
+			return nil, fmt.Errorf("constraints: query %d (%q) has nil predicate", i, q.Name)
+		}
+	}
+	names := make([]string, len(queries))
+	for i, q := range queries {
+		names[i] = q.Name
+	}
+	return &Set{
+		dom:     dom,
+		queries: append([]CountQuery(nil), queries...),
+		answers: append([]float64(nil), answers...),
+		name:    fmt.Sprintf("IQ{%s}", strings.Join(names, ",")),
+	}, nil
+}
+
+// FromDataset builds a constraint set whose answers are the given queries
+// evaluated on ds — the "publicly released statistics" scenario.
+func FromDataset(queries []CountQuery, ds *domain.Dataset) (*Set, error) {
+	answers := make([]float64, len(queries))
+	for i, q := range queries {
+		if q.Pred == nil {
+			return nil, fmt.Errorf("constraints: query %d (%q) has nil predicate", i, q.Name)
+		}
+		answers[i] = q.Count(ds)
+	}
+	return NewSet(ds.Domain(), queries, answers)
+}
+
+// Domain returns the domain the constraints are defined over.
+func (s *Set) Domain() *domain.Domain { return s.dom }
+
+// Queries returns the count queries; the slice must not be modified.
+func (s *Set) Queries() []CountQuery { return s.queries }
+
+// Answers returns the public answers; the slice must not be modified.
+func (s *Set) Answers() []float64 { return s.answers }
+
+// Len returns |Q|.
+func (s *Set) Len() int { return len(s.queries) }
+
+// Satisfied implements policy.ConstraintSet: D ∈ I_Q iff every query
+// evaluates to its public answer.
+func (s *Set) Satisfied(ds *domain.Dataset) bool {
+	if !ds.Domain().Equal(s.dom) {
+		return false
+	}
+	for i, q := range s.queries {
+		if q.Count(ds) != s.answers[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Name implements policy.ConstraintSet.
+func (s *Set) Name() string { return s.name }
+
+// IsSparse checks Definition 8.2: Q is sparse w.r.t. G iff every secret
+// pair (edge of G) lifts at most one query and lowers at most one query.
+// Enumeration is over the edges of G, so the domain must admit edge
+// enumeration (small domains or explicit graphs).
+func (s *Set) IsSparse(g secgraph.Graph) (bool, error) {
+	if !g.Domain().Equal(s.dom) {
+		return false, errors.New("constraints: graph is over a different domain")
+	}
+	sparse := true
+	err := secgraph.Edges(g, func(x, y domain.Point) bool {
+		// Check both orientations: an edge is an unordered secret pair.
+		if !s.sparseFor(x, y) || !s.sparseFor(y, x) {
+			sparse = false
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return false, err
+	}
+	return sparse, nil
+}
+
+// sparseFor checks the directed change x→y.
+func (s *Set) sparseFor(x, y domain.Point) bool {
+	lifts, lowers := 0, 0
+	for _, q := range s.queries {
+		if q.Lifts(x, y) {
+			lifts++
+		}
+		if q.Lowers(x, y) {
+			lowers++
+		}
+		if lifts > 1 || lowers > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// CriticalPairs returns the secret pairs (edges of G) critical to q in the
+// sense of Theorem 4.3: the pairs that lift or lower q, i.e. those along
+// which a single-tuple change can break a count constraint on q. Parallel
+// composition over id-subsets is safe when every constraint assigned to a
+// subset has no critical secret pairs outside it; with the paper's uniform
+// id-symmetric secrets that reduces to crit(q) ∩ E(G) = ∅ (the
+// disconnected-components example concluding Section 4.1).
+func CriticalPairs(q CountQuery, g secgraph.Graph) ([][2]domain.Point, error) {
+	if q.Pred == nil {
+		return nil, errors.New("constraints: nil predicate")
+	}
+	var out [][2]domain.Point
+	err := secgraph.Edges(g, func(x, y domain.Point) bool {
+		if q.Lifts(x, y) || q.Lowers(x, y) {
+			out = append(out, [2]domain.Point{x, y})
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

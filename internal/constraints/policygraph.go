@@ -1,0 +1,154 @@
+package constraints
+
+import (
+	"errors"
+
+	"blowfish/internal/domain"
+	"blowfish/internal/graph"
+	"blowfish/internal/secgraph"
+)
+
+// PolicyGraph is the directed graph G_P of Definition 8.3: one vertex per
+// count query plus the special sources/sinks v+ and v−, with an edge
+// (q, q') whenever some secret pair lowers q and lifts q'. Its longest
+// simple cycle α(G_P) and longest simple v+→v− path ξ(G_P) bound the
+// histogram sensitivity (Theorem 8.2).
+type PolicyGraph struct {
+	set *Set
+	dir *graph.Directed
+	// p is the number of count queries; vertex p is v+, vertex p+1 is v−.
+	p int
+}
+
+// VPlus returns the index of the v+ vertex.
+func (pg *PolicyGraph) VPlus() int { return pg.p }
+
+// VMinus returns the index of the v− vertex.
+func (pg *PolicyGraph) VMinus() int { return pg.p + 1 }
+
+// NumQueries returns |Q|.
+func (pg *PolicyGraph) NumQueries() int { return pg.p }
+
+// HasEdge reports whether the directed edge (u, v) exists; query vertices
+// are indexed by their position in the Set.
+func (pg *PolicyGraph) HasEdge(u, v int) bool { return pg.dir.HasEdge(u, v) }
+
+// BuildPolicyGraph constructs G_P for a sparse constraint set. It returns
+// an error if Q is not sparse w.r.t. G (the construction is only defined
+// for sparse knowledge) or if G's edges cannot be enumerated.
+func BuildPolicyGraph(s *Set, g secgraph.Graph) (*PolicyGraph, error) {
+	sparse, err := s.IsSparse(g)
+	if err != nil {
+		return nil, err
+	}
+	if !sparse {
+		return nil, ErrNotSparse
+	}
+	p := len(s.queries)
+	pg := &PolicyGraph{set: s, dir: graph.NewDirected(p + 2), p: p}
+	// iv) the (v+, v−) edge is always present.
+	if err := pg.dir.AddEdge(pg.VPlus(), pg.VMinus()); err != nil {
+		return nil, err
+	}
+	addFor := func(x, y domain.Point) error {
+		// Sparsity guarantees at most one lifted and one lowered query.
+		lift, lower := -1, -1
+		for qi, q := range s.queries {
+			if q.Lifts(x, y) {
+				lift = qi
+			}
+			if q.Lowers(x, y) {
+				lower = qi
+			}
+		}
+		switch {
+		case lift >= 0 && lower >= 0:
+			if lift != lower {
+				return pg.dir.AddEdge(lower, lift)
+			}
+			// A pair lifting and lowering the same query is impossible for a
+			// single predicate; defensive no-op.
+			return nil
+		case lift >= 0:
+			return pg.dir.AddEdge(pg.VPlus(), lift)
+		case lower >= 0:
+			return pg.dir.AddEdge(lower, pg.VMinus())
+		}
+		return nil
+	}
+	var addErr error
+	err = secgraph.Edges(g, func(x, y domain.Point) bool {
+		if addErr = addFor(x, y); addErr != nil {
+			return false
+		}
+		if addErr = addFor(y, x); addErr != nil {
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if addErr != nil {
+		return nil, addErr
+	}
+	return pg, nil
+}
+
+// Alpha returns α(G_P): the length of the longest simple directed cycle,
+// or 0 if acyclic. Exponential-time exact search (Theorem 8.1 makes this
+// unavoidable in general); intended for the small query sets that arise in
+// practice.
+func (pg *PolicyGraph) Alpha() int {
+	// v+ has no incoming edges and v− no outgoing ones, so cycles live
+	// entirely among query vertices; the search handles that implicitly.
+	return pg.dir.LongestSimpleCycle()
+}
+
+// Xi returns ξ(G_P): the length of the longest simple v+→v− path. The
+// (v+,v−) edge guarantees ξ ≥ 1.
+func (pg *PolicyGraph) Xi() int {
+	return pg.dir.LongestSimplePath(pg.VPlus(), pg.VMinus())
+}
+
+// SensitivityBound returns the Theorem 8.2 bound on the complete histogram
+// sensitivity: S(h, P) ≤ 2·max{α(G_P), ξ(G_P)}. Under the theorem's
+// tightness condition the bound is exact; the practical scenarios of
+// Section 8.2 (marginals, disjoint ranges) all satisfy it.
+func (pg *PolicyGraph) SensitivityBound() float64 {
+	a, x := pg.Alpha(), pg.Xi()
+	m := a
+	if x > m {
+		m = x
+	}
+	return 2 * float64(m)
+}
+
+// CoarseSensitivityBound returns the Corollary 8.3 bound, computable
+// without any graph search: S(h, P) ≤ 2·max{|Q|, 1}.
+func (s *Set) CoarseSensitivityBound() float64 {
+	q := len(s.queries)
+	if q < 1 {
+		q = 1
+	}
+	return 2 * float64(q)
+}
+
+// ErrNotSparse is returned when a policy-graph construction is requested
+// for auxiliary knowledge that is not sparse w.r.t. the secret graph.
+var ErrNotSparse = errors.New("constraints: auxiliary knowledge is not sparse w.r.t. the secret graph")
+
+// HistogramSensitivity returns the best available bound on S(h, P) for the
+// policy (T, G, I_Q): the policy-graph bound when Q is sparse w.r.t. G,
+// otherwise the coarse Corollary 8.3 bound with sparse=false. Computing the
+// exact sensitivity is NP-hard in general (Theorem 8.1).
+func HistogramSensitivity(s *Set, g secgraph.Graph) (sens float64, sparse bool, err error) {
+	pg, err := BuildPolicyGraph(s, g)
+	if err == nil {
+		return pg.SensitivityBound(), true, nil
+	}
+	if !errors.Is(err, ErrNotSparse) {
+		return 0, false, err
+	}
+	return s.CoarseSensitivityBound(), false, nil
+}

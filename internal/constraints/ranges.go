@@ -1,0 +1,164 @@
+package constraints
+
+import (
+	"errors"
+	"fmt"
+
+	"blowfish/internal/domain"
+	"blowfish/internal/graph"
+)
+
+// Rect is an axis-aligned rectangle R = [l1,u1] × ... × [lk,uk] over a grid
+// domain, with inclusive per-attribute bounds (Section 8.2.3). A range
+// count query q_R counts the tuples falling inside R.
+type Rect struct {
+	Lo, Hi []int
+}
+
+// NewRect validates a rectangle against a domain.
+func NewRect(d *domain.Domain, lo, hi []int) (Rect, error) {
+	if len(lo) != d.NumAttrs() || len(hi) != d.NumAttrs() {
+		return Rect{}, fmt.Errorf("constraints: rectangle dimension %d/%d, want %d", len(lo), len(hi), d.NumAttrs())
+	}
+	for i := range lo {
+		if lo[i] < 0 || hi[i] >= d.Attr(i).Size || lo[i] > hi[i] {
+			return Rect{}, fmt.Errorf("constraints: invalid bounds [%d,%d] for attribute %q", lo[i], hi[i], d.Attr(i).Name)
+		}
+	}
+	return Rect{Lo: append([]int(nil), lo...), Hi: append([]int(nil), hi...)}, nil
+}
+
+// IsPoint reports whether the rectangle is a point query (li = ui for all i).
+func (r Rect) IsPoint() bool {
+	for i := range r.Lo {
+		if r.Lo[i] != r.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Query converts the rectangle into a count query over d.
+func (r Rect) Query(d *domain.Domain) CountQuery {
+	lo := append([]int(nil), r.Lo...)
+	hi := append([]int(nil), r.Hi...)
+	return CountQuery{
+		Name: fmt.Sprintf("rect%v-%v", lo, hi),
+		Pred: func(p domain.Point) bool {
+			for i := range lo {
+				v := d.Value(p, i)
+				if v < lo[i] || v > hi[i] {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+// Distance returns d(Ri, Rj) = min_{x∈Ri, y∈Rj} L1(x, y): the sum over
+// attributes of the gaps between the intervals (0 when they overlap on
+// every attribute).
+func (r Rect) Distance(o Rect) float64 {
+	var sum int
+	for i := range r.Lo {
+		switch {
+		case r.Hi[i] < o.Lo[i]:
+			sum += o.Lo[i] - r.Hi[i]
+		case o.Hi[i] < r.Lo[i]:
+			sum += r.Lo[i] - o.Hi[i]
+		}
+	}
+	return float64(sum)
+}
+
+// disjoint reports whether two rectangles share no point.
+func (r Rect) disjoint(o Rect) bool {
+	for i := range r.Lo {
+		if r.Hi[i] < o.Lo[i] || o.Hi[i] < r.Lo[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// RectangleConstraints analyses a set of pairwise-disjoint range count
+// constraints under distance-threshold secrets S^{d,θ} (Theorem 8.6).
+type RectangleConstraints struct {
+	dom   *domain.Domain
+	rects []Rect
+	theta float64
+}
+
+// NewRectangleConstraints validates the rectangles (pairwise disjoint, as
+// the theorem requires) against the domain.
+func NewRectangleConstraints(d *domain.Domain, rects []Rect, theta float64) (*RectangleConstraints, error) {
+	if theta <= 0 {
+		return nil, fmt.Errorf("constraints: invalid theta %v", theta)
+	}
+	if len(rects) == 0 {
+		return nil, errors.New("constraints: no rectangles")
+	}
+	for i := range rects {
+		if _, err := NewRect(d, rects[i].Lo, rects[i].Hi); err != nil {
+			return nil, fmt.Errorf("constraints: rectangle %d: %w", i, err)
+		}
+		for j := i + 1; j < len(rects); j++ {
+			if !rects[i].disjoint(rects[j]) {
+				return nil, fmt.Errorf("constraints: rectangles %d and %d overlap", i, j)
+			}
+		}
+	}
+	return &RectangleConstraints{dom: d, rects: append([]Rect(nil), rects...), theta: theta}, nil
+}
+
+// RectGraph builds G_R(Q): one vertex per rectangle, an edge (Ri, Rj)
+// whenever d(Ri, Rj) ≤ θ.
+func (rc *RectangleConstraints) RectGraph() *graph.Undirected {
+	g := graph.NewUndirected(len(rc.rects))
+	for i := range rc.rects {
+		for j := i + 1; j < len(rc.rects); j++ {
+			if rc.rects[i].Distance(rc.rects[j]) <= rc.theta {
+				// AddEdge cannot fail for validated indexes.
+				if err := g.AddEdge(i, j); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// MaxComp returns maxcomp(Q): the size of the largest connected component
+// of the rectangle graph.
+func (rc *RectangleConstraints) MaxComp() int { return rc.RectGraph().MaxComponentSize() }
+
+// HasPointQuery reports whether any constraint is a point query; the
+// Theorem 8.6 equality requires none.
+func (rc *RectangleConstraints) HasPointQuery() bool {
+	for _, r := range rc.rects {
+		if r.IsPoint() {
+			return true
+		}
+	}
+	return false
+}
+
+// Sensitivity returns the Theorem 8.6 histogram sensitivity
+// 2·(maxcomp(Q)+1); it is exact when no constraint is a point query and an
+// upper bound otherwise (exact reports which).
+func (rc *RectangleConstraints) Sensitivity() (sens float64, exact bool) {
+	return 2 * float64(rc.MaxComp()+1), !rc.HasPointQuery()
+}
+
+// Set materializes the range constraints with answers from ds.
+func (rc *RectangleConstraints) Set(ds *domain.Dataset) (*Set, error) {
+	if !ds.Domain().Equal(rc.dom) {
+		return nil, errors.New("constraints: dataset is over a different domain")
+	}
+	queries := make([]CountQuery, len(rc.rects))
+	for i, r := range rc.rects {
+		queries[i] = r.Query(rc.dom)
+	}
+	return FromDataset(queries, ds)
+}

@@ -1,0 +1,255 @@
+package constraints
+
+import (
+	"testing"
+
+	"blowfish/internal/domain"
+	"blowfish/internal/policy"
+	"blowfish/internal/secgraph"
+)
+
+func TestRectValidation(t *testing.T) {
+	d := domain.MustGrid(8, 8)
+	if _, err := NewRect(d, []int{0}, []int{1}); err == nil {
+		t.Error("wrong dimension accepted")
+	}
+	if _, err := NewRect(d, []int{3, 0}, []int{1, 1}); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+	if _, err := NewRect(d, []int{0, 0}, []int{8, 1}); err == nil {
+		t.Error("out-of-range bound accepted")
+	}
+	r, err := NewRect(d, []int{2, 2}, []int{2, 2})
+	if err != nil {
+		t.Fatalf("NewRect: %v", err)
+	}
+	if !r.IsPoint() {
+		t.Error("point rect not detected")
+	}
+	r2, err := NewRect(d, []int{0, 0}, []int{1, 3})
+	if err != nil {
+		t.Fatalf("NewRect: %v", err)
+	}
+	if r2.IsPoint() {
+		t.Error("box reported as point")
+	}
+}
+
+func TestRectDistance(t *testing.T) {
+	cases := []struct {
+		a, b Rect
+		want float64
+	}{
+		{Rect{[]int{0, 0}, []int{1, 1}}, Rect{[]int{3, 0}, []int{4, 1}}, 2}, // gap in x only
+		{Rect{[]int{0, 0}, []int{1, 1}}, Rect{[]int{3, 4}, []int{4, 5}}, 5}, // gaps in both
+		{Rect{[]int{0, 0}, []int{3, 3}}, Rect{[]int{2, 2}, []int{5, 5}}, 0}, // overlap
+		{Rect{[]int{0, 0}, []int{1, 1}}, Rect{[]int{2, 0}, []int{3, 1}}, 1}, // adjacent
+	}
+	for i, c := range cases {
+		if got := c.a.Distance(c.b); got != c.want {
+			t.Errorf("case %d: Distance = %v, want %v", i, got, c.want)
+		}
+		if got := c.b.Distance(c.a); got != c.want {
+			t.Errorf("case %d: Distance not symmetric", i)
+		}
+	}
+}
+
+func TestRectangleConstraintsValidation(t *testing.T) {
+	d := domain.MustGrid(10, 10)
+	r1 := Rect{[]int{0, 0}, []int{2, 2}}
+	r2 := Rect{[]int{1, 1}, []int{4, 4}} // overlaps r1
+	if _, err := NewRectangleConstraints(d, []Rect{r1, r2}, 1); err == nil {
+		t.Error("overlapping rectangles accepted")
+	}
+	if _, err := NewRectangleConstraints(d, nil, 1); err == nil {
+		t.Error("empty rectangle set accepted")
+	}
+	if _, err := NewRectangleConstraints(d, []Rect{r1}, 0); err == nil {
+		t.Error("zero theta accepted")
+	}
+}
+
+func TestTheorem86ComponentsAndSensitivity(t *testing.T) {
+	d := domain.MustGrid(20, 20)
+	// Three rectangles: A and B within distance θ, C far away.
+	a := Rect{[]int{0, 0}, []int{2, 2}}
+	b := Rect{[]int{4, 0}, []int{6, 2}}     // d(A,B) = 1
+	c := Rect{[]int{15, 15}, []int{17, 17}} // far from both
+	rc, err := NewRectangleConstraints(d, []Rect{a, b, c}, 2)
+	if err != nil {
+		t.Fatalf("NewRectangleConstraints: %v", err)
+	}
+	g := rc.RectGraph()
+	if !g.HasEdge(0, 1) || g.HasEdge(0, 2) || g.HasEdge(1, 2) {
+		t.Fatal("rect graph edges wrong")
+	}
+	if got, want := rc.MaxComp(), 2; got != want {
+		t.Fatalf("maxcomp = %d, want %d", got, want)
+	}
+	sens, exact := rc.Sensitivity()
+	if sens != 6 { // 2·(2+1)
+		t.Fatalf("sensitivity = %v, want 6", sens)
+	}
+	if !exact {
+		t.Fatal("no point queries: sensitivity should be exact")
+	}
+	// With a point query the value becomes an upper bound.
+	pt := Rect{[]int{10, 10}, []int{10, 10}}
+	rc2, err := NewRectangleConstraints(d, []Rect{a, pt}, 2)
+	if err != nil {
+		t.Fatalf("NewRectangleConstraints: %v", err)
+	}
+	if _, exact := rc2.Sensitivity(); exact {
+		t.Fatal("point query: sensitivity should not be exact")
+	}
+}
+
+// Theorem 8.6 against the Definition 4.1 oracle on a line domain:
+// disconnected ranges give S = 2·(1+1) = 4.
+func TestTheorem86MatchesOracleDisconnected(t *testing.T) {
+	d := domain.MustLine("v", 8)
+	r1 := Rect{[]int{1}, []int{2}}
+	r2 := Rect{[]int{5}, []int{6}}
+	rc, err := NewRectangleConstraints(d, []Rect{r1, r2}, 1)
+	if err != nil {
+		t.Fatalf("NewRectangleConstraints: %v", err)
+	}
+	want, exact := rc.Sensitivity()
+	if want != 4 || !exact {
+		t.Fatalf("Theorem 8.6 sensitivity = %v (exact %v), want 4, true", want, exact)
+	}
+	// Reference dataset: one tuple in each range, one outside.
+	ref := domain.NewDataset(d)
+	ref.MustAdd(2)
+	ref.MustAdd(5)
+	ref.MustAdd(0)
+	set, err := rc.Set(ref)
+	if err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	g := secgraph.MustDistanceThreshold(d, 1)
+	sparse, err := set.IsSparse(g)
+	if err != nil {
+		t.Fatalf("IsSparse: %v", err)
+	}
+	if !sparse {
+		t.Fatal("disjoint ranges not sparse w.r.t. line graph")
+	}
+	o, err := policy.NewEdgeMoveOracle(policy.NewConstrained(g, set), 3)
+	if err != nil {
+		t.Fatalf("NewEdgeMoveOracle: %v", err)
+	}
+	hist := func(ds *domain.Dataset) []float64 {
+		h, err := ds.Histogram()
+		if err != nil {
+			panic(err)
+		}
+		return h
+	}
+	if got := o.Sensitivity(hist); got != want {
+		t.Fatalf("edge-move oracle S(h,P) = %v, Theorem 8.6 says %v", got, want)
+	}
+}
+
+// Fidelity note (see DESIGN.md): the literal Definition 4.1 admits neighbor
+// pairs whose constraint-repairing moves run along non-secret pairs, and on
+// this instance such a pair pushes the exact sensitivity to 6, beyond the
+// Theorem 8.6 value of 4. The witness is D1 = {0,1,5} vs D2 = {2,6,4}:
+// only the 5→4 change is a secret pair (θ=1); the 0→2 and 1→6 "teleports"
+// restore the range counts.
+func TestLiteralDefinitionExceedsTheorem86(t *testing.T) {
+	d := domain.MustLine("v", 8)
+	r1 := Rect{[]int{1}, []int{2}}
+	r2 := Rect{[]int{5}, []int{6}}
+	rc, err := NewRectangleConstraints(d, []Rect{r1, r2}, 1)
+	if err != nil {
+		t.Fatalf("NewRectangleConstraints: %v", err)
+	}
+	bound, _ := rc.Sensitivity() // 4
+	ref := domain.NewDataset(d)
+	ref.MustAdd(2)
+	ref.MustAdd(5)
+	ref.MustAdd(0)
+	set, err := rc.Set(ref)
+	if err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	g := secgraph.MustDistanceThreshold(d, 1)
+	o, err := policy.NewOracle(policy.NewConstrained(g, set), 3)
+	if err != nil {
+		t.Fatalf("NewOracle: %v", err)
+	}
+	hist := func(ds *domain.Dataset) []float64 {
+		h, err := ds.Histogram()
+		if err != nil {
+			panic(err)
+		}
+		return h
+	}
+	got := o.Sensitivity(hist)
+	if got != 6 {
+		t.Fatalf("literal oracle S(h,P) = %v, expected the documented value 6", got)
+	}
+	if got <= bound {
+		t.Fatalf("expected the literal semantics (%v) to exceed the theorem bound (%v) on this instance", got, bound)
+	}
+	// The specific witness pair is a literal-semantics neighbor.
+	d1, err := domain.FromPoints(d, []domain.Point{0, 1, 5})
+	if err != nil {
+		t.Fatalf("FromPoints: %v", err)
+	}
+	d2, err := domain.FromPoints(d, []domain.Point{2, 6, 4})
+	if err != nil {
+		t.Fatalf("FromPoints: %v", err)
+	}
+	if !o.IsNeighbor(d1, d2) {
+		t.Fatal("documented witness pair is not a literal neighbor")
+	}
+	edge, err := policy.NewEdgeMoveOracle(policy.NewConstrained(g, set), 3)
+	if err != nil {
+		t.Fatalf("NewEdgeMoveOracle: %v", err)
+	}
+	if edge.IsNeighbor(d1, d2) {
+		t.Fatal("witness pair must be excluded under edge-move semantics")
+	}
+}
+
+// Connected ranges (θ spans the gap): maxcomp = 2, S = 6, realized by a
+// chain of three coordinated tuple moves.
+func TestTheorem86MatchesOracleConnected(t *testing.T) {
+	d := domain.MustLine("v", 8)
+	r1 := Rect{[]int{1}, []int{2}}
+	r2 := Rect{[]int{4}, []int{5}}
+	rc, err := NewRectangleConstraints(d, []Rect{r1, r2}, 2)
+	if err != nil {
+		t.Fatalf("NewRectangleConstraints: %v", err)
+	}
+	want, exact := rc.Sensitivity()
+	if want != 6 || !exact {
+		t.Fatalf("Theorem 8.6 sensitivity = %v (exact %v), want 6, true", want, exact)
+	}
+	ref := domain.NewDataset(d)
+	ref.MustAdd(2)
+	ref.MustAdd(5)
+	ref.MustAdd(0)
+	set, err := rc.Set(ref)
+	if err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	g := secgraph.MustDistanceThreshold(d, 2)
+	o, err := policy.NewEdgeMoveOracle(policy.NewConstrained(g, set), 3)
+	if err != nil {
+		t.Fatalf("NewEdgeMoveOracle: %v", err)
+	}
+	hist := func(ds *domain.Dataset) []float64 {
+		h, err := ds.Histogram()
+		if err != nil {
+			panic(err)
+		}
+		return h
+	}
+	if got := o.Sensitivity(hist); got != want {
+		t.Fatalf("edge-move oracle S(h,P) = %v, Theorem 8.6 says %v", got, want)
+	}
+}

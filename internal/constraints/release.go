@@ -1,0 +1,51 @@
+package constraints
+
+import (
+	"blowfish/internal/domain"
+	"blowfish/internal/infer"
+	"blowfish/internal/mechanism"
+	"blowfish/internal/noise"
+	"blowfish/internal/secgraph"
+)
+
+// ReleaseHistogram releases the complete histogram of ds under the
+// constrained policy (T, G, I_Q), calibrating Laplace noise to the policy
+// graph bound of Theorem 8.2 (or the coarse Corollary 8.3 bound when Q is
+// not sparse w.r.t. G). The returned sensitivity is the one used.
+func ReleaseHistogram(s *Set, g secgraph.Graph, ds *domain.Dataset, eps float64, src *noise.Source) (released []float64, sens float64, err error) {
+	sens, _, err = HistogramSensitivity(s, g)
+	if err != nil {
+		return nil, 0, err
+	}
+	truth, err := ds.Histogram()
+	if err != nil {
+		return nil, 0, err
+	}
+	m, err := mechanism.NewLaplace(eps, sens, src)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m.Release(truth), sens, nil
+}
+
+// ConsistentWithConstraints post-processes a released histogram so that
+// every constraint query evaluates exactly to its public answer, via least
+// squares projection. Because the true histogram satisfies the constraints,
+// projection can only reduce the L2 error — this is the constrained
+// analogue of the Hay-style inference used elsewhere, and costs no budget.
+func ConsistentWithConstraints(s *Set, released []float64) ([]float64, error) {
+	rows := make([][]float64, s.Len())
+	for qi, q := range s.queries {
+		row := make([]float64, len(released))
+		if err := s.dom.Points(func(p domain.Point) bool {
+			if q.Pred(p) {
+				row[p] = 1
+			}
+			return true
+		}); err != nil {
+			return nil, err
+		}
+		rows[qi] = row
+	}
+	return infer.ProjectLinear(released, rows, s.answers)
+}

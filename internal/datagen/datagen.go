@@ -1,0 +1,275 @@
+// Package datagen generates the synthetic stand-ins for the paper's
+// evaluation datasets. The module is fully offline, so each real dataset is
+// replaced by a seeded generator that preserves the statistical properties
+// the corresponding experiment exercises; DESIGN.md documents each
+// substitution.
+//
+//   - Twitter   — 193,563 geo-points on the 400×300 western-USA grid:
+//     metro-area Gaussian hotspots over a uniform background
+//     (Figures 1a, 1f, 2c).
+//   - Skin      — 245,057 RGB rows in [0,255]³: a tight skin-tone cluster
+//     plus a broad non-skin cluster (Figures 1b, 1d, 1e).
+//   - AdultCapitalLoss — 48,842 rows on an ordinal domain of 4357: ~95%
+//     zeros with spikes around 1500–2500, the sparse regime of Figure 2b.
+//   - SyntheticClusters — the paper's synthetic set: n points from (0,1)^d
+//     around k random centers with Gaussian σ=0.2, discretized (Figure 1c).
+package datagen
+
+import (
+	"fmt"
+	"math"
+
+	"blowfish/internal/domain"
+	"blowfish/internal/noise"
+)
+
+// TwitterN is the tweet count of the paper's twitter dataset.
+const TwitterN = 193563
+
+// SkinN is the row count of the UCI skin segmentation dataset.
+const SkinN = 245057
+
+// AdultN is the row count of the UCI adult dataset.
+const AdultN = 48842
+
+// AdultCapitalLossDomain is the capital-loss domain size used in Figure 2b.
+const AdultCapitalLossDomain = 4357
+
+// hotspot is a Gaussian population center on the twitter grid.
+type hotspot struct {
+	x, y   float64 // grid coordinates (0..399, 0..299)
+	sigma  float64
+	weight float64
+}
+
+// Western-USA metro areas mapped onto the 400×300 grid of 0.05° cells
+// spanning 125W-110W × 30N-50N (x grows eastward, y grows northward).
+var twitterHotspots = []hotspot{
+	{x: 130, y: 60, sigma: 6, weight: 0.24}, // Los Angeles
+	{x: 145, y: 45, sigma: 4, weight: 0.08}, // San Diego
+	{x: 55, y: 115, sigma: 5, weight: 0.16}, // San Francisco Bay
+	{x: 75, y: 105, sigma: 4, weight: 0.05}, // Sacramento
+	{x: 370, y: 45, sigma: 5, weight: 0.09}, // Phoenix
+	{x: 290, y: 75, sigma: 4, weight: 0.07}, // Las Vegas
+	{x: 55, y: 265, sigma: 4, weight: 0.08}, // Portland
+	{x: 60, y: 290, sigma: 5, weight: 0.10}, // Seattle
+}
+
+const twitterBackground = 0.13 // uniform fraction
+
+// Twitter generates n points on the 400×300 location grid.
+func Twitter(n int, src *noise.Source) (*domain.Dataset, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("datagen: non-positive n %d", n)
+	}
+	d, err := domain.Grid(400, 300)
+	if err != nil {
+		return nil, err
+	}
+	ds := domain.NewDataset(d)
+	for i := 0; i < n; i++ {
+		var x, y int
+		if src.Uniform() < twitterBackground {
+			x = src.Intn(400)
+			y = src.Intn(300)
+		} else {
+			h := pickHotspot(src)
+			x = clampInt(int(h.x+src.Gaussian(h.sigma)+0.5), 0, 399)
+			y = clampInt(int(h.y+src.Gaussian(h.sigma)+0.5), 0, 299)
+		}
+		p, err := d.Encode(x, y)
+		if err != nil {
+			return nil, err
+		}
+		if err := ds.Add(p); err != nil {
+			return nil, err
+		}
+	}
+	return ds, nil
+}
+
+func pickHotspot(src *noise.Source) hotspot {
+	u := src.Uniform()
+	total := 0.0
+	for _, h := range twitterHotspots {
+		total += h.weight
+	}
+	u *= total
+	for _, h := range twitterHotspots {
+		u -= h.weight
+		if u <= 0 {
+			return h
+		}
+	}
+	return twitterHotspots[len(twitterHotspots)-1]
+}
+
+// Skin generates n rows over the B×G×R domain [0,255]³: 21% skin-tone
+// pixels in a tight cluster (R > G > B, as in face imagery) and 79%
+// non-skin pixels in a broad cluster, matching the class balance and the
+// clustered structure of the UCI dataset.
+func Skin(n int, src *noise.Source) (*domain.Dataset, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("datagen: non-positive n %d", n)
+	}
+	d, err := domain.New(
+		domain.Attribute{Name: "B", Size: 256},
+		domain.Attribute{Name: "G", Size: 256},
+		domain.Attribute{Name: "R", Size: 256},
+	)
+	if err != nil {
+		return nil, err
+	}
+	ds := domain.NewDataset(d)
+	for i := 0; i < n; i++ {
+		var b, g, r int
+		if src.Uniform() < 0.21 {
+			// Skin tones.
+			b = clampInt(int(120+src.Gaussian(25)), 0, 255)
+			g = clampInt(int(150+src.Gaussian(25)), 0, 255)
+			r = clampInt(int(200+src.Gaussian(22)), 0, 255)
+		} else {
+			// Non-skin: broad background.
+			b = clampInt(int(110+src.Gaussian(60)), 0, 255)
+			g = clampInt(int(110+src.Gaussian(60)), 0, 255)
+			r = clampInt(int(100+src.Gaussian(60)), 0, 255)
+		}
+		p, err := d.Encode(b, g, r)
+		if err != nil {
+			return nil, err
+		}
+		if err := ds.Add(p); err != nil {
+			return nil, err
+		}
+	}
+	return ds, nil
+}
+
+// Subsample returns a uniform sample of approximately frac·n tuples (the
+// skin10 / skin01 datasets of Figures 1b and 1d).
+func Subsample(ds *domain.Dataset, frac float64, src *noise.Source) (*domain.Dataset, error) {
+	if frac <= 0 || frac > 1 {
+		return nil, fmt.Errorf("datagen: invalid sample fraction %v", frac)
+	}
+	target := int(float64(ds.Len())*frac + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	perm := src.Perm(ds.Len())
+	return ds.Sample(perm[:target])
+}
+
+// adultSpike is one of the capital-loss spike values observed in Census
+// data (clustered between ~1400 and ~2600).
+type adultSpike struct {
+	value  int
+	weight float64
+}
+
+var adultSpikes = []adultSpike{
+	{1485, 0.06}, {1504, 0.03}, {1564, 0.03}, {1590, 0.08}, {1602, 0.11},
+	{1628, 0.06}, {1668, 0.03}, {1672, 0.09}, {1719, 0.07}, {1740, 0.06},
+	{1755, 0.03}, {1762, 0.03}, {1825, 0.03}, {1848, 0.05}, {1876, 0.03},
+	{1887, 0.09}, {1902, 0.12}, {1977, 0.05}, {2001, 0.03}, {2042, 0.01},
+	{2051, 0.01}, {2129, 0.01}, {2179, 0.01}, {2205, 0.01}, {2258, 0.01},
+	{2282, 0.01}, {2339, 0.01}, {2377, 0.01}, {2415, 0.01}, {2457, 0.01},
+	{2547, 0.005}, {2559, 0.005}, {2603, 0.005}, {2754, 0.003}, {3004, 0.002},
+	{3683, 0.001}, {3770, 0.001}, {3900, 0.001}, {4356, 0.002},
+}
+
+// AdultCapitalLoss generates n rows over the ordinal capital-loss domain of
+// size 4357: 95.3% zeros and the rest drawn from the spike distribution,
+// reproducing the extreme sparsity (few distinct cumulative counts) that
+// Figure 2b exploits.
+func AdultCapitalLoss(n int, src *noise.Source) (*domain.Dataset, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("datagen: non-positive n %d", n)
+	}
+	d, err := domain.Line("capital-loss", AdultCapitalLossDomain)
+	if err != nil {
+		return nil, err
+	}
+	totalW := 0.0
+	for _, s := range adultSpikes {
+		totalW += s.weight
+	}
+	ds := domain.NewDataset(d)
+	for i := 0; i < n; i++ {
+		v := 0
+		if src.Uniform() >= 0.953 {
+			u := src.Uniform() * totalW
+			for _, s := range adultSpikes {
+				u -= s.weight
+				if u <= 0 {
+					v = s.value
+					break
+				}
+			}
+			// Small jitter around the spike keeps distinct values plausible
+			// without destroying sparsity.
+			if src.Uniform() < 0.2 {
+				v = clampInt(v+src.Intn(7)-3, 0, AdultCapitalLossDomain-1)
+			}
+		}
+		if err := ds.Add(domain.Point(v)); err != nil {
+			return nil, err
+		}
+	}
+	return ds, nil
+}
+
+// SyntheticClusters generates the paper's synthetic k-means dataset: n
+// points from (0,1)^dims around k uniformly random centers with Gaussian
+// noise σ in every direction, discretized onto a grid of the given
+// resolution per dimension (coordinates are grid indexes; one grid unit is
+// 1/resolution in original units).
+func SyntheticClusters(n, dims, k int, sigma float64, resolution int, src *noise.Source) (*domain.Dataset, error) {
+	if n <= 0 || dims <= 0 || k <= 0 || resolution <= 1 {
+		return nil, fmt.Errorf("datagen: invalid synthetic parameters n=%d dims=%d k=%d resolution=%d", n, dims, k, resolution)
+	}
+	if sigma < 0 || math.IsNaN(sigma) {
+		return nil, fmt.Errorf("datagen: invalid sigma %v", sigma)
+	}
+	attrs := make([]domain.Attribute, dims)
+	for i := range attrs {
+		attrs[i] = domain.Attribute{Name: fmt.Sprintf("x%d", i), Size: resolution}
+	}
+	d, err := domain.New(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	centers := make([][]float64, k)
+	for c := range centers {
+		centers[c] = make([]float64, dims)
+		for j := range centers[c] {
+			centers[c][j] = src.Uniform()
+		}
+	}
+	ds := domain.NewDataset(d)
+	vals := make([]int, dims)
+	for i := 0; i < n; i++ {
+		c := centers[src.Intn(k)]
+		for j := 0; j < dims; j++ {
+			v := c[j] + src.Gaussian(sigma)
+			vals[j] = clampInt(int(v*float64(resolution)), 0, resolution-1)
+		}
+		p, err := d.Encode(vals...)
+		if err != nil {
+			return nil, err
+		}
+		if err := ds.Add(p); err != nil {
+			return nil, err
+		}
+	}
+	return ds, nil
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,190 @@
+package datagen
+
+import (
+	"testing"
+
+	"blowfish/internal/domain"
+	"blowfish/internal/noise"
+)
+
+func TestTwitterShape(t *testing.T) {
+	ds, err := Twitter(20000, noise.NewSource(1))
+	if err != nil {
+		t.Fatalf("Twitter: %v", err)
+	}
+	if ds.Len() != 20000 {
+		t.Fatalf("Len = %d", ds.Len())
+	}
+	d := ds.Domain()
+	if d.NumAttrs() != 2 || d.Attr(0).Size != 400 || d.Attr(1).Size != 300 {
+		t.Fatalf("domain = %v", d)
+	}
+	// Hotspot structure: the most popular 1% of grid cells should hold far
+	// more than 1% of the points (clustered, not uniform).
+	h, err := ds.PartitionHistogram(mustGrid(t, d, []int{20, 20}))
+	if err != nil {
+		t.Fatalf("PartitionHistogram: %v", err)
+	}
+	top, total := topShare(h, len(h)/100+1)
+	if top/total < 0.15 {
+		t.Errorf("top-1%% block share = %v, want clustered (>0.15)", top/total)
+	}
+	// Determinism.
+	ds2, err := Twitter(20000, noise.NewSource(1))
+	if err != nil {
+		t.Fatalf("Twitter: %v", err)
+	}
+	for i := 0; i < ds.Len(); i++ {
+		if ds.At(i) != ds2.At(i) {
+			t.Fatal("Twitter not deterministic for fixed seed")
+		}
+	}
+}
+
+func mustGrid(t *testing.T, d *domain.Domain, widths []int) domain.Partition {
+	t.Helper()
+	g, err := domain.NewUniformGrid(d, widths)
+	if err != nil {
+		t.Fatalf("NewUniformGrid: %v", err)
+	}
+	return g
+}
+
+func topShare(h []float64, k int) (top, total float64) {
+	for _, v := range h {
+		total += v
+	}
+	for i := 0; i < k; i++ {
+		best := -1
+		for j, v := range h {
+			if best == -1 || v > h[best] {
+				best = j
+			}
+			_ = v
+		}
+		top += h[best]
+		h[best] = -1
+	}
+	return top, total
+}
+
+func TestSkinShape(t *testing.T) {
+	ds, err := Skin(30000, noise.NewSource(2))
+	if err != nil {
+		t.Fatalf("Skin: %v", err)
+	}
+	if ds.Len() != 30000 {
+		t.Fatalf("Len = %d", ds.Len())
+	}
+	d := ds.Domain()
+	if d.NumAttrs() != 3 || d.Size() != 256*256*256 {
+		t.Fatalf("domain = %v", d)
+	}
+	// Class structure: mean R of the top-R quartile should exceed mean B
+	// substantially (skin cluster has R > B).
+	vecs := ds.Vectors()
+	var rSum, bSum float64
+	for _, v := range vecs {
+		bSum += v[0]
+		rSum += v[2]
+	}
+	if rSum <= bSum {
+		t.Errorf("mean R %v not above mean B %v", rSum/30000, bSum/30000)
+	}
+}
+
+func TestSubsample(t *testing.T) {
+	ds, err := Skin(10000, noise.NewSource(3))
+	if err != nil {
+		t.Fatalf("Skin: %v", err)
+	}
+	sub, err := Subsample(ds, 0.1, noise.NewSource(4))
+	if err != nil {
+		t.Fatalf("Subsample: %v", err)
+	}
+	if sub.Len() != 1000 {
+		t.Fatalf("10%% of 10000 = %d, want 1000", sub.Len())
+	}
+	if _, err := Subsample(ds, 0, noise.NewSource(1)); err == nil {
+		t.Error("zero fraction accepted")
+	}
+	if _, err := Subsample(ds, 1.5, noise.NewSource(1)); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+}
+
+func TestAdultCapitalLossSparsity(t *testing.T) {
+	ds, err := AdultCapitalLoss(AdultN, noise.NewSource(5))
+	if err != nil {
+		t.Fatalf("AdultCapitalLoss: %v", err)
+	}
+	if ds.Len() != AdultN {
+		t.Fatalf("Len = %d", ds.Len())
+	}
+	if ds.Domain().Size() != AdultCapitalLossDomain {
+		t.Fatalf("domain size = %d", ds.Domain().Size())
+	}
+	h, err := ds.Histogram()
+	if err != nil {
+		t.Fatalf("Histogram: %v", err)
+	}
+	zeroFrac := h[0] / float64(ds.Len())
+	if zeroFrac < 0.94 || zeroFrac > 0.97 {
+		t.Errorf("zero fraction = %v, want ~0.953", zeroFrac)
+	}
+	// Sparsity: distinct values << |T| (the p << |T| regime).
+	distinct := ds.DistinctCount()
+	if distinct > 400 {
+		t.Errorf("distinct values = %d, want sparse (<400)", distinct)
+	}
+	// Spikes concentrated in [1400, 2700).
+	var spikeMass, nonzero float64
+	for v, c := range h {
+		if v == 0 {
+			continue
+		}
+		nonzero += c
+		if v >= 1400 && v < 2700 {
+			spikeMass += c
+		}
+	}
+	if spikeMass/nonzero < 0.9 {
+		t.Errorf("spike mass fraction = %v, want > 0.9", spikeMass/nonzero)
+	}
+}
+
+func TestSyntheticClusters(t *testing.T) {
+	ds, err := SyntheticClusters(1000, 4, 4, 0.2, 100, noise.NewSource(6))
+	if err != nil {
+		t.Fatalf("SyntheticClusters: %v", err)
+	}
+	if ds.Len() != 1000 {
+		t.Fatalf("Len = %d", ds.Len())
+	}
+	d := ds.Domain()
+	if d.NumAttrs() != 4 || d.Attr(0).Size != 100 {
+		t.Fatalf("domain = %v", d)
+	}
+	if _, err := SyntheticClusters(0, 4, 4, 0.2, 100, noise.NewSource(1)); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := SyntheticClusters(10, 4, 4, -1, 100, noise.NewSource(1)); err == nil {
+		t.Error("negative sigma accepted")
+	}
+	if _, err := SyntheticClusters(10, 4, 4, 0.2, 1, noise.NewSource(1)); err == nil {
+		t.Error("resolution 1 accepted")
+	}
+}
+
+func TestGeneratorsRejectNonPositiveN(t *testing.T) {
+	src := noise.NewSource(1)
+	if _, err := Twitter(0, src); err == nil {
+		t.Error("Twitter n=0 accepted")
+	}
+	if _, err := Skin(-5, src); err == nil {
+		t.Error("Skin n<0 accepted")
+	}
+	if _, err := AdultCapitalLoss(0, src); err == nil {
+		t.Error("AdultCapitalLoss n=0 accepted")
+	}
+}

@@ -1,0 +1,75 @@
+package domain
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := MustNew(Attribute{"age", 100}, Attribute{"income", 5})
+	ds := NewDataset(d)
+	src := []struct{ age, income int }{
+		{25, 2}, {67, 4}, {0, 0}, {99, 1}, {25, 2},
+	}
+	for _, r := range src {
+		ds.MustAdd(d.MustEncode(r.age, r.income))
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "age,income\n") {
+		t.Fatalf("missing header: %q", out)
+	}
+	back, err := ReadCSV(d, strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if back.Len() != ds.Len() {
+		t.Fatalf("round trip length %d, want %d", back.Len(), ds.Len())
+	}
+	for i := 0; i < ds.Len(); i++ {
+		if back.At(i) != ds.At(i) {
+			t.Fatalf("tuple %d changed: %d vs %d", i, back.At(i), ds.At(i))
+		}
+	}
+}
+
+func TestCSVEmptyDataset(t *testing.T) {
+	d := MustLine("v", 4)
+	var buf bytes.Buffer
+	if err := NewDataset(d).WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	back, err := ReadCSV(d, &buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if back.Len() != 0 {
+		t.Fatalf("empty round trip produced %d tuples", back.Len())
+	}
+}
+
+func TestReadCSVValidation(t *testing.T) {
+	d := MustNew(Attribute{"a", 3}, Attribute{"b", 3})
+	cases := []struct {
+		name string
+		csv  string
+	}{
+		{"wrong header name", "a,c\n1,1\n"},
+		{"wrong column count", "a\n1\n"},
+		{"non-integer value", "a,b\n1,x\n"},
+		{"out of range value", "a,b\n1,7\n"},
+		{"negative value", "a,b\n-1,0\n"},
+		{"ragged row", "a,b\n1,2\n3\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadCSV(d, strings.NewReader(c.csv)); err == nil {
+				t.Fatalf("ReadCSV accepted %q", c.csv)
+			}
+		})
+	}
+}

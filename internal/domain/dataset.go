@@ -1,0 +1,228 @@
+package domain
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Dataset is an ordered collection of tuples drawn from a single domain.
+// The index of a tuple is its individual's identifier (t.id in the paper):
+// Blowfish neighbors are obtained by changing the value of one identified
+// tuple, never by insertion or deletion (the cardinality n is public,
+// Section 2).
+type Dataset struct {
+	dom *Domain
+	pts []Point
+}
+
+// NewDataset creates an empty dataset over d.
+func NewDataset(d *Domain) *Dataset {
+	return &Dataset{dom: d}
+}
+
+// FromPoints creates a dataset from existing points, validating each.
+func FromPoints(d *Domain, pts []Point) (*Dataset, error) {
+	ds := &Dataset{dom: d, pts: make([]Point, 0, len(pts))}
+	for i, p := range pts {
+		if !d.Contains(p) {
+			return nil, fmt.Errorf("domain: tuple %d: %w", i, ErrPointOutOfRange)
+		}
+		ds.pts = append(ds.pts, p)
+	}
+	return ds, nil
+}
+
+// Domain returns the dataset's domain.
+func (ds *Dataset) Domain() *Domain { return ds.dom }
+
+// Len returns the number of tuples n.
+func (ds *Dataset) Len() int { return len(ds.pts) }
+
+// Add appends a tuple, assigning it the next identifier.
+func (ds *Dataset) Add(p Point) error {
+	if !ds.dom.Contains(p) {
+		return ErrPointOutOfRange
+	}
+	ds.pts = append(ds.pts, p)
+	return nil
+}
+
+// MustAdd is Add but panics on error.
+func (ds *Dataset) MustAdd(p Point) {
+	if err := ds.Add(p); err != nil {
+		panic(err)
+	}
+}
+
+// At returns the value of tuple i.
+func (ds *Dataset) At(i int) Point { return ds.pts[i] }
+
+// Set replaces the value of tuple i, producing the "change one tuple"
+// transition that defines neighboring databases.
+func (ds *Dataset) Set(i int, p Point) error {
+	if i < 0 || i >= len(ds.pts) {
+		return fmt.Errorf("domain: tuple index %d out of range [0,%d)", i, len(ds.pts))
+	}
+	if !ds.dom.Contains(p) {
+		return ErrPointOutOfRange
+	}
+	ds.pts[i] = p
+	return nil
+}
+
+// Clone returns a deep copy sharing the domain.
+func (ds *Dataset) Clone() *Dataset {
+	return &Dataset{dom: ds.dom, pts: append([]Point(nil), ds.pts...)}
+}
+
+// Points returns the underlying tuple slice. The slice must not be mutated;
+// use Set for modifications.
+func (ds *Dataset) Points() []Point { return ds.pts }
+
+// Subset returns the dataset restricted to the given tuple ids (D ∩ S in the
+// parallel composition theorems). Ids must be valid and are not required to
+// be sorted.
+func (ds *Dataset) Subset(ids []int) (*Dataset, error) {
+	out := &Dataset{dom: ds.dom, pts: make([]Point, 0, len(ids))}
+	for _, id := range ids {
+		if id < 0 || id >= len(ds.pts) {
+			return nil, fmt.Errorf("domain: tuple id %d out of range [0,%d)", id, len(ds.pts))
+		}
+		out.pts = append(out.pts, ds.pts[id])
+	}
+	return out, nil
+}
+
+// Sample returns a new dataset with the tuples at the given indexes; it is
+// the subsampling primitive behind skin10/skin01.
+func (ds *Dataset) Sample(idx []int) (*Dataset, error) { return ds.Subset(idx) }
+
+// Histogram counts occurrences of every domain value: the complete
+// histogram query h(D) of Section 2. Only available for materializable
+// domains.
+func (ds *Dataset) Histogram() ([]float64, error) {
+	if ds.dom.Size() > MaxMaterializedSize {
+		return nil, ErrDomainTooLarge
+	}
+	h := make([]float64, ds.dom.Size())
+	for _, p := range ds.pts {
+		h[p]++
+	}
+	return h, nil
+}
+
+// PartitionHistogram counts tuples per partition block: the histogram query
+// h_P of Section 2.
+func (ds *Dataset) PartitionHistogram(part Partition) ([]float64, error) {
+	if !ds.dom.Equal(part.Domain()) {
+		return nil, errors.New("domain: partition is over a different domain")
+	}
+	h := make([]float64, part.NumBlocks())
+	for _, p := range ds.pts {
+		h[part.Block(p)]++
+	}
+	return h, nil
+}
+
+// AttrHistogram counts tuples per value of a single attribute (a 1-dim
+// marginal), e.g. the twitter latitude projection of Figure 2(c).
+func (ds *Dataset) AttrHistogram(attr int) ([]float64, error) {
+	if attr < 0 || attr >= ds.dom.NumAttrs() {
+		return nil, fmt.Errorf("domain: attribute index %d out of range", attr)
+	}
+	h := make([]float64, ds.dom.Attr(attr).Size)
+	for _, p := range ds.pts {
+		h[ds.dom.Value(p, attr)]++
+	}
+	return h, nil
+}
+
+// Project returns a new one-dimensional dataset holding the values of a
+// single attribute of every tuple.
+func (ds *Dataset) Project(attr int) (*Dataset, error) {
+	if attr < 0 || attr >= ds.dom.NumAttrs() {
+		return nil, fmt.Errorf("domain: attribute index %d out of range", attr)
+	}
+	a := ds.dom.Attr(attr)
+	ld, err := Line(a.Name, a.Size)
+	if err != nil {
+		return nil, err
+	}
+	out := &Dataset{dom: ld, pts: make([]Point, len(ds.pts))}
+	for i, p := range ds.pts {
+		out.pts[i] = Point(ds.dom.Value(p, attr))
+	}
+	return out, nil
+}
+
+// Vectors decodes every tuple into a float64 coordinate vector (attribute
+// indexes as coordinates). This is the representation consumed by k-means.
+func (ds *Dataset) Vectors() [][]float64 {
+	m := ds.dom.NumAttrs()
+	flat := make([]float64, len(ds.pts)*m)
+	out := make([][]float64, len(ds.pts))
+	buf := make([]int, m)
+	for i, p := range ds.pts {
+		buf = ds.dom.Decode(p, buf)
+		row := flat[i*m : (i+1)*m : (i+1)*m]
+		for j, v := range buf {
+			row[j] = float64(v)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// DistinctCount returns the number of distinct values present in the
+// dataset; together with Len it characterizes sparsity (the p << |T| regime
+// where the ordered mechanism's constrained inference shines, Sec. 7.1).
+func (ds *Dataset) DistinctCount() int {
+	if len(ds.pts) == 0 {
+		return 0
+	}
+	sorted := append([]Point(nil), ds.pts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	n := 1
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] != sorted[i-1] {
+			n++
+		}
+	}
+	return n
+}
+
+// CumulativeHistogram returns the cumulative counts S_T(D) of Definition
+// 7.1 over a one-dimensional ordered domain: out[i] = #tuples with value
+// <= i.
+func (ds *Dataset) CumulativeHistogram() ([]float64, error) {
+	if ds.dom.NumAttrs() != 1 {
+		return nil, errors.New("domain: cumulative histogram requires a one-dimensional ordered domain")
+	}
+	h, err := ds.Histogram()
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(h); i++ {
+		h[i] += h[i-1]
+	}
+	return h, nil
+}
+
+// RangeCount returns the number of tuples with value in [lo, hi] over a
+// one-dimensional domain (the range query q[x_lo, x_hi] of Definition 7.2).
+func (ds *Dataset) RangeCount(lo, hi Point) (float64, error) {
+	if ds.dom.NumAttrs() != 1 {
+		return 0, errors.New("domain: range count requires a one-dimensional ordered domain")
+	}
+	if lo > hi || !ds.dom.Contains(lo) || !ds.dom.Contains(hi) {
+		return 0, fmt.Errorf("domain: invalid range [%d,%d]", lo, hi)
+	}
+	var n float64
+	for _, p := range ds.pts {
+		if p >= lo && p <= hi {
+			n++
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,292 @@
+package domain
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func smallDataset(t *testing.T) *Dataset {
+	t.Helper()
+	d := MustLine("v", 6)
+	ds := NewDataset(d)
+	for _, v := range []int{0, 0, 1, 3, 3, 3, 5} {
+		ds.MustAdd(Point(v))
+	}
+	return ds
+}
+
+func TestDatasetBasics(t *testing.T) {
+	ds := smallDataset(t)
+	if got, want := ds.Len(), 7; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	if got, want := ds.At(3), Point(3); got != want {
+		t.Fatalf("At(3) = %d, want %d", got, want)
+	}
+	if err := ds.Add(Point(99)); err == nil {
+		t.Error("Add out-of-range point succeeded")
+	}
+	if err := ds.Set(0, Point(2)); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if got := ds.At(0); got != Point(2) {
+		t.Fatalf("after Set, At(0) = %d, want 2", got)
+	}
+	if err := ds.Set(-1, Point(0)); err == nil {
+		t.Error("Set with negative index succeeded")
+	}
+	if err := ds.Set(0, Point(-1)); err == nil {
+		t.Error("Set with invalid point succeeded")
+	}
+}
+
+func TestFromPointsValidates(t *testing.T) {
+	d := MustLine("v", 4)
+	if _, err := FromPoints(d, []Point{0, 1, 7}); err == nil {
+		t.Fatal("FromPoints with invalid point succeeded")
+	}
+	ds, err := FromPoints(d, []Point{0, 3, 3})
+	if err != nil {
+		t.Fatalf("FromPoints: %v", err)
+	}
+	if ds.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", ds.Len())
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	ds := smallDataset(t)
+	cl := ds.Clone()
+	if err := cl.Set(0, Point(5)); err != nil {
+		t.Fatalf("Set on clone: %v", err)
+	}
+	if ds.At(0) == Point(5) {
+		t.Fatal("mutating clone changed original")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	ds := smallDataset(t)
+	h, err := ds.Histogram()
+	if err != nil {
+		t.Fatalf("Histogram: %v", err)
+	}
+	want := []float64{2, 1, 0, 3, 0, 1}
+	if len(h) != len(want) {
+		t.Fatalf("Histogram len = %d, want %d", len(h), len(want))
+	}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Fatalf("Histogram[%d] = %v, want %v", i, h[i], want[i])
+		}
+	}
+}
+
+func TestCumulativeHistogram(t *testing.T) {
+	ds := smallDataset(t)
+	s, err := ds.CumulativeHistogram()
+	if err != nil {
+		t.Fatalf("CumulativeHistogram: %v", err)
+	}
+	want := []float64{2, 3, 3, 6, 6, 7}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("cumulative[%d] = %v, want %v", i, s[i], want[i])
+		}
+	}
+	// Last cumulative count must equal n.
+	if s[len(s)-1] != float64(ds.Len()) {
+		t.Fatalf("last cumulative = %v, want %d", s[len(s)-1], ds.Len())
+	}
+
+	// Cumulative histogram rejects multi-dimensional domains.
+	g := MustGrid(3, 3)
+	gds := NewDataset(g)
+	gds.MustAdd(g.MustEncode(1, 1))
+	if _, err := gds.CumulativeHistogram(); err == nil {
+		t.Fatal("CumulativeHistogram on 2-D domain succeeded")
+	}
+}
+
+func TestRangeCountAgainstCumulative(t *testing.T) {
+	d := MustLine("v", 50)
+	rng := rand.New(rand.NewSource(7))
+	ds := NewDataset(d)
+	for i := 0; i < 500; i++ {
+		ds.MustAdd(Point(rng.Int63n(d.Size())))
+	}
+	s, err := ds.CumulativeHistogram()
+	if err != nil {
+		t.Fatalf("CumulativeHistogram: %v", err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		lo := Point(rng.Int63n(d.Size()))
+		hi := Point(rng.Int63n(d.Size()))
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		got, err := ds.RangeCount(lo, hi)
+		if err != nil {
+			t.Fatalf("RangeCount: %v", err)
+		}
+		want := s[hi]
+		if lo > 0 {
+			want -= s[lo-1]
+		}
+		if got != want {
+			t.Fatalf("RangeCount(%d,%d) = %v, want %v", lo, hi, got, want)
+		}
+	}
+	if _, err := ds.RangeCount(5, 2); err == nil {
+		t.Error("RangeCount with inverted range succeeded")
+	}
+}
+
+func TestPartitionHistogram(t *testing.T) {
+	d := MustGrid(6, 4)
+	ds := NewDataset(d)
+	// One tuple in each domain cell.
+	if err := d.Points(func(p Point) bool { ds.MustAdd(p); return true }); err != nil {
+		t.Fatalf("Points: %v", err)
+	}
+	grid, err := NewUniformGrid(d, []int{3, 2})
+	if err != nil {
+		t.Fatalf("NewUniformGrid: %v", err)
+	}
+	if got, want := grid.NumBlocks(), 4; got != want {
+		t.Fatalf("NumBlocks = %d, want %d", got, want)
+	}
+	h, err := ds.PartitionHistogram(grid)
+	if err != nil {
+		t.Fatalf("PartitionHistogram: %v", err)
+	}
+	for i, c := range h {
+		if c != 6 { // 3x2 cells
+			t.Fatalf("block %d count = %v, want 6", i, c)
+		}
+	}
+	other := MustGrid(5, 5)
+	op, err := NewUniformGrid(other, []int{1, 1})
+	if err != nil {
+		t.Fatalf("NewUniformGrid: %v", err)
+	}
+	if _, err := ds.PartitionHistogram(op); err == nil {
+		t.Error("PartitionHistogram with foreign partition succeeded")
+	}
+}
+
+func TestAttrHistogramAndProject(t *testing.T) {
+	d := MustGrid(4, 3)
+	ds := NewDataset(d)
+	ds.MustAdd(d.MustEncode(0, 0))
+	ds.MustAdd(d.MustEncode(0, 2))
+	ds.MustAdd(d.MustEncode(3, 1))
+	h, err := ds.AttrHistogram(0)
+	if err != nil {
+		t.Fatalf("AttrHistogram: %v", err)
+	}
+	if h[0] != 2 || h[3] != 1 || h[1] != 0 {
+		t.Fatalf("AttrHistogram(0) = %v", h)
+	}
+	proj, err := ds.Project(1)
+	if err != nil {
+		t.Fatalf("Project: %v", err)
+	}
+	if proj.Domain().NumAttrs() != 1 || proj.Domain().Size() != 3 {
+		t.Fatalf("projected domain = %v", proj.Domain())
+	}
+	ph, err := proj.Histogram()
+	if err != nil {
+		t.Fatalf("Histogram: %v", err)
+	}
+	if ph[0] != 1 || ph[1] != 1 || ph[2] != 1 {
+		t.Fatalf("projected histogram = %v", ph)
+	}
+	if _, err := ds.AttrHistogram(5); err == nil {
+		t.Error("AttrHistogram with bad index succeeded")
+	}
+	if _, err := ds.Project(-1); err == nil {
+		t.Error("Project with bad index succeeded")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	ds := smallDataset(t)
+	sub, err := ds.Subset([]int{0, 2, 4})
+	if err != nil {
+		t.Fatalf("Subset: %v", err)
+	}
+	if sub.Len() != 3 || sub.At(0) != ds.At(0) || sub.At(1) != ds.At(2) || sub.At(2) != ds.At(4) {
+		t.Fatalf("Subset contents wrong: %v", sub.Points())
+	}
+	if _, err := ds.Subset([]int{99}); err == nil {
+		t.Error("Subset with bad id succeeded")
+	}
+}
+
+func TestVectors(t *testing.T) {
+	d := MustGrid(4, 3)
+	ds := NewDataset(d)
+	ds.MustAdd(d.MustEncode(2, 1))
+	ds.MustAdd(d.MustEncode(0, 2))
+	vs := ds.Vectors()
+	if len(vs) != 2 {
+		t.Fatalf("Vectors len = %d, want 2", len(vs))
+	}
+	if vs[0][0] != 2 || vs[0][1] != 1 || vs[1][0] != 0 || vs[1][1] != 2 {
+		t.Fatalf("Vectors = %v", vs)
+	}
+}
+
+func TestDistinctCount(t *testing.T) {
+	ds := smallDataset(t)
+	if got, want := ds.DistinctCount(), 4; got != want {
+		t.Fatalf("DistinctCount = %d, want %d", got, want)
+	}
+	empty := NewDataset(MustLine("v", 3))
+	if got := empty.DistinctCount(); got != 0 {
+		t.Fatalf("DistinctCount on empty = %d, want 0", got)
+	}
+}
+
+// Property: histogram sums to n and cumulative histogram is monotone with
+// last element n, for random datasets.
+func TestHistogramInvariantsQuick(t *testing.T) {
+	d := MustLine("v", 20)
+	f := func(raw []uint8) bool {
+		ds := NewDataset(d)
+		for _, r := range raw {
+			ds.MustAdd(Point(int64(r) % d.Size()))
+		}
+		h, err := ds.Histogram()
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, c := range h {
+			if c < 0 {
+				return false
+			}
+			sum += c
+		}
+		if sum != float64(ds.Len()) {
+			return false
+		}
+		s, err := ds.CumulativeHistogram()
+		if err != nil {
+			return false
+		}
+		prev := 0.0
+		for _, c := range s {
+			if c < prev {
+				return false
+			}
+			prev = c
+		}
+		return s[len(s)-1] == float64(ds.Len())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

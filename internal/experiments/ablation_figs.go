@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"fmt"
+
+	"blowfish/internal/datagen"
+	"blowfish/internal/hierarchy"
+	"blowfish/internal/noise"
+	"blowfish/internal/ordered"
+	"blowfish/internal/wavelet"
+)
+
+// AblSplit is an ablation of the Ordered Hierarchical budget split (not a
+// paper figure): range query MSE under the Eq. (15) optimal split versus
+// naive alternatives, on the adult capital-loss workload at θ=100.
+func AblSplit(scale Scale, seed int64) (*Figure, error) {
+	ds, err := datagen.AdultCapitalLoss(scale.AdultN, noise.NewSource(seed))
+	if err != nil {
+		return nil, err
+	}
+	counts, err := ds.Histogram()
+	if err != nil {
+		return nil, err
+	}
+	size := len(counts)
+	oh, err := ordered.NewOH(size, 100, 16)
+	if err != nil {
+		return nil, err
+	}
+	cum := cumulate(counts)
+	los, his, truth := randomRanges(cum, scale.RangeQueries, seed+1)
+
+	fig := &Figure{
+		ID:     "abl-split",
+		Title:  "Ablation: OH budget split (θ=100, adult capital-loss)",
+		XLabel: "epsilon",
+		YLabel: "range query MSE",
+		X:      scale.Epsilons,
+	}
+	type split struct {
+		name string
+		frac float64 // ε_S fraction; -1 means Eq. (15)
+	}
+	for _, sp := range []split{{"optimal-eq15", -1}, {"half-half", 0.5}, {"s-heavy", 0.9}, {"h-heavy", 0.1}} {
+		series := Series{Name: sp.name}
+		for ei, eps := range scale.Epsilons {
+			epsS, epsH := oh.OptimalSplit(eps)
+			if sp.frac >= 0 {
+				epsS = sp.frac * eps
+				epsH = eps - epsS
+			}
+			src := noise.NewSource(seed + 100*int64(ei) + 7)
+			var sq float64
+			for r := 0; r < scale.Reps; r++ {
+				rel, err := oh.ReleaseWithSplit(counts, epsS, epsH, src)
+				if err != nil {
+					return nil, err
+				}
+				for qi := range los {
+					got, err := rel.Range(los[qi], his[qi])
+					if err != nil {
+						return nil, err
+					}
+					diff := got - truth[qi]
+					sq += diff * diff
+				}
+			}
+			series.Y = append(series.Y, sq/float64(scale.Reps*len(los)))
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}
+
+// AblBaselines compares the differential-privacy range-query baselines —
+// flat Laplace histogram, hierarchical (Hay [9]), Privelet wavelet ([19]) —
+// with the Blowfish ordered mechanism (θ=1) on the twitter latitude
+// workload. Not a paper figure; it substantiates the Section 7 claim that
+// the ordered mechanism beats the entire DP family.
+func AblBaselines(scale Scale, seed int64) (*Figure, error) {
+	tw, err := datagen.Twitter(scale.TwitterN, noise.NewSource(seed))
+	if err != nil {
+		return nil, err
+	}
+	ds, err := tw.Project(0)
+	if err != nil {
+		return nil, err
+	}
+	counts, err := ds.Histogram()
+	if err != nil {
+		return nil, err
+	}
+	size := len(counts)
+	cum := cumulate(counts)
+	los, his, truth := randomRanges(cum, scale.RangeQueries, seed+1)
+
+	tree, err := hierarchy.New(size, 16)
+	if err != nil {
+		return nil, err
+	}
+	wave, err := wavelet.New(size)
+	if err != nil {
+		return nil, err
+	}
+	ord, err := ordered.NewOH(size, 1, 16)
+	if err != nil {
+		return nil, err
+	}
+
+	fig := &Figure{
+		ID:     "abl-baselines",
+		Title:  "Ablation: DP baselines vs Blowfish ordered mechanism (twitter latitude)",
+		XLabel: "epsilon",
+		YLabel: "range query MSE",
+		X:      scale.Epsilons,
+	}
+	type system struct {
+		name   string
+		answer func(eps float64, src *noise.Source) (func(lo, hi int) (float64, error), error)
+	}
+	systems := []system{
+		{"flat-laplace", func(eps float64, src *noise.Source) (func(int, int) (float64, error), error) {
+			noisy := make([]float64, size)
+			for i := range counts {
+				noisy[i] = counts[i] + src.Laplace(2/eps)
+			}
+			return func(lo, hi int) (float64, error) {
+				var s float64
+				for i := lo; i <= hi; i++ {
+					s += noisy[i]
+				}
+				return s, nil
+			}, nil
+		}},
+		{"hierarchical", func(eps float64, src *noise.Source) (func(int, int) (float64, error), error) {
+			rel, err := tree.Release(counts, eps, src)
+			if err != nil {
+				return nil, err
+			}
+			return func(lo, hi int) (float64, error) {
+				v, _, err := rel.RangeQuery(lo, hi)
+				return v, err
+			}, nil
+		}},
+		{"wavelet-privelet", func(eps float64, src *noise.Source) (func(int, int) (float64, error), error) {
+			rel, err := wave.Release(counts, eps, src)
+			if err != nil {
+				return nil, err
+			}
+			return rel.RangeQuery, nil
+		}},
+		{"blowfish-ordered", func(eps float64, src *noise.Source) (func(int, int) (float64, error), error) {
+			rel, err := ord.Release(counts, eps, src)
+			if err != nil {
+				return nil, err
+			}
+			return rel.Range, nil
+		}},
+	}
+	for si, sys := range systems {
+		series := Series{Name: sys.name}
+		for ei, eps := range scale.Epsilons {
+			src := noise.NewSource(seed + 1000*int64(si) + int64(ei) + 3)
+			var sq float64
+			for r := 0; r < scale.Reps; r++ {
+				answer, err := sys.answer(eps, src)
+				if err != nil {
+					return nil, fmt.Errorf("abl-baselines: %s: %w", sys.name, err)
+				}
+				for qi := range los {
+					got, err := answer(los[qi], his[qi])
+					if err != nil {
+						return nil, err
+					}
+					diff := got - truth[qi]
+					sq += diff * diff
+				}
+			}
+			series.Y = append(series.Y, sq/float64(scale.Reps*len(los)))
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}
+
+// cumulate returns prefix sums.
+func cumulate(counts []float64) []float64 {
+	out := make([]float64, len(counts))
+	run := 0.0
+	for i, c := range counts {
+		run += c
+		out[i] = run
+	}
+	return out
+}
+
+// randomRanges returns a fixed random range workload and its true answers.
+func randomRanges(cum []float64, n int, seed int64) (los, his []int, truth []float64) {
+	src := noise.NewSource(seed)
+	size := len(cum)
+	los = make([]int, n)
+	his = make([]int, n)
+	truth = make([]float64, n)
+	for i := 0; i < n; i++ {
+		a, b := src.Intn(size), src.Intn(size)
+		if a > b {
+			a, b = b, a
+		}
+		los[i], his[i] = a, b
+		truth[i] = cum[b]
+		if a > 0 {
+			truth[i] -= cum[a-1]
+		}
+	}
+	return los, his, truth
+}

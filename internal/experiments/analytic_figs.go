@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+
+	"blowfish/internal/constraints"
+	"blowfish/internal/datagen"
+	"blowfish/internal/domain"
+	"blowfish/internal/ordered"
+	"blowfish/internal/policy"
+	"blowfish/internal/secgraph"
+)
+
+// Sec5 reproduces the Section 5 / Lemma 6.1 sensitivity "table": the
+// policy-specific global sensitivities of the standard queries on the
+// experiment domains, under every secret graph family.
+func Sec5(scale Scale, seed int64) (*Figure, error) {
+	fig := &Figure{
+		ID:    "sec5",
+		Title: "Policy-specific global sensitivities (Section 5, Lemma 6.1)",
+	}
+	twitter := domain.MustGrid(400, 300)
+	skin := domain.MustNew(
+		domain.Attribute{Name: "B", Size: 256},
+		domain.Attribute{Name: "G", Size: 256},
+		domain.Attribute{Name: "R", Size: 256},
+	)
+	adult := domain.MustLine("capital-loss", datagen.AdultCapitalLossDomain)
+	addRow := func(domName string, d *domain.Domain, g secgraph.Graph) error {
+		p := policy.New(g)
+		hist, err := p.HistogramSensitivity()
+		if err != nil {
+			return err
+		}
+		sum, err := p.SumSensitivity()
+		if err != nil {
+			return err
+		}
+		row := fmt.Sprintf("%-8s %-16s S(h)=%g S(qsum)=%g", domName, g.Name(), hist, sum)
+		if d.NumAttrs() == 1 {
+			cum, err := p.CumulativeHistogramSensitivity()
+			if err != nil {
+				return err
+			}
+			row += fmt.Sprintf(" S(S_T)=%g", cum)
+		}
+		fig.Notes = append(fig.Notes, row)
+		return nil
+	}
+	for _, item := range []struct {
+		name string
+		d    *domain.Domain
+	}{{"twitter", twitter}, {"skin", skin}, {"adult", adult}} {
+		if err := addRow(item.name, item.d, secgraph.NewComplete(item.d)); err != nil {
+			return nil, err
+		}
+		if err := addRow(item.name, item.d, secgraph.NewAttribute(item.d)); err != nil {
+			return nil, err
+		}
+		if err := addRow(item.name, item.d, secgraph.MustDistanceThreshold(item.d, 100)); err != nil {
+			return nil, err
+		}
+	}
+	// Partition sensitivity: the finest partition releases exactly.
+	part, err := domain.NewUniformGridByCount(twitter, 120000)
+	if err != nil {
+		return nil, err
+	}
+	p := policy.New(secgraph.NewPartition(part))
+	sum, err := p.SumSensitivity()
+	if err != nil {
+		return nil, err
+	}
+	fig.Notes = append(fig.Notes, fmt.Sprintf("%-8s %-16s S(qsum)=%g (exact clustering possible)", "twitter", "partition|120000", sum))
+	return fig, nil
+}
+
+// Sec7 reproduces the Theorem 7.1/7.2 error-model sweep: the Eq. (14/15)
+// expected range query error of the Ordered Hierarchical mechanism as θ
+// grows from 1 (pure ordered, error 4/ε² independent of |T|) to |T| (pure
+// hierarchical, error O(log³|T|/ε²)), showing where the hybrid's S-chain
+// stops paying for itself.
+func Sec7(scale Scale, seed int64) (*Figure, error) {
+	const (
+		size   = 4357
+		fanout = 16
+		eps    = 1.0
+	)
+	thetas := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4357}
+	fig := &Figure{
+		ID:     "sec7",
+		Title:  "Ordered Hierarchical error model (Eq. 14/15), |T|=4357, f=16, ε=1",
+		XLabel: "theta",
+		YLabel: "expected range query error",
+	}
+	var xs, model []float64
+	for _, th := range thetas {
+		oh, err := ordered.NewOH(size, th, fanout)
+		if err != nil {
+			return nil, err
+		}
+		xs = append(xs, float64(th))
+		model = append(model, oh.MinimalExpectedRangeError(eps))
+	}
+	fig.X = xs
+	fig.Series = []Series{{Name: "model E*[q]", Y: model}}
+	fig.Notes = append(fig.Notes,
+		fmt.Sprintf("theta=1 bound (Thm 7.1): %g", ordered.OrderedRangeErrorBound(eps)),
+	)
+	return fig, nil
+}
+
+// Sec8 reproduces the Section 8 sensitivity results: Example 8.3 and the
+// closed forms of Theorems 8.4-8.6 on concrete constraint sets, each
+// cross-checked against the policy-graph search where feasible.
+func Sec8(scale Scale, seed int64) (*Figure, error) {
+	fig := &Figure{
+		ID:    "sec8",
+		Title: "Histogram sensitivity under count constraints (Section 8)",
+	}
+	// Example 8.3: 2×2×3 domain, marginal [A1,A2], full-domain secrets.
+	d := domain.MustNew(
+		domain.Attribute{Name: "A1", Size: 2},
+		domain.Attribute{Name: "A2", Size: 2},
+		domain.Attribute{Name: "A3", Size: 3},
+	)
+	m, err := constraints.NewMarginal(d, []int{0, 1})
+	if err != nil {
+		return nil, err
+	}
+	ref := domain.NewDataset(d)
+	ref.MustAdd(d.MustEncode(0, 0, 0))
+	set, err := m.Set(ref)
+	if err != nil {
+		return nil, err
+	}
+	pg, err := constraints.BuildPolicyGraph(set, secgraph.NewComplete(d))
+	if err != nil {
+		return nil, err
+	}
+	fig.Notes = append(fig.Notes, fmt.Sprintf(
+		"Example 8.3: marginal [A1,A2] on 2x2x3, full-domain secrets: α=%d ξ=%d S(h,P)=%g (Thm 8.4: %g)",
+		pg.Alpha(), pg.Xi(), pg.SensitivityBound(), m.FullDomainSensitivity()))
+
+	// Theorem 8.5: disjoint marginals under attribute secrets.
+	d3 := domain.MustNew(
+		domain.Attribute{Name: "A1", Size: 2},
+		domain.Attribute{Name: "A2", Size: 4},
+		domain.Attribute{Name: "A3", Size: 3},
+	)
+	m1, err := constraints.NewMarginal(d3, []int{0})
+	if err != nil {
+		return nil, err
+	}
+	m2, err := constraints.NewMarginal(d3, []int{1})
+	if err != nil {
+		return nil, err
+	}
+	s85, err := constraints.DisjointMarginalsAttributeSensitivity([]*constraints.Marginal{m1, m2})
+	if err != nil {
+		return nil, err
+	}
+	fig.Notes = append(fig.Notes, fmt.Sprintf(
+		"Theorem 8.5: disjoint marginals [A1],[A2] (sizes 2,4) under G^attr: S(h,P)=%g", s85))
+
+	// Theorem 8.6: disjoint rectangles on a grid under distance-threshold
+	// secrets.
+	grid := domain.MustGrid(40, 40)
+	rects := []constraints.Rect{
+		{Lo: []int{0, 0}, Hi: []int{4, 4}},
+		{Lo: []int{8, 0}, Hi: []int{12, 4}},    // within θ=4 of the first
+		{Lo: []int{30, 30}, Hi: []int{34, 34}}, // far
+	}
+	rc, err := constraints.NewRectangleConstraints(grid, rects, 4)
+	if err != nil {
+		return nil, err
+	}
+	sens, exact := rc.Sensitivity()
+	fig.Notes = append(fig.Notes, fmt.Sprintf(
+		"Theorem 8.6: 3 disjoint ranges on 40x40 grid, θ=4: maxcomp=%d S(h,P)=%g exact=%v",
+		rc.MaxComp(), sens, exact))
+	return fig, nil
+}

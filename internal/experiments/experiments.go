@@ -1,0 +1,169 @@
+// Package experiments reproduces every figure of the paper's evaluation:
+// the k-means error ratios of Figure 1 (a-f), the range-query errors of
+// Figure 2 (b, c) with the structural Figure 2(a), and the analytic
+// sensitivity "tables" of Sections 5, 7 and 8. Each harness returns a
+// Figure of named series that prints the same rows the paper plots;
+// EXPERIMENTS.md records paper-vs-measured shape for each.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Series is one line of a figure: y-values over the common x-axis.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Figure is a reproduced plot: an x-axis and one series per curve.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+	// Notes carries free-form structural output (e.g. Figure 2(a)'s tree
+	// shape) printed after the table.
+	Notes []string
+}
+
+// Print renders the figure as an aligned table, one row per x-value and
+// one column per series — the same rows/series the paper plots.
+func (f *Figure) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Title)
+	if len(f.X) > 0 {
+		header := []string{f.XLabel}
+		for _, s := range f.Series {
+			header = append(header, s.Name)
+		}
+		fmt.Fprintln(w, strings.Join(header, "\t"))
+		for i, x := range f.X {
+			row := []string{fmt.Sprintf("%g", x)}
+			for _, s := range f.Series {
+				if i < len(s.Y) {
+					row = append(row, fmt.Sprintf("%.6g", s.Y[i]))
+				} else {
+					row = append(row, "-")
+				}
+			}
+			fmt.Fprintln(w, strings.Join(row, "\t"))
+		}
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintln(w, n)
+	}
+}
+
+// Scale controls experiment cost. The paper's settings (PaperScale) need
+// minutes to hours; QuickScale keeps unit tests fast; DefaultScale is the
+// benchmark/CLI default that preserves every qualitative shape.
+type Scale struct {
+	// Name labels the scale in output.
+	Name string
+	// Reps is the number of repetitions per configuration (paper: 50).
+	Reps int
+	// Epsilons is the ε sweep (paper: 0.1..1.0 step 0.1).
+	Epsilons []float64
+	// TwitterN, SkinN, AdultN are dataset sizes.
+	TwitterN, SkinN, AdultN int
+	// SynthN is the synthetic dataset size (paper: 1000).
+	SynthN int
+	// RangeQueries is the number of random range queries (paper: 10000).
+	RangeQueries int
+	// KMeansIters is the number of Lloyd iterations (paper: 10).
+	KMeansIters int
+	// K is the number of clusters (paper: 4).
+	K int
+}
+
+// QuickScale is small enough for unit tests (~seconds overall).
+var QuickScale = Scale{
+	Name:         "quick",
+	Reps:         3,
+	Epsilons:     []float64{0.1, 0.5, 1.0},
+	TwitterN:     8000,
+	SkinN:        12000,
+	AdultN:       8000,
+	SynthN:       1000,
+	RangeQueries: 400,
+	KMeansIters:  5,
+	K:            4,
+}
+
+// DefaultScale preserves the paper's qualitative shapes at benchmark cost.
+var DefaultScale = Scale{
+	Name:         "default",
+	Reps:         10,
+	Epsilons:     []float64{0.1, 0.3, 0.5, 0.7, 1.0},
+	TwitterN:     50000,
+	SkinN:        60000,
+	AdultN:       48842,
+	SynthN:       1000,
+	RangeQueries: 2000,
+	KMeansIters:  10,
+	K:            4,
+}
+
+// PaperScale matches the paper's parameters (50 reps, full datasets,
+// ε ∈ 0.1..1.0, 10000 range queries). Expect long runtimes.
+var PaperScale = Scale{
+	Name:         "paper",
+	Reps:         50,
+	Epsilons:     []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
+	TwitterN:     193563,
+	SkinN:        245057,
+	AdultN:       48842,
+	SynthN:       1000,
+	RangeQueries: 10000,
+	KMeansIters:  10,
+	K:            4,
+}
+
+// Runner is a figure harness.
+type Runner func(scale Scale, seed int64) (*Figure, error)
+
+// Registry maps figure ids to their harnesses.
+var Registry = map[string]Runner{
+	"abl-baselines": AblBaselines,
+	"abl-split":     AblSplit,
+	"fig1a":         Fig1a,
+	"fig1b":         Fig1b,
+	"fig1c":         Fig1c,
+	"fig1d":         Fig1d,
+	"fig1e":         Fig1e,
+	"fig1f":         Fig1f,
+	"fig2a":         Fig2a,
+	"fig2b":         Fig2b,
+	"fig2c":         Fig2c,
+	"sec5":          Sec5,
+	"sec7":          Sec7,
+	"sec8":          Sec8,
+}
+
+// IDs returns the registered figure ids in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// KMPerCellX is the east-west extent of one twitter grid cell: the paper's
+// bounding box spans ~2222 km over 400 cells.
+const KMPerCellX = 2222.0 / 400.0
+
+// KMToCells converts a distance threshold in kilometres to grid cells.
+func KMToCells(km float64) float64 {
+	c := km / KMPerCellX
+	if c < 1 {
+		return 1
+	}
+	return c
+}

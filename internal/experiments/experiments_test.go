@@ -1,0 +1,347 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps harness tests fast while preserving the comparisons.
+var tinyScale = Scale{
+	Name:         "tiny",
+	Reps:         2,
+	Epsilons:     []float64{0.1, 1.0},
+	TwitterN:     3000,
+	SkinN:        6000,
+	AdultN:       4000,
+	SynthN:       500,
+	RangeQueries: 200,
+	KMeansIters:  4,
+	K:            4,
+}
+
+func mean(y []float64) float64 {
+	var s float64
+	for _, v := range y {
+		s += v
+	}
+	return s / float64(len(y))
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"abl-baselines", "abl-split", "fig1a", "fig1b", "fig1c", "fig1d", "fig1e", "fig1f", "fig2a", "fig2b", "fig2c", "sec5", "sec7", "sec8"}
+	ids := IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %d figures, want %d: %v", len(ids), len(want), ids)
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Fatalf("IDs()[%d] = %q, want %q", i, ids[i], id)
+		}
+	}
+}
+
+func TestFig1aShape(t *testing.T) {
+	fig, err := Fig1a(tinyScale, 1)
+	if err != nil {
+		t.Fatalf("Fig1a: %v", err)
+	}
+	if len(fig.Series) != 5 {
+		t.Fatalf("series = %d, want 5", len(fig.Series))
+	}
+	if fig.Series[0].Name != "laplace" {
+		t.Fatalf("first series = %q", fig.Series[0].Name)
+	}
+	// Shape: every Blowfish policy has a lower mean error ratio than the
+	// Laplace baseline, and ratios are >= ~1 (private no better than exact).
+	lap := mean(fig.Series[0].Y)
+	for _, s := range fig.Series[1:] {
+		if m := mean(s.Y); m > lap {
+			t.Errorf("%s mean ratio %v above laplace %v", s.Name, m, lap)
+		}
+	}
+	for _, s := range fig.Series {
+		for i, y := range s.Y {
+			if y < 0.9 {
+				t.Errorf("%s ratio[%d] = %v < 0.9 (private beating exact implausibly)", s.Name, i, y)
+			}
+		}
+	}
+}
+
+func TestFig1bShape(t *testing.T) {
+	fig, err := Fig1b(tinyScale, 2)
+	if err != nil {
+		t.Fatalf("Fig1b: %v", err)
+	}
+	lap := mean(fig.Series[0].Y)
+	for _, s := range fig.Series[1:] {
+		if m := mean(s.Y); m > lap {
+			t.Errorf("%s mean ratio %v above laplace %v", s.Name, m, lap)
+		}
+	}
+}
+
+func TestFig1cShape(t *testing.T) {
+	fig, err := Fig1c(tinyScale, 3)
+	if err != nil {
+		t.Fatalf("Fig1c: %v", err)
+	}
+	lap := mean(fig.Series[0].Y)
+	for _, s := range fig.Series[1:] {
+		if m := mean(s.Y); m > lap*1.05 {
+			t.Errorf("%s mean ratio %v above laplace %v", s.Name, m, lap)
+		}
+	}
+}
+
+func TestFig1dShape(t *testing.T) {
+	fig, err := Fig1d(tinyScale, 4)
+	if err != nil {
+		t.Fatalf("Fig1d: %v", err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d, want 3", len(fig.Series))
+	}
+	// Laplace/Blowfish ratio should be >= 1 everywhere (Blowfish better).
+	for _, s := range fig.Series {
+		for i, y := range s.Y {
+			if y < 0.8 {
+				t.Errorf("%s ratio[%d] = %v < 0.8", s.Name, i, y)
+			}
+		}
+	}
+	// The improvement shrinks with dataset size: 1% sample ratio above
+	// full-data ratio on average (the Fig 1d observation).
+	if mean(fig.Series[0].Y) < mean(fig.Series[2].Y) {
+		t.Errorf("1%% sample ratio %v below full ratio %v", mean(fig.Series[0].Y), mean(fig.Series[2].Y))
+	}
+}
+
+func TestFig1eShape(t *testing.T) {
+	fig, err := Fig1e(tinyScale, 5)
+	if err != nil {
+		t.Fatalf("Fig1e: %v", err)
+	}
+	if len(fig.Series) != 6 {
+		t.Fatalf("series = %d, want 6", len(fig.Series))
+	}
+	// Per dataset: attribute policy no worse than laplace.
+	for i := 0; i < 6; i += 2 {
+		lap, attr := mean(fig.Series[i].Y), mean(fig.Series[i+1].Y)
+		if attr > lap*1.05 {
+			t.Errorf("%s: attribute %v above laplace %v", fig.Series[i].Name, attr, lap)
+		}
+	}
+}
+
+func TestFig1fShape(t *testing.T) {
+	fig, err := Fig1f(tinyScale, 6)
+	if err != nil {
+		t.Fatalf("Fig1f: %v", err)
+	}
+	if len(fig.Series) != 6 {
+		t.Fatalf("series = %d, want 6", len(fig.Series))
+	}
+	lap := mean(fig.Series[0].Y)
+	finest := fig.Series[len(fig.Series)-1]
+	if finest.Name != "partition|120000" {
+		t.Fatalf("last series = %q", finest.Name)
+	}
+	// The finest partition has sensitivity 0: exact clustering, ratio ~1.
+	for i, y := range finest.Y {
+		if y > 1.2 {
+			t.Errorf("partition|120000 ratio[%d] = %v, want ~1 (exact)", i, y)
+		}
+	}
+	for _, s := range fig.Series[1:] {
+		if m := mean(s.Y); m > lap*1.05 {
+			t.Errorf("%s mean ratio %v above laplace %v", s.Name, m, lap)
+		}
+	}
+}
+
+func TestFig2aStructure(t *testing.T) {
+	fig, err := Fig2a(tinyScale, 7)
+	if err != nil {
+		t.Fatalf("Fig2a: %v", err)
+	}
+	joined := strings.Join(fig.Notes, "\n")
+	for _, want := range []string{"S-nodes k = ceil(|T|/θ) = 4", "height h = ceil(log_f θ) = 2"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("notes missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestFig2bShape(t *testing.T) {
+	fig, err := Fig2b(tinyScale, 8)
+	if err != nil {
+		t.Fatalf("Fig2b: %v", err)
+	}
+	if len(fig.Series) != 7 {
+		t.Fatalf("series = %d, want 7", len(fig.Series))
+	}
+	// Shape: the θ values whose H-subtrees are shallower than the full
+	// domain's (θ ≤ 100 at fanout 16) sit strictly below the θ=full
+	// baseline, and error keeps decreasing from there; θ=1000/500 share the
+	// full domain's discrete tree height, so they bunch with the baseline
+	// (as the top curves do in the paper's log-scale plot).
+	full := mean(fig.Series[0].Y)
+	for _, s := range fig.Series[1:3] { // theta=1000, theta=500
+		if cur := mean(s.Y); cur > full*3 {
+			t.Errorf("%s error %v implausibly above θ=full %v", s.Name, cur, full)
+		}
+	}
+	prev := full
+	for _, s := range fig.Series[3:] { // theta=100, 50, 10, 1
+		cur := mean(s.Y)
+		if cur > prev*1.25 { // slack for noise at tiny scale
+			t.Errorf("%s error %v above previous θ's %v", s.Name, cur, prev)
+		}
+		prev = cur
+	}
+	// Orders of magnitude between full and θ=1.
+	one := mean(fig.Series[len(fig.Series)-1].Y)
+	if full < 20*one {
+		t.Errorf("θ=full error %v not orders of magnitude above θ=1 %v", full, one)
+	}
+	// Error decreases with epsilon within each series.
+	for _, s := range fig.Series {
+		if s.Y[0] < s.Y[len(s.Y)-1] {
+			t.Errorf("%s: error grew with epsilon: %v", s.Name, s.Y)
+		}
+	}
+}
+
+func TestFig2cShape(t *testing.T) {
+	fig, err := Fig2c(tinyScale, 9)
+	if err != nil {
+		t.Fatalf("Fig2c: %v", err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("series = %d, want 4", len(fig.Series))
+	}
+	full := mean(fig.Series[0].Y)
+	last := mean(fig.Series[len(fig.Series)-1].Y) // 5km ≈ ordered mechanism
+	if full < 10*last {
+		t.Errorf("θ=full error %v not well above θ=5km %v", full, last)
+	}
+}
+
+func TestSec5Table(t *testing.T) {
+	fig, err := Sec5(tinyScale, 10)
+	if err != nil {
+		t.Fatalf("Sec5: %v", err)
+	}
+	joined := strings.Join(fig.Notes, "\n")
+	// Spot-check the diameters: twitter d(T)=698 ⇒ S(qsum)=1396 under full.
+	if !strings.Contains(joined, "S(qsum)=1396") {
+		t.Errorf("missing twitter full-domain qsum sensitivity:\n%s", joined)
+	}
+	// Skin attr: 2·255 = 510.
+	if !strings.Contains(joined, "S(qsum)=510") {
+		t.Errorf("missing skin attribute qsum sensitivity:\n%s", joined)
+	}
+	// Finest partition: qsum sensitivity 0.
+	if !strings.Contains(joined, "S(qsum)=0") {
+		t.Errorf("missing partition zero sensitivity:\n%s", joined)
+	}
+}
+
+func TestSec7Model(t *testing.T) {
+	fig, err := Sec7(tinyScale, 11)
+	if err != nil {
+		t.Fatalf("Sec7: %v", err)
+	}
+	y := fig.Series[0].Y
+	// θ=1 model error is c1 = 4(|T|-1)/(|T|+1), just under the Theorem 7.1
+	// bound of 4/ε².
+	if y[0] > 4 || y[0] < 3.9 {
+		t.Errorf("θ=1 model error = %v, want ≈4 (and ≤ 4)", y[0])
+	}
+	// Model error grows toward θ=|T|.
+	if y[len(y)-1] < 10*y[0] {
+		t.Errorf("θ=|T| model %v not well above θ=1 model %v", y[len(y)-1], y[0])
+	}
+}
+
+func TestSec8Table(t *testing.T) {
+	fig, err := Sec8(tinyScale, 12)
+	if err != nil {
+		t.Fatalf("Sec8: %v", err)
+	}
+	joined := strings.Join(fig.Notes, "\n")
+	for _, want := range []string{
+		"α=4 ξ=1 S(h,P)=8 (Thm 8.4: 8)",
+		"S(h,P)=8",           // Thm 8.5: 2·max(2,4)
+		"maxcomp=2 S(h,P)=6", // Thm 8.6
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("notes missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestFigurePrint(t *testing.T) {
+	fig := &Figure{
+		ID:     "test",
+		Title:  "t",
+		XLabel: "x",
+		X:      []float64{0.1, 0.5},
+		Series: []Series{{Name: "a", Y: []float64{1, 2}}, {Name: "b", Y: []float64{3}}},
+		Notes:  []string{"note-line"},
+	}
+	var buf bytes.Buffer
+	fig.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"== test: t ==", "x\ta\tb", "0.1\t1\t3", "0.5\t2\t-", "note-line"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Print output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestKMToCells(t *testing.T) {
+	if got := KMToCells(2222); got < 399 || got > 401 {
+		t.Errorf("KMToCells(2222) = %v, want ~400", got)
+	}
+	if got := KMToCells(1); got != 1 {
+		t.Errorf("KMToCells(1) = %v, want clamp to 1", got)
+	}
+}
+
+func TestAblSplitShape(t *testing.T) {
+	fig, err := AblSplit(tinyScale, 13)
+	if err != nil {
+		t.Fatalf("AblSplit: %v", err)
+	}
+	if len(fig.Series) != 4 || fig.Series[0].Name != "optimal-eq15" {
+		t.Fatalf("series = %v", fig.Series)
+	}
+	// The Eq. (15) split is never much worse than any alternative.
+	opt := mean(fig.Series[0].Y)
+	for _, s := range fig.Series[1:] {
+		if opt > mean(s.Y)*1.35 {
+			t.Errorf("optimal split MSE %v above %s MSE %v", opt, s.Name, mean(s.Y))
+		}
+	}
+}
+
+func TestAblBaselinesShape(t *testing.T) {
+	fig, err := AblBaselines(tinyScale, 14)
+	if err != nil {
+		t.Fatalf("AblBaselines: %v", err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("series = %d, want 4", len(fig.Series))
+	}
+	// The Blowfish ordered mechanism beats every DP baseline by a wide
+	// margin.
+	ordMSE := mean(fig.Series[3].Y)
+	for _, s := range fig.Series[:3] {
+		if mean(s.Y) < 5*ordMSE {
+			t.Errorf("%s MSE %v not well above ordered mechanism %v", s.Name, mean(s.Y), ordMSE)
+		}
+	}
+}

@@ -1,0 +1,341 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"blowfish/internal/datagen"
+	"blowfish/internal/domain"
+	"blowfish/internal/kmeans"
+	"blowfish/internal/noise"
+	"blowfish/internal/policy"
+	"blowfish/internal/secgraph"
+)
+
+// kmPolicy names one privacy configuration of the k-means comparison: the
+// qsum sensitivity is the only thing that differs between the Laplace
+// (differential privacy) baseline and each Blowfish policy (Lemma 6.1).
+type kmPolicy struct {
+	name     string
+	sumSens  float64
+	sizeSens float64
+}
+
+// laplacePolicy is the differential-privacy baseline: S(qsum) = 2·d(T).
+func laplacePolicy(d *domain.Domain) kmPolicy {
+	return mustPolicy("laplace", policy.Differential(d))
+}
+
+// mustPolicy derives both k-means sensitivities from an unconstrained
+// policy: S(qsum) per Lemma 6.1 and S(qsize) = the histogram sensitivity
+// (2, or 0 for edgeless graphs such as the finest partition).
+func mustPolicy(name string, p *policy.Policy) kmPolicy {
+	sum, err := p.SumSensitivity()
+	if err != nil {
+		panic(err) // unconstrained policy: cannot fail
+	}
+	size, err := p.HistogramSensitivity()
+	if err != nil {
+		panic(err)
+	}
+	return kmPolicy{name: name, sumSens: sum, sizeSens: size}
+}
+
+// thetaPolicy is the Blowfish distance-threshold policy G^{d,θ}.
+func thetaPolicy(d *domain.Domain, label string, theta float64) kmPolicy {
+	return mustPolicy(label, policy.New(secgraph.MustDistanceThreshold(d, theta)))
+}
+
+// attrPolicy is the Blowfish attribute policy G^attr.
+func attrPolicy(d *domain.Domain, label string) kmPolicy {
+	return mustPolicy(label, policy.New(secgraph.NewAttribute(d)))
+}
+
+// partitionPolicy is the Blowfish partitioned policy G^P.
+func partitionPolicy(part domain.Partition, label string) kmPolicy {
+	return mustPolicy(label, policy.New(secgraph.NewPartition(part)))
+}
+
+// kmeansErrorRatios runs the Figure 1 protocol on one dataset: for every ε
+// and policy, the ratio mean(private objective)/mean(non-private objective)
+// across reps, with private and non-private runs sharing initialization
+// seeds so the comparison isolates noise scale.
+func kmeansErrorRatios(id, title string, ds *domain.Dataset, policies []kmPolicy, scale Scale, seed int64) (*Figure, error) {
+	vecs := ds.Vectors()
+	d := ds.Domain()
+	lo := make([]float64, d.NumAttrs())
+	hi := make([]float64, d.NumAttrs())
+	for i := 0; i < d.NumAttrs(); i++ {
+		hi[i] = float64(d.Attr(i).Size - 1)
+	}
+	cfg := kmeans.Config{K: scale.K, Iterations: scale.KMeansIters, Lo: lo, Hi: hi}
+
+	// Non-private baseline objective per rep (shared across policies).
+	baseline := make([]float64, scale.Reps)
+	for r := 0; r < scale.Reps; r++ {
+		res, err := kmeans.Lloyd(vecs, cfg, noise.NewSource(seed+int64(r)))
+		if err != nil {
+			return nil, fmt.Errorf("%s: baseline: %w", id, err)
+		}
+		baseline[r] = res.Objective
+	}
+	var baseMean float64
+	for _, b := range baseline {
+		baseMean += b
+	}
+	baseMean /= float64(scale.Reps)
+
+	fig := &Figure{
+		ID:     id,
+		Title:  title,
+		XLabel: "epsilon",
+		YLabel: "Objective(private)/Objective(non-private)",
+		X:      scale.Epsilons,
+	}
+	for _, pol := range policies {
+		series := Series{Name: pol.name}
+		var lastRatios []float64
+		for ei, eps := range scale.Epsilons {
+			var total float64
+			var ratios []float64
+			for r := 0; r < scale.Reps; r++ {
+				res, err := kmeans.PrivateLloyd(vecs, kmeans.PrivateConfig{
+					Config:          cfg,
+					Epsilon:         eps,
+					SizeSensitivity: pol.sizeSens,
+					SumSensitivity:  pol.sumSens,
+				}, noise.NewSource(seed+int64(r)))
+				if err != nil {
+					return nil, fmt.Errorf("%s: %s: %w", id, pol.name, err)
+				}
+				total += res.Objective
+				ratios = append(ratios, res.Objective/baseline[r])
+			}
+			series.Y = append(series.Y, total/float64(scale.Reps)/baseMean)
+			if ei == len(scale.Epsilons)-1 {
+				lastRatios = ratios
+			}
+		}
+		fig.Series = append(fig.Series, series)
+		// The paper plots mean with lower/upper quartiles over the reps;
+		// report the spread at the largest ε as a note.
+		q1, q3 := quartiles(lastRatios)
+		fig.Notes = append(fig.Notes, fmt.Sprintf(
+			"%s: per-rep ratio quartiles at ε=%g: q1=%.4g q3=%.4g (%d reps)",
+			pol.name, scale.Epsilons[len(scale.Epsilons)-1], q1, q3, scale.Reps))
+	}
+	return fig, nil
+}
+
+// quartiles returns the lower and upper quartiles of xs (by sorted rank).
+func quartiles(xs []float64) (q1, q3 float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	q1 = sorted[len(sorted)/4]
+	q3 = sorted[(3*len(sorted))/4]
+	return q1, q3
+}
+
+// Fig1a reproduces Figure 1(a): twitter k-means error vs ε under the
+// Laplace mechanism and G^{L1,θ} for θ ∈ {2000, 1000, 500, 100} km.
+func Fig1a(scale Scale, seed int64) (*Figure, error) {
+	ds, err := datagen.Twitter(scale.TwitterN, noise.NewSource(seed))
+	if err != nil {
+		return nil, err
+	}
+	d := ds.Domain()
+	policies := []kmPolicy{laplacePolicy(d)}
+	for _, km := range []float64{2000, 1000, 500, 100} {
+		policies = append(policies, thetaPolicy(d, fmt.Sprintf("blowfish|%gkm", km), KMToCells(km)))
+	}
+	return kmeansErrorRatios("fig1a", "Twitter: k-means error vs epsilon (G^{L1,θ})", ds, policies, scale, seed+1)
+}
+
+// Fig1b reproduces Figure 1(b): skin01 k-means error under G^{L1,θ} for
+// θ ∈ {256, 128, 64, 32}.
+func Fig1b(scale Scale, seed int64) (*Figure, error) {
+	full, err := datagen.Skin(scale.SkinN, noise.NewSource(seed))
+	if err != nil {
+		return nil, err
+	}
+	ds, err := datagen.Subsample(full, 0.01, noise.NewSource(seed+1))
+	if err != nil {
+		return nil, err
+	}
+	d := ds.Domain()
+	policies := []kmPolicy{laplacePolicy(d)}
+	for _, th := range []float64{256, 128, 64, 32} {
+		policies = append(policies, thetaPolicy(d, fmt.Sprintf("blowfish|%g", th), th))
+	}
+	return kmeansErrorRatios("fig1b", "Skin01: k-means error vs epsilon (G^{L1,θ})", ds, policies, scale, seed+2)
+}
+
+// Fig1c reproduces Figure 1(c): synthetic (0,1)^4, n=1000, k=4 under
+// G^{L1,θ} for θ ∈ {1.0, 0.5, 0.25, 0.1} (in original units; one grid unit
+// is 1/resolution).
+func Fig1c(scale Scale, seed int64) (*Figure, error) {
+	const resolution = 100
+	ds, err := datagen.SyntheticClusters(scale.SynthN, 4, scale.K, 0.2, resolution, noise.NewSource(seed))
+	if err != nil {
+		return nil, err
+	}
+	d := ds.Domain()
+	policies := []kmPolicy{laplacePolicy(d)}
+	for _, th := range []float64{1.0, 0.5, 0.25, 0.1} {
+		policies = append(policies, thetaPolicy(d, fmt.Sprintf("blowfish|%g", th), th*resolution))
+	}
+	return kmeansErrorRatios("fig1c", "Synthetic n=1000, k=4: error vs epsilon (G^{L1,θ})", ds, policies, scale, seed+3)
+}
+
+// Fig1d reproduces Figure 1(d): the ratio
+// Objective(Laplace)/Objective(Blowfish θ=128) on skin at 1%, 10% and full
+// size, for ε ∈ {0.1, 0.5, 1}.
+func Fig1d(scale Scale, seed int64) (*Figure, error) {
+	full, err := datagen.Skin(scale.SkinN, noise.NewSource(seed))
+	if err != nil {
+		return nil, err
+	}
+	samples := []struct {
+		name string
+		frac float64
+	}{
+		{"1%sample", 0.01},
+		{"10%sample", 0.10},
+		{"full", 1.0},
+	}
+	eps := []float64{0.1, 0.5, 1.0}
+	fig := &Figure{
+		ID:     "fig1d",
+		Title:  "Skin: Objective(Laplace)/Objective(Blowfish|128) vs epsilon",
+		XLabel: "epsilon",
+		YLabel: "objective ratio",
+		X:      eps,
+	}
+	for si, smp := range samples {
+		ds := full
+		if smp.frac < 1 {
+			ds, err = datagen.Subsample(full, smp.frac, noise.NewSource(seed+int64(si)+1))
+			if err != nil {
+				return nil, err
+			}
+		}
+		d := ds.Domain()
+		lap := laplacePolicy(d)
+		bf := thetaPolicy(d, "blowfish|128", 128)
+		sub := scale
+		sub.Epsilons = eps
+		ratios, err := kmeansObjectives(ds, []kmPolicy{lap, bf}, sub, seed+100*int64(si))
+		if err != nil {
+			return nil, err
+		}
+		series := Series{Name: smp.name}
+		for i := range eps {
+			series.Y = append(series.Y, ratios[0][i]/ratios[1][i])
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}
+
+// kmeansObjectives returns mean private objectives per policy per epsilon.
+func kmeansObjectives(ds *domain.Dataset, policies []kmPolicy, scale Scale, seed int64) ([][]float64, error) {
+	vecs := ds.Vectors()
+	d := ds.Domain()
+	lo := make([]float64, d.NumAttrs())
+	hi := make([]float64, d.NumAttrs())
+	for i := 0; i < d.NumAttrs(); i++ {
+		hi[i] = float64(d.Attr(i).Size - 1)
+	}
+	cfg := kmeans.Config{K: scale.K, Iterations: scale.KMeansIters, Lo: lo, Hi: hi}
+	out := make([][]float64, len(policies))
+	for pi, pol := range policies {
+		for _, eps := range scale.Epsilons {
+			var total float64
+			for r := 0; r < scale.Reps; r++ {
+				res, err := kmeans.PrivateLloyd(vecs, kmeans.PrivateConfig{
+					Config:          cfg,
+					Epsilon:         eps,
+					SizeSensitivity: pol.sizeSens,
+					SumSensitivity:  pol.sumSens,
+				}, noise.NewSource(seed+int64(r)))
+				if err != nil {
+					return nil, err
+				}
+				total += res.Objective
+			}
+			out[pi] = append(out[pi], total/float64(scale.Reps))
+		}
+	}
+	return out, nil
+}
+
+// Fig1e reproduces Figure 1(e): k-means error under G^attr vs Laplace on
+// all three datasets.
+func Fig1e(scale Scale, seed int64) (*Figure, error) {
+	tw, err := datagen.Twitter(scale.TwitterN, noise.NewSource(seed))
+	if err != nil {
+		return nil, err
+	}
+	skinFull, err := datagen.Skin(scale.SkinN, noise.NewSource(seed+1))
+	if err != nil {
+		return nil, err
+	}
+	skin01, err := datagen.Subsample(skinFull, 0.01, noise.NewSource(seed+2))
+	if err != nil {
+		return nil, err
+	}
+	synth, err := datagen.SyntheticClusters(scale.SynthN, 4, scale.K, 0.2, 100, noise.NewSource(seed+3))
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "fig1e",
+		Title:  "Attribute policy G^attr: error vs epsilon, all datasets",
+		XLabel: "epsilon",
+		YLabel: "Objective(private)/Objective(non-private)",
+		X:      scale.Epsilons,
+	}
+	datasets := []struct {
+		name string
+		ds   *domain.Dataset
+	}{
+		{"twitter", tw},
+		{"skin01", skin01},
+		{"synth", synth},
+	}
+	for di, item := range datasets {
+		d := item.ds.Domain()
+		sub, err := kmeansErrorRatios("", "", item.ds,
+			[]kmPolicy{laplacePolicy(d), attrPolicy(d, "attribute")}, scale, seed+10*int64(di)+4)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series,
+			Series{Name: item.name + ": laplace", Y: sub.Series[0].Y},
+			Series{Name: item.name + ": attribute", Y: sub.Series[1].Y},
+		)
+	}
+	return fig, nil
+}
+
+// Fig1f reproduces Figure 1(f): twitter k-means under partitioned secrets
+// G^P with uniform partitions of ~{10, 100, 1000, 10000, 120000} blocks.
+func Fig1f(scale Scale, seed int64) (*Figure, error) {
+	ds, err := datagen.Twitter(scale.TwitterN, noise.NewSource(seed))
+	if err != nil {
+		return nil, err
+	}
+	d := ds.Domain()
+	policies := []kmPolicy{laplacePolicy(d)}
+	for _, blocks := range []int{10, 100, 1000, 10000, 120000} {
+		part, err := domain.NewUniformGridByCount(d, blocks)
+		if err != nil {
+			return nil, err
+		}
+		policies = append(policies, partitionPolicy(part, fmt.Sprintf("partition|%d", blocks)))
+	}
+	return kmeansErrorRatios("fig1f", "Twitter: k-means error vs epsilon (G^P)", ds, policies, scale, seed+5)
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+
+	"blowfish/internal/datagen"
+	"blowfish/internal/domain"
+	"blowfish/internal/noise"
+	"blowfish/internal/ordered"
+)
+
+// rangeFigure runs the Figure 2 protocol on a one-dimensional dataset: for
+// every ε and every θ, release the Ordered Hierarchical structure and
+// measure the mean squared error of a fixed set of random range queries
+// (θ = |T| is the hierarchical/differential-privacy baseline, θ = 1 the
+// pure ordered mechanism).
+func rangeFigure(id, title string, ds *domain.Dataset, thetas []int, labels []string, fanout int, scale Scale, seed int64) (*Figure, error) {
+	counts, err := ds.Histogram()
+	if err != nil {
+		return nil, err
+	}
+	size := len(counts)
+	// Fixed random query workload shared by every configuration.
+	qsrc := noise.NewSource(seed)
+	los := make([]int, scale.RangeQueries)
+	his := make([]int, scale.RangeQueries)
+	truth := make([]float64, scale.RangeQueries)
+	cum := make([]float64, size)
+	run := 0.0
+	for i, c := range counts {
+		run += c
+		cum[i] = run
+	}
+	for qi := 0; qi < scale.RangeQueries; qi++ {
+		a := qsrc.Intn(size)
+		b := qsrc.Intn(size)
+		if a > b {
+			a, b = b, a
+		}
+		los[qi], his[qi] = a, b
+		truth[qi] = cum[b]
+		if a > 0 {
+			truth[qi] -= cum[a-1]
+		}
+	}
+
+	fig := &Figure{
+		ID:     id,
+		Title:  title,
+		XLabel: "epsilon",
+		YLabel: "range query MSE",
+		X:      scale.Epsilons,
+	}
+	for ti, theta := range thetas {
+		oh, err := ordered.NewOH(size, theta, fanout)
+		if err != nil {
+			return nil, fmt.Errorf("%s: θ=%d: %w", id, theta, err)
+		}
+		series := Series{Name: labels[ti]}
+		for ei, eps := range scale.Epsilons {
+			src := noise.NewSource(seed + 1000*int64(ti) + int64(ei) + 1)
+			var sq float64
+			for r := 0; r < scale.Reps; r++ {
+				rel, err := oh.Release(counts, eps, src)
+				if err != nil {
+					return nil, fmt.Errorf("%s: θ=%d release: %w", id, theta, err)
+				}
+				for qi := 0; qi < scale.RangeQueries; qi++ {
+					got, err := rel.Range(los[qi], his[qi])
+					if err != nil {
+						return nil, err
+					}
+					diff := got - truth[qi]
+					sq += diff * diff
+				}
+			}
+			series.Y = append(series.Y, sq/float64(scale.Reps*scale.RangeQueries))
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}
+
+// Fig2a reproduces Figure 2(a) structurally: the Ordered Hierarchical tree
+// for θ=4 — S-node chain with per-block H-subtrees — reported as shape
+// statistics instead of a drawing.
+func Fig2a(scale Scale, seed int64) (*Figure, error) {
+	const (
+		size   = 16
+		theta  = 4
+		fanout = 2
+	)
+	oh, err := ordered.NewOH(size, theta, fanout)
+	if err != nil {
+		return nil, err
+	}
+	epsS, epsH := oh.OptimalSplit(1.0)
+	fig := &Figure{
+		ID:    "fig2a",
+		Title: "Ordered Hierarchical structure, θ=4 (shape statistics)",
+		Notes: []string{
+			fmt.Sprintf("|T|=%d θ=%d fanout=%d", oh.Size(), oh.Theta(), oh.Fanout()),
+			fmt.Sprintf("S-nodes k = ceil(|T|/θ) = %d", oh.NumSNodes()),
+			fmt.Sprintf("H-subtree height h = ceil(log_f θ) = %d", oh.Height()),
+			fmt.Sprintf("optimal budget split at ε=1: εS=%.4f εH=%.4f", epsS, epsH),
+		},
+	}
+	return fig, nil
+}
+
+// Fig2b reproduces Figure 2(b): range query error on the adult capital-loss
+// attribute (|T| = 4357, fanout 16) for θ ∈ {full, 1000, 500, 100, 50, 10, 1}.
+func Fig2b(scale Scale, seed int64) (*Figure, error) {
+	ds, err := datagen.AdultCapitalLoss(scale.AdultN, noise.NewSource(seed))
+	if err != nil {
+		return nil, err
+	}
+	size := int(ds.Domain().Size())
+	thetas := []int{size, 1000, 500, 100, 50, 10, 1}
+	labels := []string{"theta=full domain", "theta=1000", "theta=500", "theta=100", "theta=50", "theta=10", "theta=1"}
+	return rangeFigure("fig2b", "Adult capital-loss: range query error vs epsilon", ds, thetas, labels, 16, scale, seed+1)
+}
+
+// Fig2c reproduces Figure 2(c): range query error on the twitter latitude
+// projection (|T| = 400) for θ ∈ {full, 500km, 50km, 5km}.
+func Fig2c(scale Scale, seed int64) (*Figure, error) {
+	tw, err := datagen.Twitter(scale.TwitterN, noise.NewSource(seed))
+	if err != nil {
+		return nil, err
+	}
+	ds, err := tw.Project(0) // the 400-cell axis: ~2222 km of latitude
+	if err != nil {
+		return nil, err
+	}
+	size := int(ds.Domain().Size())
+	kmThetas := []float64{500, 50, 5}
+	thetas := []int{size}
+	labels := []string{"theta=full domain"}
+	for _, km := range kmThetas {
+		cells := int(KMToCells(km))
+		if cells < 1 {
+			cells = 1
+		}
+		thetas = append(thetas, cells)
+		labels = append(labels, fmt.Sprintf("theta=%gkm", km))
+	}
+	return rangeFigure("fig2c", "Twitter latitude: range query error vs epsilon", ds, thetas, labels, 16, scale, seed+1)
+}

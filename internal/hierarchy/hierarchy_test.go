@@ -1,0 +1,478 @@
+package hierarchy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"blowfish/internal/noise"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 2); err == nil {
+		t.Error("size 0 accepted")
+	}
+	if _, err := New(8, 1); err == nil {
+		t.Error("fanout 1 accepted")
+	}
+}
+
+func TestTreeShape(t *testing.T) {
+	tr, err := New(16, 4)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// 1 root + 4 + 16 leaves = 21 nodes, 3 levels, height 2.
+	if got, want := tr.NodeCount(), 21; got != want {
+		t.Fatalf("NodeCount = %d, want %d", got, want)
+	}
+	if got, want := tr.Levels(), 3; got != want {
+		t.Fatalf("Levels = %d, want %d", got, want)
+	}
+	if got, want := tr.Height(), 2; got != want {
+		t.Fatalf("Height = %d, want %d", got, want)
+	}
+	root := tr.Node(0)
+	if root.Lo != 0 || root.Hi != 16 || root.Parent != -1 {
+		t.Fatalf("root = %+v", root)
+	}
+	if len(root.Children) != 4 {
+		t.Fatalf("root children = %d, want 4", len(root.Children))
+	}
+}
+
+func TestTreeShapeIrregular(t *testing.T) {
+	// Size 10, fanout 4: root splits into ceil(10/4)=3-wide intervals:
+	// [0,3) [3,6) [6,9) [9,10).
+	tr, err := New(10, 4)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	root := tr.Node(0)
+	if len(root.Children) != 4 {
+		t.Fatalf("root children = %d, want 4", len(root.Children))
+	}
+	widths := []int{3, 3, 3, 1}
+	for i, c := range root.Children {
+		n := tr.Node(c)
+		if n.Hi-n.Lo != widths[i] {
+			t.Fatalf("child %d covers [%d,%d), want width %d", i, n.Lo, n.Hi, widths[i])
+		}
+	}
+	// Every position has a unit leaf.
+	for i := 0; i < 10; i++ {
+		leaf := tr.Node(tr.leafOf[i])
+		if leaf.Lo != i || leaf.Hi != i+1 {
+			t.Fatalf("leafOf[%d] covers [%d,%d)", i, leaf.Lo, leaf.Hi)
+		}
+	}
+}
+
+func TestTreeParentChildStructure(t *testing.T) {
+	tr, err := New(27, 3)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for idx := 0; idx < tr.NodeCount(); idx++ {
+		n := tr.Node(idx)
+		if len(n.Children) == 0 {
+			if n.Hi-n.Lo != 1 {
+				t.Fatalf("leaf %d covers [%d,%d)", idx, n.Lo, n.Hi)
+			}
+			continue
+		}
+		// Children partition the parent interval.
+		pos := n.Lo
+		for _, c := range n.Children {
+			cn := tr.Node(c)
+			if cn.Lo != pos {
+				t.Fatalf("node %d children leave a gap at %d", idx, pos)
+			}
+			if cn.Parent != idx {
+				t.Fatalf("child %d has parent %d, want %d", c, cn.Parent, idx)
+			}
+			if cn.Level != n.Level+1 {
+				t.Fatalf("child %d level %d, parent level %d", c, cn.Level, n.Level)
+			}
+			pos = cn.Hi
+		}
+		if pos != n.Hi {
+			t.Fatalf("node %d children end at %d, want %d", idx, pos, n.Hi)
+		}
+	}
+}
+
+func TestEval(t *testing.T) {
+	tr, err := New(8, 2)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	counts := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	totals, err := tr.Eval(counts)
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	if totals[0] != 36 {
+		t.Fatalf("root total = %v, want 36", totals[0])
+	}
+	for idx := 0; idx < tr.NodeCount(); idx++ {
+		n := tr.Node(idx)
+		var want float64
+		for i := n.Lo; i < n.Hi; i++ {
+			want += counts[i]
+		}
+		if totals[idx] != want {
+			t.Fatalf("node %d total = %v, want %v", idx, totals[idx], want)
+		}
+	}
+	if _, err := tr.Eval([]float64{1}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestDecompose(t *testing.T) {
+	tr, err := New(16, 4)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	counts := make([]float64, 16)
+	for i := range counts {
+		counts[i] = float64(rng.Intn(10))
+	}
+	totals, err := tr.Eval(counts)
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	for lo := 0; lo < 16; lo++ {
+		for hi := lo; hi < 16; hi++ {
+			idxs, err := tr.Decompose(lo, hi)
+			if err != nil {
+				t.Fatalf("Decompose(%d,%d): %v", lo, hi, err)
+			}
+			var got, want float64
+			for _, idx := range idxs {
+				got += totals[idx]
+			}
+			for i := lo; i <= hi; i++ {
+				want += counts[i]
+			}
+			if got != want {
+				t.Fatalf("Decompose(%d,%d) sums to %v, want %v", lo, hi, got, want)
+			}
+			// Minimality: a full-domain query must use few nodes, and no
+			// decomposition may exceed 2(f-1)·h nodes.
+			if maxNodes := 2 * (tr.Fanout() - 1) * tr.Height(); len(idxs) > maxNodes {
+				t.Fatalf("Decompose(%d,%d) used %d nodes, bound %d", lo, hi, len(idxs), maxNodes)
+			}
+		}
+	}
+	if idxs, err := tr.Decompose(0, 15); err != nil || len(idxs) != 1 || idxs[0] != 0 {
+		t.Fatalf("full-range decomposition = %v (err %v), want [0]", idxs, err)
+	}
+	if _, err := tr.Decompose(5, 3); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := tr.Decompose(-1, 3); err == nil {
+		t.Error("negative lo accepted")
+	}
+	if _, err := tr.Decompose(0, 16); err == nil {
+		t.Error("hi out of range accepted")
+	}
+}
+
+func TestReleaseExactnessAndNoise(t *testing.T) {
+	tr, err := New(16, 4)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	counts := make([]float64, 16)
+	for i := range counts {
+		counts[i] = float64(i)
+	}
+	rel, err := tr.Release(counts, 1.0, noise.NewSource(7))
+	if err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	// Root is the public total: exact.
+	if rel.Value(0) != 120 {
+		t.Fatalf("root = %v, want exact 120", rel.Value(0))
+	}
+	if rel.Variance(0) != 0 {
+		t.Fatalf("root variance = %v, want 0", rel.Variance(0))
+	}
+	// Non-root nodes are noisy with variance 2·(2h/ε)² = 2·16 = 32.
+	if got, want := rel.Variance(1), 32.0; got != want {
+		t.Fatalf("node variance = %v, want %v", got, want)
+	}
+	if _, err := tr.Release(counts, 0, noise.NewSource(1)); err == nil {
+		t.Error("zero epsilon accepted")
+	}
+	if _, err := tr.ReleaseWithScale(counts, -1, nil, noise.NewSource(1)); err == nil {
+		t.Error("negative scale accepted")
+	}
+}
+
+func TestRangeQueryUnbiased(t *testing.T) {
+	tr, err := New(64, 4)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	counts := make([]float64, 64)
+	rng := rand.New(rand.NewSource(11))
+	for i := range counts {
+		counts[i] = float64(rng.Intn(20))
+	}
+	var want float64
+	for i := 5; i <= 40; i++ {
+		want += counts[i]
+	}
+	src := noise.NewSource(13)
+	const reps = 5000
+	var sum, sumSq float64
+	var predictedVar float64
+	for r := 0; r < reps; r++ {
+		rel, err := tr.Release(counts, 1.0, src)
+		if err != nil {
+			t.Fatalf("Release: %v", err)
+		}
+		got, v, err := rel.RangeQuery(5, 40)
+		if err != nil {
+			t.Fatalf("RangeQuery: %v", err)
+		}
+		predictedVar = v
+		sum += got
+		sumSq += got * got
+	}
+	mean := sum / reps
+	if math.Abs(mean-want) > 3*math.Sqrt(predictedVar/reps)+1e-9 {
+		t.Fatalf("range query biased: mean %v, want %v", mean, want)
+	}
+	empVar := sumSq/reps - mean*mean
+	if math.Abs(empVar-predictedVar)/predictedVar > 0.15 {
+		t.Fatalf("empirical variance %v, predicted %v", empVar, predictedVar)
+	}
+}
+
+func TestConsistentReleaseIsConsistent(t *testing.T) {
+	tr, err := New(16, 4)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	counts := make([]float64, 16)
+	for i := range counts {
+		counts[i] = float64(i % 5)
+	}
+	rel, err := tr.Release(counts, 0.5, noise.NewSource(17))
+	if err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	cons, err := rel.Consistent()
+	if err != nil {
+		t.Fatalf("Consistent: %v", err)
+	}
+	for idx := 0; idx < tr.NodeCount(); idx++ {
+		n := tr.Node(idx)
+		if len(n.Children) == 0 {
+			continue
+		}
+		var sum float64
+		for _, c := range n.Children {
+			sum += cons.Value(c)
+		}
+		if math.Abs(sum-cons.Value(idx)) > 1e-9 {
+			t.Fatalf("node %d inconsistent after inference: %v vs %v", idx, cons.Value(idx), sum)
+		}
+	}
+	// Root still pinned to the exact public total Σ (i%5) = 30.
+	if math.Abs(cons.Value(0)-30) > 1e-9 {
+		t.Fatalf("consistent root = %v, want 30", cons.Value(0))
+	}
+	// Leaves sum to n as well.
+	var leafSum float64
+	for _, v := range cons.Leaves() {
+		leafSum += v
+	}
+	if math.Abs(leafSum-30) > 1e-9 {
+		t.Fatalf("leaves sum to %v, want 30", leafSum)
+	}
+}
+
+func TestConsistencyReducesRangeError(t *testing.T) {
+	// Over many repetitions, consistent range answers should have no larger
+	// MSE than raw greedy answers (they are the least squares estimates).
+	tr, err := New(64, 4)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	counts := make([]float64, 64)
+	rng := rand.New(rand.NewSource(19))
+	for i := range counts {
+		counts[i] = float64(rng.Intn(30))
+	}
+	var truth float64
+	for i := 10; i <= 52; i++ {
+		truth += counts[i]
+	}
+	src := noise.NewSource(23)
+	const reps = 2000
+	var rawErr, consErr float64
+	for r := 0; r < reps; r++ {
+		rel, err := tr.Release(counts, 0.5, src)
+		if err != nil {
+			t.Fatalf("Release: %v", err)
+		}
+		raw, _, err := rel.RangeQuery(10, 52)
+		if err != nil {
+			t.Fatalf("RangeQuery: %v", err)
+		}
+		cons, err := rel.Consistent()
+		if err != nil {
+			t.Fatalf("Consistent: %v", err)
+		}
+		cq, _, err := cons.RangeQuery(10, 52)
+		if err != nil {
+			t.Fatalf("RangeQuery: %v", err)
+		}
+		rawErr += (raw - truth) * (raw - truth)
+		consErr += (cq - truth) * (cq - truth)
+	}
+	if consErr > rawErr*1.02 {
+		t.Fatalf("consistency increased error: %v > %v", consErr/reps, rawErr/reps)
+	}
+}
+
+func TestSizeOneTree(t *testing.T) {
+	tr, err := New(1, 2)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if tr.Height() != 0 || tr.NodeCount() != 1 {
+		t.Fatalf("size-1 tree: height %d, nodes %d", tr.Height(), tr.NodeCount())
+	}
+	rel, err := tr.Release([]float64{5}, 1.0, noise.NewSource(1))
+	if err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	// Single node = public total: exact.
+	if rel.Value(0) != 5 {
+		t.Fatalf("value = %v, want 5", rel.Value(0))
+	}
+	got, _, err := rel.RangeQuery(0, 0)
+	if err != nil || got != 5 {
+		t.Fatalf("RangeQuery = %v (err %v), want 5", got, err)
+	}
+}
+
+func TestExpectedRangeVariance(t *testing.T) {
+	tr, err := New(4096, 16)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// h = 3, scale = 6/ε, nodes ≤ 2·15·3 = 90, variance = 90·2·36/ε².
+	if got, want := tr.ExpectedRangeVariance(1.0), 90*2*36.0; got != want {
+		t.Fatalf("ExpectedRangeVariance = %v, want %v", got, want)
+	}
+}
+
+func TestReleaseInteriorRootUnobserved(t *testing.T) {
+	tr, err := New(16, 4)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	counts := make([]float64, 16)
+	for i := range counts {
+		counts[i] = 100
+	}
+	rel, err := tr.ReleaseInterior(counts, 0.001, nil, noise.NewSource(1))
+	if err != nil {
+		t.Fatalf("ReleaseInterior: %v", err)
+	}
+	// The root must NOT be the exact total (1600): it is the sum of its
+	// noisy children, and its variance is infinite.
+	if rel.Value(0) == 1600 {
+		t.Fatal("interior root leaked the exact total")
+	}
+	if !math.IsInf(rel.Variance(0), 1) {
+		t.Fatalf("interior root variance = %v, want +Inf", rel.Variance(0))
+	}
+	// Root value equals the sum of its children's released values.
+	var sum float64
+	for _, c := range tr.Node(0).Children {
+		sum += rel.Value(c)
+	}
+	if math.Abs(sum-rel.Value(0)) > 1e-9 {
+		t.Fatalf("interior root %v != children sum %v", rel.Value(0), sum)
+	}
+	// Consistency still works, treating the root as unknown.
+	cons, err := rel.Consistent()
+	if err != nil {
+		t.Fatalf("Consistent: %v", err)
+	}
+	var childSum float64
+	for _, c := range tr.Node(0).Children {
+		childSum += cons.Value(c)
+	}
+	if math.Abs(cons.Value(0)-childSum) > 1e-9 {
+		t.Fatalf("consistent interior root %v != children sum %v", cons.Value(0), childSum)
+	}
+}
+
+func TestReleaseInteriorSingleNode(t *testing.T) {
+	tr, err := New(1, 2)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rel, err := tr.ReleaseInterior([]float64{50}, 3, nil, noise.NewSource(2))
+	if err != nil {
+		t.Fatalf("ReleaseInterior: %v", err)
+	}
+	// A single-node interior tree must be noised, never exact.
+	if rel.Value(0) == 50 {
+		t.Fatal("single-node interior tree released exactly")
+	}
+	if rel.Variance(0) != 2*3*3 {
+		t.Fatalf("variance = %v, want 18", rel.Variance(0))
+	}
+}
+
+// Property: for random tree shapes and ranges, Decompose always partitions
+// the requested range exactly.
+func TestDecomposeQuick(t *testing.T) {
+	f := func(rawSize, rawFanout uint8, rawLo, rawHi uint16) bool {
+		size := 1 + int(rawSize)%200
+		fanout := 2 + int(rawFanout)%15
+		tr, err := New(size, fanout)
+		if err != nil {
+			return false
+		}
+		lo := int(rawLo) % size
+		hi := int(rawHi) % size
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		idxs, err := tr.Decompose(lo, hi)
+		if err != nil {
+			return false
+		}
+		// Collect covered positions; they must be exactly [lo, hi] with no
+		// overlaps.
+		covered := make(map[int]int)
+		for _, idx := range idxs {
+			n := tr.Node(idx)
+			for i := n.Lo; i < n.Hi; i++ {
+				covered[i]++
+			}
+		}
+		for i := lo; i <= hi; i++ {
+			if covered[i] != 1 {
+				return false
+			}
+		}
+		return len(covered) == hi-lo+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,502 @@
+package infer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestIsotonicRegressionKnown(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want []float64
+	}{
+		{"empty", nil, nil},
+		{"single", []float64{3}, []float64{3}},
+		{"already monotone", []float64{1, 2, 2, 5}, []float64{1, 2, 2, 5}},
+		{"single violation pools", []float64{1, 3, 2, 5}, []float64{1, 2.5, 2.5, 5}},
+		{"decreasing pools to mean", []float64{3, 2, 1}, []float64{2, 2, 2}},
+		{"cascade", []float64{4, 1, 1}, []float64{2, 2, 2}},
+		{"two blocks", []float64{2, 1, 4, 3}, []float64{1.5, 1.5, 3.5, 3.5}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := IsotonicRegression(c.in)
+			if len(got) != len(c.want) {
+				t.Fatalf("len = %d, want %d", len(got), len(c.want))
+			}
+			for i := range c.want {
+				if !almostEqual(got[i], c.want[i], 1e-12) {
+					t.Fatalf("out[%d] = %v, want %v (full %v)", i, got[i], c.want[i], got)
+				}
+			}
+		})
+	}
+}
+
+// Properties of the L2 projection onto the monotone cone: output is
+// monotone, idempotent, preserves totals of pooled blocks, and for any
+// monotone w, ||y - iso(y)|| <= ||y - w|| (projection optimality spot-check
+// against random monotone candidates).
+func TestIsotonicRegressionProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(30)
+		y := make([]float64, n)
+		for i := range y {
+			y[i] = rng.NormFloat64() * 10
+		}
+		out := IsotonicRegression(y)
+		for i := 1; i < n; i++ {
+			if out[i] < out[i-1]-1e-9 {
+				t.Fatalf("output not monotone at %d: %v", i, out)
+			}
+		}
+		again := IsotonicRegression(out)
+		for i := range out {
+			if !almostEqual(out[i], again[i], 1e-9) {
+				t.Fatal("isotonic regression not idempotent")
+			}
+		}
+		// Sum preservation (projection onto monotone cone preserves total).
+		var sy, so float64
+		for i := range y {
+			sy += y[i]
+			so += out[i]
+		}
+		if !almostEqual(sy, so, 1e-6*(1+math.Abs(sy))) {
+			t.Fatalf("sum not preserved: %v vs %v", sy, so)
+		}
+		// Optimality against random monotone candidates.
+		dOut := dist2(y, out)
+		for c := 0; c < 10; c++ {
+			w := make([]float64, n)
+			w[0] = rng.NormFloat64() * 10
+			for i := 1; i < n; i++ {
+				w[i] = w[i-1] + math.Abs(rng.NormFloat64())
+			}
+			if dw := dist2(y, w); dw < dOut-1e-9 {
+				t.Fatalf("candidate closer than projection: %v < %v", dw, dOut)
+			}
+		}
+	}
+}
+
+func dist2(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func TestMonotoneCumulative(t *testing.T) {
+	noisy := []float64{-2, 1, 0.5, 7, 6, 12}
+	out := MonotoneCumulative(noisy, 10)
+	for i := 1; i < len(out); i++ {
+		if out[i] < out[i-1] {
+			t.Fatalf("not monotone: %v", out)
+		}
+	}
+	if out[0] < 0 {
+		t.Fatalf("negative cumulative count: %v", out)
+	}
+	if out[len(out)-1] > 10 {
+		t.Fatalf("cumulative count exceeds n: %v", out)
+	}
+	// n < 0 skips the upper clamp.
+	out = MonotoneCumulative([]float64{5, 20}, -1)
+	if out[1] != 20 {
+		t.Fatalf("upper clamp applied when disabled: %v", out)
+	}
+}
+
+// directTreeLS computes the constrained weighted least squares solution by
+// parametrizing node values with leaf variables and solving the normal
+// equations by Gaussian elimination — an independent oracle for
+// TreeConsistency.
+func directTreeLS(spec TreeSpec, z []float64) []float64 {
+	n := len(z)
+	children := make([][]int, n)
+	var roots []int
+	for v, p := range spec.Parent {
+		if p == -1 {
+			roots = append(roots, v)
+		} else {
+			children[p] = append(children[p], v)
+		}
+	}
+	var leaves []int
+	for v := 0; v < n; v++ {
+		if len(children[v]) == 0 {
+			leaves = append(leaves, v)
+		}
+	}
+	leafIdx := make(map[int]int, len(leaves))
+	for i, v := range leaves {
+		leafIdx[v] = i
+	}
+	// coef[v] = row of leaf coefficients such that value(v) = coef·leafvals.
+	coef := make([][]float64, n)
+	var fill func(v int)
+	fill = func(v int) {
+		coef[v] = make([]float64, len(leaves))
+		if len(children[v]) == 0 {
+			coef[v][leafIdx[v]] = 1
+			return
+		}
+		for _, c := range children[v] {
+			fill(c)
+			for j := range coef[v] {
+				coef[v][j] += coef[c][j]
+			}
+		}
+	}
+	for _, r := range roots {
+		fill(r)
+	}
+	// Normal equations: (Σ_v w_v coef_v coef_vᵀ) β = Σ_v w_v z_v coef_v,
+	// with w_v = 1/variance (treat exact nodes as very high weight).
+	k := len(leaves)
+	a := make([][]float64, k)
+	for i := range a {
+		a[i] = make([]float64, k+1)
+	}
+	for v := 0; v < n; v++ {
+		w := 1e12
+		if spec.Variance[v] > 0 {
+			w = 1 / spec.Variance[v]
+		}
+		for i := 0; i < k; i++ {
+			if coef[v][i] == 0 {
+				continue
+			}
+			for j := 0; j < k; j++ {
+				a[i][j] += w * coef[v][i] * coef[v][j]
+			}
+			a[i][k] += w * coef[v][i] * z[v]
+		}
+	}
+	// Gaussian elimination.
+	for col := 0; col < k; col++ {
+		p := col
+		for r := col + 1; r < k; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[p][col]) {
+				p = r
+			}
+		}
+		a[col], a[p] = a[p], a[col]
+		for r := 0; r < k; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] / a[col][col]
+			for j := col; j <= k; j++ {
+				a[r][j] -= f * a[col][j]
+			}
+		}
+	}
+	beta := make([]float64, k)
+	for i := 0; i < k; i++ {
+		beta[i] = a[i][k] / a[i][i]
+	}
+	out := make([]float64, n)
+	for v := 0; v < n; v++ {
+		for j := 0; j < k; j++ {
+			out[v] += coef[v][j] * beta[j]
+		}
+	}
+	return out
+}
+
+func TestTreeConsistencyUniformBinary(t *testing.T) {
+	// Root 0 with children 1, 2; all variance 1.
+	spec := TreeSpec{Parent: []int{-1, 0, 0}, Variance: []float64{1, 1, 1}}
+	z := []float64{10, 3, 4} // root observation larger than children sum
+	h, err := TreeConsistency(spec, z)
+	if err != nil {
+		t.Fatalf("TreeConsistency: %v", err)
+	}
+	// Classical solution: t = (z_r - z_a - z_b)/3 = 1 added to each child,
+	// root = children sum: h = [9, 4, 5].
+	want := []float64{9, 4, 5}
+	for i := range want {
+		if !almostEqual(h[i], want[i], 1e-9) {
+			t.Fatalf("h[%d] = %v, want %v", i, h[i], want[i])
+		}
+	}
+}
+
+func TestTreeConsistencyMatchesDirectLS(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	shapes := []struct {
+		name   string
+		parent []int
+	}{
+		{"binary depth2", []int{-1, 0, 0, 1, 1, 2, 2}},
+		{"ternary depth1", []int{-1, 0, 0, 0}},
+		{"irregular", []int{-1, 0, 0, 1, 1, 1, 2}},
+		{"chain", []int{-1, 0, 1}},
+		{"forest", []int{-1, 0, 0, -1, 3, 3}},
+	}
+	for _, shape := range shapes {
+		t.Run(shape.name, func(t *testing.T) {
+			n := len(shape.parent)
+			for trial := 0; trial < 20; trial++ {
+				spec := TreeSpec{Parent: shape.parent, Variance: make([]float64, n)}
+				z := make([]float64, n)
+				for i := range z {
+					z[i] = rng.NormFloat64() * 5
+					spec.Variance[i] = 0.5 + rng.Float64()*3
+				}
+				got, err := TreeConsistency(spec, z)
+				if err != nil {
+					t.Fatalf("TreeConsistency: %v", err)
+				}
+				want := directTreeLS(spec, z)
+				for i := range want {
+					if !almostEqual(got[i], want[i], 1e-6) {
+						t.Fatalf("trial %d node %d: two-pass %v, direct LS %v", trial, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestTreeConsistencyIsConsistent(t *testing.T) {
+	// After inference every parent must equal the sum of its children.
+	parent := []int{-1, 0, 0, 1, 1, 2, 2}
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 50; trial++ {
+		spec := TreeSpec{Parent: parent, Variance: make([]float64, len(parent))}
+		z := make([]float64, len(parent))
+		for i := range z {
+			z[i] = rng.NormFloat64() * 10
+			spec.Variance[i] = 1 + rng.Float64()
+		}
+		h, err := TreeConsistency(spec, z)
+		if err != nil {
+			t.Fatalf("TreeConsistency: %v", err)
+		}
+		if !almostEqual(h[0], h[1]+h[2], 1e-9) || !almostEqual(h[1], h[3]+h[4], 1e-9) || !almostEqual(h[2], h[5]+h[6], 1e-9) {
+			t.Fatalf("inconsistent estimates: %v", h)
+		}
+	}
+}
+
+func TestTreeConsistencyExactNode(t *testing.T) {
+	// Root has variance 0 (publicly known total): estimate must pin it.
+	spec := TreeSpec{Parent: []int{-1, 0, 0}, Variance: []float64{0, 1, 1}}
+	z := []float64{100, 45, 52}
+	h, err := TreeConsistency(spec, z)
+	if err != nil {
+		t.Fatalf("TreeConsistency: %v", err)
+	}
+	if h[0] != 100 {
+		t.Fatalf("exact root moved: %v", h[0])
+	}
+	if !almostEqual(h[1]+h[2], 100, 1e-9) {
+		t.Fatalf("children do not sum to exact root: %v", h)
+	}
+	// Residual 3 split evenly (equal variances): 46.5, 53.5.
+	if !almostEqual(h[1], 46.5, 1e-9) || !almostEqual(h[2], 53.5, 1e-9) {
+		t.Fatalf("residual split wrong: %v", h)
+	}
+}
+
+func TestTreeConsistencyErrors(t *testing.T) {
+	if _, err := TreeConsistency(TreeSpec{Parent: []int{0}, Variance: []float64{1}}, []float64{1}); err == nil {
+		t.Error("self-parent accepted")
+	}
+	if _, err := TreeConsistency(TreeSpec{Parent: []int{1, 0}, Variance: []float64{1, 1}}, []float64{1, 2}); err == nil {
+		t.Error("cycle accepted")
+	}
+	if _, err := TreeConsistency(TreeSpec{Parent: []int{-1}, Variance: []float64{-1}}, []float64{1}); err == nil {
+		t.Error("negative variance accepted")
+	}
+	if _, err := TreeConsistency(TreeSpec{Parent: []int{-1, 9}, Variance: []float64{1, 1}}, []float64{1, 2}); err == nil {
+		t.Error("invalid parent accepted")
+	}
+	if _, err := TreeConsistency(TreeSpec{Parent: []int{-1}, Variance: []float64{1, 2}}, []float64{1}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestProjectLinear(t *testing.T) {
+	// Project onto {x0 + x1 = 10}.
+	y := []float64{3, 4}
+	x, err := ProjectLinear(y, [][]float64{{1, 1}}, []float64{10})
+	if err != nil {
+		t.Fatalf("ProjectLinear: %v", err)
+	}
+	if !almostEqual(x[0]+x[1], 10, 1e-9) {
+		t.Fatalf("constraint violated: %v", x)
+	}
+	// Symmetric residual split: x = [4.5, 5.5].
+	if !almostEqual(x[0], 4.5, 1e-9) || !almostEqual(x[1], 5.5, 1e-9) {
+		t.Fatalf("projection = %v, want [4.5 5.5]", x)
+	}
+	// No constraints: identity.
+	x, err = ProjectLinear(y, nil, nil)
+	if err != nil {
+		t.Fatalf("ProjectLinear: %v", err)
+	}
+	if x[0] != 3 || x[1] != 4 {
+		t.Fatalf("empty projection changed input: %v", x)
+	}
+}
+
+func TestProjectLinearProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 100; trial++ {
+		n := 3 + rng.Intn(6)
+		k := 1 + rng.Intn(2)
+		b := make([][]float64, k)
+		truth := make([]float64, n)
+		for i := range truth {
+			truth[i] = rng.NormFloat64() * 5
+		}
+		c := make([]float64, k)
+		for r := range b {
+			b[r] = make([]float64, n)
+			for j := range b[r] {
+				if rng.Float64() < 0.5 {
+					b[r][j] = 1
+				}
+			}
+			for j := range b[r] {
+				c[r] += b[r][j] * truth[j]
+			}
+		}
+		noisy := make([]float64, n)
+		for i := range noisy {
+			noisy[i] = truth[i] + rng.NormFloat64()
+		}
+		x, err := ProjectLinear(noisy, b, c)
+		if err != nil {
+			t.Fatalf("ProjectLinear: %v", err)
+		}
+		// Constraints hold.
+		for r := 0; r < k; r++ {
+			var got float64
+			for j := 0; j < n; j++ {
+				got += b[r][j] * x[j]
+			}
+			if !almostEqual(got, c[r], 1e-6) {
+				t.Fatalf("constraint %d: %v != %v", r, got, c[r])
+			}
+		}
+		// Projection moves no farther from the truth (truth satisfies the
+		// constraints).
+		if dist2(truth, x) > dist2(truth, noisy)+1e-6 {
+			t.Fatalf("projection increased error: %v > %v", dist2(truth, x), dist2(truth, noisy))
+		}
+		// Idempotent.
+		x2, err := ProjectLinear(x, b, c)
+		if err != nil {
+			t.Fatalf("ProjectLinear: %v", err)
+		}
+		for i := range x {
+			if !almostEqual(x[i], x2[i], 1e-6) {
+				t.Fatal("projection not idempotent")
+			}
+		}
+	}
+}
+
+func TestProjectLinearRedundantConstraints(t *testing.T) {
+	// Duplicate rows are consistent but dependent; projection must succeed.
+	y := []float64{1, 2, 3}
+	b := [][]float64{{1, 1, 0}, {1, 1, 0}}
+	c := []float64{5, 5}
+	x, err := ProjectLinear(y, b, c)
+	if err != nil {
+		t.Fatalf("ProjectLinear with redundant constraints: %v", err)
+	}
+	if !almostEqual(x[0]+x[1], 5, 1e-9) {
+		t.Fatalf("constraint violated: %v", x)
+	}
+}
+
+func TestProjectLinearShapeErrors(t *testing.T) {
+	if _, err := ProjectLinear([]float64{1}, [][]float64{{1, 1}}, []float64{1}); err == nil {
+		t.Error("column mismatch accepted")
+	}
+	if _, err := ProjectLinear([]float64{1}, [][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("row mismatch accepted")
+	}
+}
+
+func TestIsotonicQuick(t *testing.T) {
+	f := func(raw []int8) bool {
+		y := make([]float64, len(raw))
+		for i, r := range raw {
+			y[i] = float64(r)
+		}
+		out := IsotonicRegression(y)
+		for i := 1; i < len(out); i++ {
+			if out[i] < out[i-1]-1e-9 {
+				return false
+			}
+		}
+		return len(out) == len(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeConsistencyUnobservedRoot(t *testing.T) {
+	// Root unobserved (+Inf variance): estimate must come entirely from the
+	// children, and remain consistent.
+	spec := TreeSpec{Parent: []int{-1, 0, 0}, Variance: []float64{math.Inf(1), 1, 2}}
+	z := []float64{999999, 10, 20} // root z must be ignored
+	h, err := TreeConsistency(spec, z)
+	if err != nil {
+		t.Fatalf("TreeConsistency: %v", err)
+	}
+	if !almostEqual(h[0], 30, 1e-9) {
+		t.Fatalf("unobserved root estimate = %v, want children sum 30", h[0])
+	}
+	if !almostEqual(h[1], 10, 1e-9) || !almostEqual(h[2], 20, 1e-9) {
+		t.Fatalf("children moved without information: %v", h)
+	}
+	// Unobserved leaves are rejected.
+	bad := TreeSpec{Parent: []int{-1, 0}, Variance: []float64{1, math.Inf(1)}}
+	if _, err := TreeConsistency(bad, []float64{1, 2}); err == nil {
+		t.Fatal("unobserved leaf accepted")
+	}
+	// NaN variance rejected.
+	nan := TreeSpec{Parent: []int{-1}, Variance: []float64{math.NaN()}}
+	if _, err := TreeConsistency(nan, []float64{1}); err == nil {
+		t.Fatal("NaN variance accepted")
+	}
+}
+
+func TestTreeConsistencyUnobservedMidLevel(t *testing.T) {
+	// A mid-level unobserved node inside a deeper tree: node 1 is
+	// unobserved, its children 3,4 and sibling 2 are observed, root 0
+	// observed. Consistency must hold and the root must still pool
+	// information across branches.
+	spec := TreeSpec{
+		Parent:   []int{-1, 0, 0, 1, 1},
+		Variance: []float64{1, math.Inf(1), 1, 1, 1},
+	}
+	z := []float64{100, 0, 40, 25, 30}
+	h, err := TreeConsistency(spec, z)
+	if err != nil {
+		t.Fatalf("TreeConsistency: %v", err)
+	}
+	if !almostEqual(h[0], h[1]+h[2], 1e-9) {
+		t.Fatalf("root inconsistent: %v", h)
+	}
+	if !almostEqual(h[1], h[3]+h[4], 1e-9) {
+		t.Fatalf("unobserved node inconsistent: %v", h)
+	}
+}

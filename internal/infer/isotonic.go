@@ -1,0 +1,67 @@
+// Package infer implements the constrained-inference post-processing steps
+// that boost mechanism accuracy without touching the privacy budget:
+// isotonic regression for noisy cumulative histograms (Section 7.1, after
+// Hay et al. [9]), weighted least-squares consistency on hierarchical trees,
+// and least-squares projection onto known linear count constraints.
+//
+// Post-processing never degrades privacy: each function is a deterministic
+// map of already-released values.
+package infer
+
+// IsotonicRegression returns the L2 projection of y onto the cone of
+// non-decreasing sequences, computed with the pool-adjacent-violators
+// algorithm in O(n).
+//
+// This is the constrained inference step of the ordered mechanism: noisy
+// cumulative counts s̃ must be non-decreasing, and projecting them onto that
+// constraint reduces the error from O(|T|/ε²) to O(p·log³|T|/ε²) where p is
+// the number of distinct cumulative counts (sparse data ⇒ small p).
+func IsotonicRegression(y []float64) []float64 {
+	n := len(y)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	// Blocks of pooled values: each block stores its mean and weight.
+	means := make([]float64, 0, n)
+	weights := make([]int, 0, n)
+	for _, v := range y {
+		means = append(means, v)
+		weights = append(weights, 1)
+		// Pool while the last two blocks violate monotonicity.
+		for len(means) >= 2 && means[len(means)-2] > means[len(means)-1] {
+			m2, w2 := means[len(means)-1], weights[len(weights)-1]
+			m1, w1 := means[len(means)-2], weights[len(weights)-2]
+			means = means[:len(means)-1]
+			weights = weights[:len(weights)-1]
+			w := w1 + w2
+			means[len(means)-1] = (m1*float64(w1) + m2*float64(w2)) / float64(w)
+			weights[len(weights)-1] = w
+		}
+	}
+	i := 0
+	for b := range means {
+		for k := 0; k < weights[b]; k++ {
+			out[i] = means[b]
+			i++
+		}
+	}
+	return out
+}
+
+// MonotoneCumulative post-processes a noisy cumulative histogram: it
+// applies isotonic regression, clamps the sequence into [0, n] (both the
+// positivity constraint s1 ≥ 0 of Section 7.1 and the public cardinality
+// upper bound), and returns the result. Pass n < 0 to skip the upper clamp.
+func MonotoneCumulative(noisy []float64, n float64) []float64 {
+	out := IsotonicRegression(noisy)
+	for i := range out {
+		if out[i] < 0 {
+			out[i] = 0
+		}
+		if n >= 0 && out[i] > n {
+			out[i] = n
+		}
+	}
+	return out
+}

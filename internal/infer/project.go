@@ -1,0 +1,115 @@
+package infer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ProjectLinear returns the L2 projection of y onto the affine subspace
+// {x : Bx = c}: the closest vector to y that satisfies every linear
+// constraint exactly. B is row-major with len(c) rows and len(y) columns.
+//
+// Blowfish policies with count constraints publish the constraint answers,
+// so a released histogram can be post-processed to agree with them exactly;
+// this both removes the systematic inconsistency an analyst would see and
+// reduces error (projection never increases L2 distance to the truth,
+// because the truth itself satisfies the constraints).
+func ProjectLinear(y []float64, b [][]float64, c []float64) ([]float64, error) {
+	k := len(b)
+	if k != len(c) {
+		return nil, fmt.Errorf("infer: %d constraint rows but %d answers", k, len(c))
+	}
+	n := len(y)
+	for i, row := range b {
+		if len(row) != n {
+			return nil, fmt.Errorf("infer: constraint row %d has %d columns, want %d", i, len(row), n)
+		}
+	}
+	if k == 0 {
+		return append([]float64(nil), y...), nil
+	}
+	// Solve (B Bᵀ) λ = B y − c, then x = y − Bᵀ λ.
+	gram := make([][]float64, k)
+	for i := range gram {
+		gram[i] = make([]float64, k)
+		for j := 0; j <= i; j++ {
+			var dot float64
+			for t := 0; t < n; t++ {
+				dot += b[i][t] * b[j][t]
+			}
+			gram[i][j] = dot
+			gram[j][i] = dot
+		}
+	}
+	rhs := make([]float64, k)
+	for i := 0; i < k; i++ {
+		var dot float64
+		for t := 0; t < n; t++ {
+			dot += b[i][t] * y[t]
+		}
+		rhs[i] = dot - c[i]
+	}
+	lambda, err := solveSymmetric(gram, rhs)
+	if err != nil {
+		return nil, err
+	}
+	x := append([]float64(nil), y...)
+	for i := 0; i < k; i++ {
+		if lambda[i] == 0 {
+			continue
+		}
+		for t := 0; t < n; t++ {
+			x[t] -= b[i][t] * lambda[i]
+		}
+	}
+	return x, nil
+}
+
+// solveSymmetric solves Ax = b for a symmetric positive semi-definite A by
+// Gaussian elimination with partial pivoting. Redundant (linearly
+// dependent) constraints yield near-zero pivots and are dropped by setting
+// the corresponding multiplier to zero, which keeps projections onto
+// consistent but redundant constraint sets well-defined.
+func solveSymmetric(a [][]float64, b []float64) ([]float64, error) {
+	k := len(a)
+	m := make([][]float64, k)
+	for i := range m {
+		m[i] = append(append([]float64(nil), a[i]...), b[i])
+	}
+	const tol = 1e-9
+	perm := make([]int, 0, k)
+	for col := 0; col < k; col++ {
+		// Partial pivot.
+		pivot, best := -1, tol
+		for r := len(perm); r < k; r++ {
+			if v := math.Abs(m[r][col]); v > best {
+				pivot, best = r, v
+			}
+		}
+		if pivot == -1 {
+			continue // dependent column
+		}
+		r := len(perm)
+		m[r], m[pivot] = m[pivot], m[r]
+		perm = append(perm, col)
+		pv := m[r][col]
+		for i := 0; i < k; i++ {
+			if i == r || m[i][col] == 0 {
+				continue
+			}
+			f := m[i][col] / pv
+			for j := col; j <= k; j++ {
+				m[i][j] -= f * m[r][j]
+			}
+		}
+	}
+	x := make([]float64, k)
+	for r, col := range perm {
+		if m[r][col] == 0 {
+			return nil, errors.New("infer: singular constraint system")
+		}
+		x[col] = m[r][k] / m[r][col]
+	}
+	return x, nil
+}

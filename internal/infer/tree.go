@@ -1,0 +1,167 @@
+package infer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// TreeSpec describes a consistency tree: node v's true value equals the sum
+// of its children's true values, and every node carries an independent noisy
+// observation with a known variance. Parent[v] is -1 for the root; children
+// are derived. Multiple roots (a forest) are allowed.
+type TreeSpec struct {
+	// Parent[v] is the parent index of node v, or -1 for roots.
+	Parent []int
+	// Variance[v] is the noise variance of node v's observation. A variance
+	// of 0 marks an exactly known node (e.g. an unnoised public total); the
+	// estimator then pins that node's value. A variance of +Inf marks an
+	// unobserved internal node (e.g. a subtree total that was never
+	// released): its estimate comes entirely from its children, and its z
+	// value is ignored. Unobserved leaves are rejected — they carry no
+	// information at all.
+	Variance []float64
+}
+
+// TreeConsistency computes the generalized-least-squares estimate of all
+// node values given noisy observations z and the summation constraints of
+// the tree, via the two-pass algorithm of Hay et al. [9] extended to
+// per-node variances and irregular fanouts:
+//
+//  1. bottom-up, each node combines its own observation with the sum of its
+//     children's estimates by inverse-variance weighting;
+//  2. top-down, each node's final value distributes the residual between a
+//     parent's final value and its children's combined estimates in
+//     proportion to the children's variances.
+//
+// The result is consistent (parents equal the sum of children) and for
+// trees with independent noise it is the minimum-variance unbiased linear
+// estimator. Leaves of the returned slice can be summed to answer any range
+// consistently.
+func TreeConsistency(spec TreeSpec, z []float64) ([]float64, error) {
+	n := len(z)
+	if len(spec.Parent) != n || len(spec.Variance) != n {
+		return nil, fmt.Errorf("infer: spec size mismatch: parent %d, variance %d, z %d", len(spec.Parent), len(spec.Variance), n)
+	}
+	children := make([][]int, n)
+	roots := make([]int, 0, 1)
+	for v, p := range spec.Parent {
+		switch {
+		case p == -1:
+			roots = append(roots, v)
+		case p < 0 || p >= n:
+			return nil, fmt.Errorf("infer: node %d has invalid parent %d", v, p)
+		case p == v:
+			return nil, fmt.Errorf("infer: node %d is its own parent", v)
+		default:
+			children[p] = append(children[p], v)
+		}
+	}
+	if len(roots) == 0 {
+		return nil, errors.New("infer: no root node")
+	}
+	for v, va := range spec.Variance {
+		if va < 0 || (va != va) { // negative or NaN
+			return nil, fmt.Errorf("infer: node %d has invalid variance %v", v, va)
+		}
+		if math.IsInf(va, 1) && len(children[v]) == 0 {
+			return nil, fmt.Errorf("infer: leaf %d is unobserved (infinite variance)", v)
+		}
+	}
+	order, err := topoOrder(spec.Parent, children, roots)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 1 (bottom-up): y[v] is the best estimate of node v using only its
+	// subtree; varY[v] its variance. Inverse-variance weighting of the own
+	// observation z[v] (variance σ²) against the children-sum estimate
+	// (variance Σ varY[c]).
+	y := make([]float64, n)
+	varY := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		v := order[i]
+		if len(children[v]) == 0 {
+			y[v] = z[v]
+			varY[v] = spec.Variance[v]
+			continue
+		}
+		var childSum, childVar float64
+		for _, c := range children[v] {
+			childSum += y[c]
+			childVar += varY[c]
+		}
+		own := spec.Variance[v]
+		switch {
+		case own == 0:
+			// Exact observation pins the node (exact children are expected
+			// to be consistent with it).
+			y[v] = z[v]
+			varY[v] = 0
+		case childVar == 0:
+			y[v] = childSum
+			varY[v] = 0
+		case math.IsInf(own, 1):
+			// Unobserved node: the children's sum is all we know.
+			y[v] = childSum
+			varY[v] = childVar
+		default:
+			w := childVar / (own + childVar) // weight on own observation
+			y[v] = w*z[v] + (1-w)*childSum
+			varY[v] = own * childVar / (own + childVar)
+		}
+	}
+
+	// Pass 2 (top-down): h[root] = y[root]; children split the residual
+	// h[v] - Σ y[c] in proportion to their subtree variances.
+	h := make([]float64, n)
+	for _, v := range order {
+		if spec.Parent[v] == -1 {
+			h[v] = y[v]
+		}
+		if len(children[v]) == 0 {
+			continue
+		}
+		var childSum, childVar float64
+		for _, c := range children[v] {
+			childSum += y[c]
+			childVar += varY[c]
+		}
+		resid := h[v] - childSum
+		if childVar == 0 {
+			// Children are exact: they cannot absorb residual. (resid must
+			// be 0 for consistent exact inputs; distribute equally if not.)
+			for _, c := range children[v] {
+				h[c] = y[c] + resid/float64(len(children[v]))
+			}
+			continue
+		}
+		for _, c := range children[v] {
+			h[c] = y[c] + resid*(varY[c]/childVar)
+		}
+	}
+	return h, nil
+}
+
+// topoOrder returns nodes in root-first order and verifies the parent
+// structure is acyclic.
+func topoOrder(parent []int, children [][]int, roots []int) ([]int, error) {
+	n := len(parent)
+	order := make([]int, 0, n)
+	seen := make([]bool, n)
+	stack := append([]int(nil), roots...)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[v] {
+			return nil, fmt.Errorf("infer: node %d reached twice; parent links form a cycle or a DAG", v)
+		}
+		seen[v] = true
+		order = append(order, v)
+		stack = append(stack, children[v]...)
+	}
+	if len(order) != n {
+		return nil, errors.New("infer: parent links contain a cycle")
+	}
+	return order, nil
+}

@@ -1,0 +1,232 @@
+// Package kmeans implements Lloyd's k-means clustering and the SuLQ-style
+// private variant of Blum et al. [2] that Section 6 builds on.
+//
+// Each private iteration answers two queries — per-cluster sizes (qsize,
+// sensitivity 2) and per-cluster coordinate sums (qsum, policy-specific
+// sensitivity per Lemma 6.1) — with Laplace noise. One implementation serves
+// every privacy mode: ε-differential privacy and each Blowfish policy differ
+// only in the sensitivities supplied, exactly mirroring the paper's Figure 1
+// comparisons.
+package kmeans
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"blowfish/internal/noise"
+)
+
+// Result holds the clustering output.
+type Result struct {
+	// Centroids are the final cluster centers.
+	Centroids [][]float64
+	// Objective is the k-means objective (Eq. 10) of the final centroids on
+	// the true data.
+	Objective float64
+}
+
+// Config parameterizes a clustering run.
+type Config struct {
+	// K is the number of clusters (>= 1).
+	K int
+	// Iterations is the fixed number of Lloyd iterations (the paper uses 10).
+	Iterations int
+	// Lo and Hi bound each coordinate (inclusive); noisy centroids are
+	// clamped into the box. Required for private runs; optional (nil) for
+	// non-private runs.
+	Lo, Hi []float64
+}
+
+// PrivateConfig extends Config with the privacy calibration.
+type PrivateConfig struct {
+	Config
+	// Epsilon is the total privacy budget across all iterations.
+	Epsilon float64
+	// SizeSensitivity is S(qsize, P); 2 under every policy in the paper.
+	SizeSensitivity float64
+	// SumSensitivity is S(qsum, P): 2·d(T) for differential privacy, the
+	// Lemma 6.1 values for Blowfish policies (policy.SumSensitivity).
+	SumSensitivity float64
+}
+
+func (c Config) validate(dims int) error {
+	if c.K < 1 {
+		return fmt.Errorf("kmeans: k = %d < 1", c.K)
+	}
+	if c.Iterations < 1 {
+		return fmt.Errorf("kmeans: iterations = %d < 1", c.Iterations)
+	}
+	if (c.Lo == nil) != (c.Hi == nil) {
+		return errors.New("kmeans: Lo and Hi must both be set or both nil")
+	}
+	if c.Lo != nil && (len(c.Lo) != dims || len(c.Hi) != dims) {
+		return fmt.Errorf("kmeans: bounds dimension %d/%d, want %d", len(c.Lo), len(c.Hi), dims)
+	}
+	return nil
+}
+
+// Lloyd runs non-private k-means with random-point initialization drawn
+// from src. The number of points must be at least K.
+func Lloyd(points [][]float64, cfg Config, src *noise.Source) (Result, error) {
+	return run(points, cfg, 0, 0, src)
+}
+
+// PrivateLloyd runs SuLQ k-means: every iteration spends ε/Iterations,
+// split evenly between the size and sum queries. It requires coordinate
+// bounds for clamping noisy centroids.
+func PrivateLloyd(points [][]float64, cfg PrivateConfig, src *noise.Source) (Result, error) {
+	if cfg.Epsilon <= 0 || math.IsNaN(cfg.Epsilon) || math.IsInf(cfg.Epsilon, 0) {
+		return Result{}, fmt.Errorf("kmeans: invalid epsilon %v", cfg.Epsilon)
+	}
+	if cfg.SizeSensitivity < 0 || cfg.SumSensitivity < 0 {
+		return Result{}, errors.New("kmeans: negative sensitivity")
+	}
+	if cfg.Lo == nil {
+		return Result{}, errors.New("kmeans: private runs require coordinate bounds")
+	}
+	epsIter := cfg.Epsilon / float64(cfg.Iterations)
+	sizeScale := 0.0
+	sumScale := 0.0
+	if cfg.SizeSensitivity > 0 {
+		sizeScale = cfg.SizeSensitivity / (epsIter / 2)
+	}
+	if cfg.SumSensitivity > 0 {
+		sumScale = cfg.SumSensitivity / (epsIter / 2)
+	}
+	return run(points, cfg.Config, sizeScale, sumScale, src)
+}
+
+// run is the shared Lloyd loop; sizeScale/sumScale of 0 mean exact queries.
+func run(points [][]float64, cfg Config, sizeScale, sumScale float64, src *noise.Source) (Result, error) {
+	n := len(points)
+	if n == 0 {
+		return Result{}, errors.New("kmeans: empty dataset")
+	}
+	dims := len(points[0])
+	for i, p := range points {
+		if len(p) != dims {
+			return Result{}, fmt.Errorf("kmeans: point %d has %d dims, want %d", i, len(p), dims)
+		}
+	}
+	if err := cfg.validate(dims); err != nil {
+		return Result{}, err
+	}
+	if n < cfg.K {
+		return Result{}, fmt.Errorf("kmeans: %d points for k = %d", n, cfg.K)
+	}
+	if src == nil {
+		return Result{}, errors.New("kmeans: nil noise source")
+	}
+
+	// Initialize centroids at k distinct random data points.
+	centroids := make([][]float64, cfg.K)
+	perm := src.Perm(n)
+	for i := 0; i < cfg.K; i++ {
+		centroids[i] = append([]float64(nil), points[perm[i]]...)
+	}
+
+	assign := make([]int, n)
+	counts := make([]float64, cfg.K)
+	sums := make([][]float64, cfg.K)
+	for i := range sums {
+		sums[i] = make([]float64, dims)
+	}
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		// Assignment step.
+		for i, p := range points {
+			assign[i] = nearest(p, centroids)
+		}
+		// Aggregate qsize and qsum.
+		for c := range counts {
+			counts[c] = 0
+			for d := range sums[c] {
+				sums[c][d] = 0
+			}
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for d, v := range p {
+				sums[c][d] += v
+			}
+		}
+		// Noisy update.
+		for c := 0; c < cfg.K; c++ {
+			cnt := counts[c] + src.Laplace(sizeScale)
+			if cnt < 1 {
+				// Degenerate cluster: keep the previous centroid, as SuLQ
+				// implementations do when the noisy count collapses.
+				continue
+			}
+			for d := 0; d < dims; d++ {
+				v := (sums[c][d] + src.Laplace(sumScale)) / cnt
+				if cfg.Lo != nil {
+					if v < cfg.Lo[d] {
+						v = cfg.Lo[d]
+					}
+					if v > cfg.Hi[d] {
+						v = cfg.Hi[d]
+					}
+				}
+				centroids[c][d] = v
+			}
+		}
+	}
+	return Result{Centroids: centroids, Objective: Objective(points, centroids)}, nil
+}
+
+// nearest returns the index of the centroid closest to p in L2.
+func nearest(p []float64, centroids [][]float64) int {
+	best, bestD := 0, math.Inf(1)
+	for c, ctr := range centroids {
+		var d float64
+		for j, v := range p {
+			diff := v - ctr[j]
+			d += diff * diff
+		}
+		if d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// Objective evaluates the k-means objective (Eq. 10): the sum of squared L2
+// distances from each point to its nearest centroid.
+func Objective(points [][]float64, centroids [][]float64) float64 {
+	var total float64
+	for _, p := range points {
+		c := nearest(p, centroids)
+		for j, v := range p {
+			diff := v - centroids[c][j]
+			total += diff * diff
+		}
+	}
+	return total
+}
+
+// Bounds computes per-dimension [min, max] over the points — the clamping
+// box for private runs when the domain bounds are not known a priori.
+func Bounds(points [][]float64) (lo, hi []float64, err error) {
+	if len(points) == 0 {
+		return nil, nil, errors.New("kmeans: empty dataset")
+	}
+	dims := len(points[0])
+	lo = append([]float64(nil), points[0]...)
+	hi = append([]float64(nil), points[0]...)
+	for _, p := range points {
+		if len(p) != dims {
+			return nil, nil, errors.New("kmeans: inconsistent dimensions")
+		}
+		for d, v := range p {
+			if v < lo[d] {
+				lo[d] = v
+			}
+			if v > hi[d] {
+				hi[d] = v
+			}
+		}
+	}
+	return lo, hi, nil
+}

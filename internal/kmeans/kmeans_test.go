@@ -1,0 +1,210 @@
+package kmeans
+
+import (
+	"math"
+	"testing"
+
+	"blowfish/internal/noise"
+)
+
+// twoClusters returns well-separated clusters around (0,0) and (100,100).
+func twoClusters(src *noise.Source, perCluster int) [][]float64 {
+	var pts [][]float64
+	for i := 0; i < perCluster; i++ {
+		pts = append(pts, []float64{src.Gaussian(1), src.Gaussian(1)})
+		pts = append(pts, []float64{100 + src.Gaussian(1), 100 + src.Gaussian(1)})
+	}
+	return pts
+}
+
+func TestLloydSeparatesClusters(t *testing.T) {
+	src := noise.NewSource(3)
+	pts := twoClusters(src, 100)
+	res, err := Lloyd(pts, Config{K: 2, Iterations: 10}, src)
+	if err != nil {
+		t.Fatalf("Lloyd: %v", err)
+	}
+	// Both cluster centers recovered (order free).
+	var nearOrigin, nearHundred bool
+	for _, c := range res.Centroids {
+		if math.Abs(c[0]) < 5 && math.Abs(c[1]) < 5 {
+			nearOrigin = true
+		}
+		if math.Abs(c[0]-100) < 5 && math.Abs(c[1]-100) < 5 {
+			nearHundred = true
+		}
+	}
+	if !nearOrigin || !nearHundred {
+		t.Fatalf("centroids %v do not match clusters", res.Centroids)
+	}
+	// Objective ≈ per-point variance: 200 points × E||g||² ≈ 200·2.
+	if res.Objective > 800 {
+		t.Fatalf("objective %v too large for clean clusters", res.Objective)
+	}
+}
+
+func TestLloydValidation(t *testing.T) {
+	src := noise.NewSource(1)
+	pts := [][]float64{{1, 2}, {3, 4}}
+	if _, err := Lloyd(pts, Config{K: 0, Iterations: 5}, src); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Lloyd(pts, Config{K: 2, Iterations: 0}, src); err == nil {
+		t.Error("iterations=0 accepted")
+	}
+	if _, err := Lloyd(pts, Config{K: 5, Iterations: 5}, src); err == nil {
+		t.Error("k > n accepted")
+	}
+	if _, err := Lloyd(nil, Config{K: 1, Iterations: 1}, src); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, err := Lloyd([][]float64{{1}, {1, 2}}, Config{K: 1, Iterations: 1}, src); err == nil {
+		t.Error("ragged points accepted")
+	}
+	if _, err := Lloyd(pts, Config{K: 1, Iterations: 1, Lo: []float64{0}}, src); err == nil {
+		t.Error("Lo without Hi accepted")
+	}
+	if _, err := Lloyd(pts, Config{K: 1, Iterations: 1}, nil); err == nil {
+		t.Error("nil source accepted")
+	}
+}
+
+func TestPrivateLloydValidation(t *testing.T) {
+	src := noise.NewSource(1)
+	pts := twoClusters(src, 10)
+	base := PrivateConfig{
+		Config:          Config{K: 2, Iterations: 5, Lo: []float64{-10, -10}, Hi: []float64{110, 110}},
+		Epsilon:         1,
+		SizeSensitivity: 2,
+		SumSensitivity:  4,
+	}
+	bad := base
+	bad.Epsilon = 0
+	if _, err := PrivateLloyd(pts, bad, src); err == nil {
+		t.Error("zero epsilon accepted")
+	}
+	bad = base
+	bad.SumSensitivity = -1
+	if _, err := PrivateLloyd(pts, bad, src); err == nil {
+		t.Error("negative sensitivity accepted")
+	}
+	bad = base
+	bad.Lo, bad.Hi = nil, nil
+	if _, err := PrivateLloyd(pts, bad, src); err == nil {
+		t.Error("missing bounds accepted")
+	}
+}
+
+func TestPrivateLloydZeroSensitivityMatchesExact(t *testing.T) {
+	// With zero sensitivities (e.g. the partition|finest policy of Fig 1f)
+	// the private run must equal the non-private run seed-for-seed.
+	pts := twoClusters(noise.NewSource(5), 50)
+	cfg := Config{K: 2, Iterations: 8, Lo: []float64{-1000, -1000}, Hi: []float64{1000, 1000}}
+	exact, err := Lloyd(pts, cfg, noise.NewSource(42))
+	if err != nil {
+		t.Fatalf("Lloyd: %v", err)
+	}
+	private, err := PrivateLloyd(pts, PrivateConfig{Config: cfg, Epsilon: 0.1}, noise.NewSource(42))
+	if err != nil {
+		t.Fatalf("PrivateLloyd: %v", err)
+	}
+	if math.Abs(exact.Objective-private.Objective) > 1e-9 {
+		t.Fatalf("zero-sensitivity private objective %v != exact %v", private.Objective, exact.Objective)
+	}
+}
+
+func TestPrivateNoiseDegradesWithLowerEpsilonAndHigherSensitivity(t *testing.T) {
+	src := noise.NewSource(9)
+	pts := twoClusters(src, 200)
+	cfg := Config{K: 2, Iterations: 10, Lo: []float64{-20, -20}, Hi: []float64{120, 120}}
+	objective := func(eps, sumSens float64, seed int64) float64 {
+		var total float64
+		const reps = 30
+		for r := int64(0); r < reps; r++ {
+			res, err := PrivateLloyd(pts, PrivateConfig{
+				Config: cfg, Epsilon: eps, SizeSensitivity: 2, SumSensitivity: sumSens,
+			}, noise.NewSource(seed+r))
+			if err != nil {
+				t.Fatalf("PrivateLloyd: %v", err)
+			}
+			total += res.Objective
+		}
+		return total / reps
+	}
+	// Blowfish-style small sum sensitivity should beat DP-style large one.
+	small := objective(0.5, 4, 100)   // e.g. θ=2 policy: 2θ = 4
+	large := objective(0.5, 480, 200) // DP: 2·d(T) with diameter 240
+	if small >= large {
+		t.Fatalf("low-sensitivity objective %v not better than high-sensitivity %v", small, large)
+	}
+}
+
+func TestCentroidsStayInBounds(t *testing.T) {
+	src := noise.NewSource(11)
+	pts := twoClusters(src, 50)
+	lo := []float64{-5, -5}
+	hi := []float64{105, 105}
+	res, err := PrivateLloyd(pts, PrivateConfig{
+		Config:          Config{K: 3, Iterations: 10, Lo: lo, Hi: hi},
+		Epsilon:         0.05, // large noise
+		SizeSensitivity: 2,
+		SumSensitivity:  400,
+	}, src)
+	if err != nil {
+		t.Fatalf("PrivateLloyd: %v", err)
+	}
+	for _, c := range res.Centroids {
+		for d := range c {
+			if c[d] < lo[d] || c[d] > hi[d] {
+				t.Fatalf("centroid %v escaped bounds", c)
+			}
+		}
+	}
+}
+
+func TestObjective(t *testing.T) {
+	pts := [][]float64{{0, 0}, {2, 0}, {10, 0}}
+	cents := [][]float64{{1, 0}, {10, 0}}
+	// Points 0,1 to centroid (1,0): 1+1; point 2 to (10,0): 0.
+	if got, want := Objective(pts, cents), 2.0; got != want {
+		t.Fatalf("Objective = %v, want %v", got, want)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	pts := [][]float64{{1, 5}, {-3, 2}, {4, 4}}
+	lo, hi, err := Bounds(pts)
+	if err != nil {
+		t.Fatalf("Bounds: %v", err)
+	}
+	if lo[0] != -3 || lo[1] != 2 || hi[0] != 4 || hi[1] != 5 {
+		t.Fatalf("Bounds = %v %v", lo, hi)
+	}
+	if _, _, err := Bounds(nil); err == nil {
+		t.Error("empty Bounds accepted")
+	}
+	if _, _, err := Bounds([][]float64{{1}, {1, 2}}); err == nil {
+		t.Error("ragged Bounds accepted")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	pts := twoClusters(noise.NewSource(13), 40)
+	cfg := PrivateConfig{
+		Config:          Config{K: 2, Iterations: 5, Lo: []float64{-10, -10}, Hi: []float64{110, 110}},
+		Epsilon:         1,
+		SizeSensitivity: 2,
+		SumSensitivity:  10,
+	}
+	a, err := PrivateLloyd(pts, cfg, noise.NewSource(77))
+	if err != nil {
+		t.Fatalf("PrivateLloyd: %v", err)
+	}
+	b, err := PrivateLloyd(pts, cfg, noise.NewSource(77))
+	if err != nil {
+		t.Fatalf("PrivateLloyd: %v", err)
+	}
+	if a.Objective != b.Objective {
+		t.Fatalf("same seed, different objectives: %v vs %v", a.Objective, b.Objective)
+	}
+}

@@ -1,0 +1,182 @@
+// Package mechanism implements the noise-adding release mechanisms that
+// Blowfish policies calibrate: the Laplace mechanism of Definition 2.3 /
+// Theorem 5.1 and a geometric (discrete Laplace) variant, together with the
+// error metrics used throughout the evaluation (Definition 2.4).
+package mechanism
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"blowfish/internal/domain"
+	"blowfish/internal/noise"
+	"blowfish/internal/policy"
+)
+
+// Laplace is the Laplace mechanism: it privately releases a vector-valued
+// query with noise scale sensitivity/ε per coordinate. With the
+// policy-specific sensitivity S(f, P) it satisfies (ε, P)-Blowfish privacy
+// (Theorem 5.1); with the global sensitivity it is the classical
+// ε-differentially-private mechanism.
+type Laplace struct {
+	eps   float64
+	sens  float64
+	scale float64
+	src   *noise.Source
+}
+
+// NewLaplace constructs a Laplace mechanism for the given privacy budget
+// and sensitivity. A sensitivity of zero yields the exact (noiseless)
+// release that Blowfish permits for queries no secret pair can influence.
+func NewLaplace(eps, sensitivity float64, src *noise.Source) (*Laplace, error) {
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("mechanism: invalid epsilon %v", eps)
+	}
+	if sensitivity < 0 || math.IsNaN(sensitivity) || math.IsInf(sensitivity, 0) {
+		return nil, fmt.Errorf("mechanism: invalid sensitivity %v", sensitivity)
+	}
+	if src == nil {
+		return nil, errors.New("mechanism: nil noise source")
+	}
+	return &Laplace{eps: eps, sens: sensitivity, scale: sensitivity / eps, src: src}, nil
+}
+
+// Epsilon returns the privacy budget ε.
+func (m *Laplace) Epsilon() float64 { return m.eps }
+
+// Sensitivity returns the calibrated sensitivity.
+func (m *Laplace) Sensitivity() float64 { return m.sens }
+
+// Scale returns the per-coordinate noise scale b = sensitivity/ε.
+func (m *Laplace) Scale() float64 { return m.scale }
+
+// Release returns truth + Lap(scale)^d, leaving truth unmodified.
+func (m *Laplace) Release(truth []float64) []float64 {
+	out := make([]float64, len(truth))
+	for i, v := range truth {
+		out[i] = v + m.src.Laplace(m.scale)
+	}
+	return out
+}
+
+// ReleaseScalar releases a single number.
+func (m *Laplace) ReleaseScalar(truth float64) float64 {
+	return truth + m.src.Laplace(m.scale)
+}
+
+// ExpectedMSE returns the expected mean squared error of a d-dimensional
+// release: d · 2b² (each Laplace coordinate has variance 2b²).
+func (m *Laplace) ExpectedMSE(d int) float64 {
+	return float64(d) * 2 * m.scale * m.scale
+}
+
+// Geometric is the discrete counterpart of Laplace: it perturbs integer
+// counts with two-sided geometric noise of the same scale, keeping releases
+// integral. Useful when consumers require integer counts.
+type Geometric struct {
+	eps   float64
+	sens  float64
+	scale float64
+	src   *noise.Source
+}
+
+// NewGeometric constructs a geometric mechanism.
+func NewGeometric(eps, sensitivity float64, src *noise.Source) (*Geometric, error) {
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("mechanism: invalid epsilon %v", eps)
+	}
+	if sensitivity < 0 || math.IsNaN(sensitivity) || math.IsInf(sensitivity, 0) {
+		return nil, fmt.Errorf("mechanism: invalid sensitivity %v", sensitivity)
+	}
+	if src == nil {
+		return nil, errors.New("mechanism: nil noise source")
+	}
+	return &Geometric{eps: eps, sens: sensitivity, scale: sensitivity / eps, src: src}, nil
+}
+
+// Release perturbs each integer count with two-sided geometric noise.
+func (m *Geometric) Release(truth []int64) []int64 {
+	out := make([]int64, len(truth))
+	for i, v := range truth {
+		out[i] = v + m.src.TwoSidedGeometric(m.scale)
+	}
+	return out
+}
+
+// ReleaseHistogram releases the complete histogram h(D) under the policy:
+// noise is calibrated to the policy-specific sensitivity (2, or 0 for
+// edgeless secret graphs). Only unconstrained policies are accepted here;
+// constrained histogram release lives in package constraints.
+func ReleaseHistogram(p *policy.Policy, ds *domain.Dataset, eps float64, src *noise.Source) ([]float64, error) {
+	sens, err := p.HistogramSensitivity()
+	if err != nil {
+		return nil, err
+	}
+	truth, err := ds.Histogram()
+	if err != nil {
+		return nil, err
+	}
+	m, err := NewLaplace(eps, sens, src)
+	if err != nil {
+		return nil, err
+	}
+	return m.Release(truth), nil
+}
+
+// ReleasePartitionHistogram releases the histogram over the blocks of part
+// with policy-calibrated noise; when every secret pair stays within a block
+// the release is exact (sensitivity 0), the coarse-grid case of Section 5.
+func ReleasePartitionHistogram(p *policy.Policy, ds *domain.Dataset, part domain.Partition, eps float64, src *noise.Source) ([]float64, error) {
+	sens, err := p.PartitionHistogramSensitivity(part)
+	if err != nil {
+		return nil, err
+	}
+	truth, err := ds.PartitionHistogram(part)
+	if err != nil {
+		return nil, err
+	}
+	m, err := NewLaplace(eps, sens, src)
+	if err != nil {
+		return nil, err
+	}
+	return m.Release(truth), nil
+}
+
+// MSE returns the mean squared error between a true and a released vector
+// (Definition 2.4 averaged over coordinates).
+func MSE(truth, released []float64) float64 {
+	if len(truth) != len(released) {
+		panic(fmt.Sprintf("mechanism: MSE dimension mismatch %d vs %d", len(truth), len(released)))
+	}
+	if len(truth) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range truth {
+		d := truth[i] - released[i]
+		sum += d * d
+	}
+	return sum / float64(len(truth))
+}
+
+// TotalSquaredError returns the summed squared error E_M(D) of Definition
+// 2.4 (no averaging).
+func TotalSquaredError(truth, released []float64) float64 {
+	return MSE(truth, released) * float64(len(truth))
+}
+
+// MeanAbsoluteError returns the mean L1 error per coordinate.
+func MeanAbsoluteError(truth, released []float64) float64 {
+	if len(truth) != len(released) {
+		panic(fmt.Sprintf("mechanism: MAE dimension mismatch %d vs %d", len(truth), len(released)))
+	}
+	if len(truth) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range truth {
+		sum += math.Abs(truth[i] - released[i])
+	}
+	return sum / float64(len(truth))
+}

@@ -1,0 +1,313 @@
+package mechanism
+
+import (
+	"math"
+	"testing"
+
+	"blowfish/internal/domain"
+	"blowfish/internal/noise"
+	"blowfish/internal/policy"
+	"blowfish/internal/secgraph"
+)
+
+func TestNewLaplaceValidation(t *testing.T) {
+	src := noise.NewSource(1)
+	cases := []struct {
+		name string
+		eps  float64
+		sens float64
+		src  *noise.Source
+	}{
+		{"zero eps", 0, 1, src},
+		{"negative eps", -1, 1, src},
+		{"nan eps", math.NaN(), 1, src},
+		{"inf eps", math.Inf(1), 1, src},
+		{"negative sens", 1, -2, src},
+		{"nan sens", 1, math.NaN(), src},
+		{"nil source", 1, 1, nil},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := NewLaplace(c.eps, c.sens, c.src); err == nil {
+				t.Fatal("invalid mechanism accepted")
+			}
+		})
+	}
+	m, err := NewLaplace(0.5, 2, src)
+	if err != nil {
+		t.Fatalf("NewLaplace: %v", err)
+	}
+	if m.Scale() != 4 {
+		t.Fatalf("Scale = %v, want 4", m.Scale())
+	}
+	if m.Epsilon() != 0.5 || m.Sensitivity() != 2 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestLaplaceZeroSensitivityIsExact(t *testing.T) {
+	m, err := NewLaplace(1, 0, noise.NewSource(2))
+	if err != nil {
+		t.Fatalf("NewLaplace: %v", err)
+	}
+	truth := []float64{1, 2, 3}
+	got := m.Release(truth)
+	for i := range truth {
+		if got[i] != truth[i] {
+			t.Fatalf("zero-sensitivity release perturbed: %v", got)
+		}
+	}
+}
+
+func TestLaplaceReleaseDoesNotMutateInput(t *testing.T) {
+	m, err := NewLaplace(1, 1, noise.NewSource(3))
+	if err != nil {
+		t.Fatalf("NewLaplace: %v", err)
+	}
+	truth := []float64{5, 5}
+	_ = m.Release(truth)
+	if truth[0] != 5 || truth[1] != 5 {
+		t.Fatal("Release mutated its input")
+	}
+}
+
+func TestLaplaceEmpiricalMSE(t *testing.T) {
+	const (
+		eps  = 0.5
+		sens = 2.0
+		dims = 8
+		reps = 20000
+	)
+	m, err := NewLaplace(eps, sens, noise.NewSource(7))
+	if err != nil {
+		t.Fatalf("NewLaplace: %v", err)
+	}
+	truth := make([]float64, dims)
+	var total float64
+	for r := 0; r < reps; r++ {
+		rel := m.Release(truth)
+		total += TotalSquaredError(truth, rel)
+	}
+	got := total / reps
+	want := m.ExpectedMSE(dims) // 8 · 2·(4)² = 256
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("empirical total squared error = %v, want ~%v", got, want)
+	}
+	if want != 256 {
+		t.Fatalf("ExpectedMSE = %v, want 256", want)
+	}
+}
+
+func TestGeometricRelease(t *testing.T) {
+	m, err := NewGeometric(0.5, 2, noise.NewSource(9))
+	if err != nil {
+		t.Fatalf("NewGeometric: %v", err)
+	}
+	truth := []int64{10, 20, 30}
+	got := m.Release(truth)
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	changed := false
+	for i := range got {
+		if got[i] != truth[i] {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Error("geometric release added no noise at eps=0.5 (astronomically unlikely)")
+	}
+	if _, err := NewGeometric(-1, 1, noise.NewSource(1)); err == nil {
+		t.Error("invalid epsilon accepted")
+	}
+	if _, err := NewGeometric(1, 1, nil); err == nil {
+		t.Error("nil source accepted")
+	}
+}
+
+func TestReleaseHistogram(t *testing.T) {
+	d := domain.MustLine("v", 6)
+	ds := domain.NewDataset(d)
+	for _, v := range []int{0, 0, 3, 5} {
+		ds.MustAdd(domain.Point(v))
+	}
+	p := policy.Differential(d)
+	rel, err := ReleaseHistogram(p, ds, 1.0, noise.NewSource(11))
+	if err != nil {
+		t.Fatalf("ReleaseHistogram: %v", err)
+	}
+	if len(rel) != 6 {
+		t.Fatalf("len = %d, want 6", len(rel))
+	}
+	truth, err := ds.Histogram()
+	if err != nil {
+		t.Fatalf("Histogram: %v", err)
+	}
+	if MSE(truth, rel) == 0 {
+		t.Error("DP histogram release added no noise")
+	}
+	// Identity-partition policy: sensitivity 0 ⇒ exact release.
+	ident, err := domain.Identity(d)
+	if err != nil {
+		t.Fatalf("Identity: %v", err)
+	}
+	exactP := policy.New(secgraph.NewPartition(ident))
+	rel, err = ReleaseHistogram(exactP, ds, 1.0, noise.NewSource(12))
+	if err != nil {
+		t.Fatalf("ReleaseHistogram: %v", err)
+	}
+	if MSE(truth, rel) != 0 {
+		t.Error("zero-sensitivity histogram release was noisy")
+	}
+}
+
+func TestReleasePartitionHistogram(t *testing.T) {
+	d := domain.MustLine("v", 8)
+	ds := domain.NewDataset(d)
+	for v := 0; v < 8; v++ {
+		ds.MustAdd(domain.Point(v))
+	}
+	fine, err := domain.NewUniformGrid(d, []int{2})
+	if err != nil {
+		t.Fatalf("NewUniformGrid: %v", err)
+	}
+	coarse, err := domain.NewUniformGrid(d, []int{4})
+	if err != nil {
+		t.Fatalf("NewUniformGrid: %v", err)
+	}
+	// Policy partitioned by fine: the coarse histogram is exact.
+	p := policy.New(secgraph.NewPartition(fine))
+	rel, err := ReleasePartitionHistogram(p, ds, coarse, 1.0, noise.NewSource(13))
+	if err != nil {
+		t.Fatalf("ReleasePartitionHistogram: %v", err)
+	}
+	truth, err := ds.PartitionHistogram(coarse)
+	if err != nil {
+		t.Fatalf("PartitionHistogram: %v", err)
+	}
+	if MSE(truth, rel) != 0 {
+		t.Error("refined-partition release was noisy")
+	}
+	// Differential privacy: noisy.
+	rel, err = ReleasePartitionHistogram(policy.Differential(d), ds, coarse, 1.0, noise.NewSource(14))
+	if err != nil {
+		t.Fatalf("ReleasePartitionHistogram: %v", err)
+	}
+	if MSE(truth, rel) == 0 {
+		t.Error("DP partition release added no noise")
+	}
+}
+
+func TestErrorMetrics(t *testing.T) {
+	truth := []float64{1, 2, 3}
+	rel := []float64{2, 2, 5}
+	if got, want := MSE(truth, rel), (1.0+0+4)/3; got != want {
+		t.Fatalf("MSE = %v, want %v", got, want)
+	}
+	if got, want := TotalSquaredError(truth, rel), 5.0; got != want {
+		t.Fatalf("TotalSquaredError = %v, want %v", got, want)
+	}
+	if got, want := MeanAbsoluteError(truth, rel), (1.0+0+2)/3; got != want {
+		t.Fatalf("MeanAbsoluteError = %v, want %v", got, want)
+	}
+	if MSE(nil, nil) != 0 {
+		t.Fatal("empty MSE not 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MSE dimension mismatch did not panic")
+		}
+	}()
+	MSE([]float64{1}, []float64{1, 2})
+}
+
+// Statistical privacy smoke test: for the histogram query on neighboring
+// datasets, the probability of landing in a fixed output region differs by
+// at most e^ε (with sampling slack). This exercises the full release path.
+func TestLaplaceReleaseIndistinguishability(t *testing.T) {
+	const (
+		eps  = 1.0
+		reps = 200000
+	)
+	d := domain.MustLine("v", 3)
+	ds1 := domain.NewDataset(d)
+	ds1.MustAdd(0)
+	ds2 := domain.NewDataset(d)
+	ds2.MustAdd(1) // neighbor: one tuple changed 0 -> 1
+	p := policy.Differential(d)
+	src := noise.NewSource(17)
+	// Region: released count of value 0 exceeds 0.5.
+	count1, count2 := 0, 0
+	for r := 0; r < reps; r++ {
+		rel1, err := ReleaseHistogram(p, ds1, eps, src)
+		if err != nil {
+			t.Fatalf("ReleaseHistogram: %v", err)
+		}
+		if rel1[0] > 0.5 {
+			count1++
+		}
+		rel2, err := ReleaseHistogram(p, ds2, eps, src)
+		if err != nil {
+			t.Fatalf("ReleaseHistogram: %v", err)
+		}
+		if rel2[0] > 0.5 {
+			count2++
+		}
+	}
+	p1 := float64(count1) / reps
+	p2 := float64(count2) / reps
+	ratio := p1 / p2
+	if ratio < 1 {
+		ratio = 1 / ratio
+	}
+	if ratio > math.Exp(eps)*1.1 {
+		t.Fatalf("probability ratio %v exceeds e^ε = %v", ratio, math.Exp(eps))
+	}
+}
+
+func TestReleaseScalar(t *testing.T) {
+	m, err := NewLaplace(1, 2, noise.NewSource(31))
+	if err != nil {
+		t.Fatalf("NewLaplace: %v", err)
+	}
+	const reps = 20000
+	var sum float64
+	for i := 0; i < reps; i++ {
+		sum += m.ReleaseScalar(10)
+	}
+	if mean := sum / reps; math.Abs(mean-10) > 0.1 {
+		t.Fatalf("ReleaseScalar mean = %v, want ~10", mean)
+	}
+	// Zero sensitivity: exact.
+	exact, err := NewLaplace(1, 0, noise.NewSource(1))
+	if err != nil {
+		t.Fatalf("NewLaplace: %v", err)
+	}
+	if got := exact.ReleaseScalar(7); got != 7 {
+		t.Fatalf("zero-sensitivity scalar = %v", got)
+	}
+}
+
+func TestReleaseHistogramErrors(t *testing.T) {
+	d := domain.MustLine("v", 4)
+	ds := domain.NewDataset(d)
+	ds.MustAdd(0)
+	// Constrained policy routed to the wrong helper errors cleanly.
+	type fakeConstraint struct{ policy.ConstraintSet }
+	p := policy.NewConstrained(secgraph.NewComplete(d), fakeConstraint{})
+	if _, err := ReleaseHistogram(p, ds, 1, noise.NewSource(1)); err == nil {
+		t.Error("constrained policy accepted by unconstrained release")
+	}
+	// Invalid epsilon propagates.
+	if _, err := ReleaseHistogram(policy.Differential(d), ds, -1, noise.NewSource(1)); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+	// Partition release with foreign partition errors.
+	other, err := domain.NewUniformGrid(domain.MustLine("w", 6), []int{2})
+	if err != nil {
+		t.Fatalf("NewUniformGrid: %v", err)
+	}
+	if _, err := ReleasePartitionHistogram(policy.Differential(d), ds, other, 1, noise.NewSource(1)); err == nil {
+		t.Error("foreign partition accepted")
+	}
+}

@@ -1,0 +1,311 @@
+package noise
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := NewSource(7)
+	b := NewSource(7)
+	for i := 0; i < 100; i++ {
+		if x, y := a.Laplace(1.5), b.Laplace(1.5); x != y {
+			t.Fatalf("draw %d diverged: %v vs %v", i, x, y)
+		}
+	}
+	c := NewSource(8)
+	same := true
+	a2 := NewSource(7)
+	for i := 0; i < 10; i++ {
+		if a2.Laplace(1) != c.Laplace(1) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	// Same parent seed + same label => same stream.
+	s1 := NewSource(3).Split("kmeans")
+	s2 := NewSource(3).Split("kmeans")
+	for i := 0; i < 50; i++ {
+		if s1.Uniform() != s2.Uniform() {
+			t.Fatal("Split not deterministic")
+		}
+	}
+	// Different labels => different streams.
+	a := NewSource(3).Split("x")
+	b := NewSource(3).Split("y")
+	diff := false
+	for i := 0; i < 20; i++ {
+		if a.Uniform() != b.Uniform() {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different labels produced identical streams")
+	}
+	// Repeated splits with the same label from one parent differ.
+	parent := NewSource(3)
+	c := parent.Split("z")
+	d := parent.Split("z")
+	diff = false
+	for i := 0; i < 20; i++ {
+		if c.Uniform() != d.Uniform() {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("sequential same-label splits produced identical streams")
+	}
+}
+
+func TestLaplaceMoments(t *testing.T) {
+	const (
+		n     = 200000
+		scale = 2.0
+	)
+	s := NewSource(11)
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := s.Laplace(scale)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("Laplace mean = %v, want ~0", mean)
+	}
+	want := 2 * scale * scale // Var = 2b²
+	if math.Abs(variance-want)/want > 0.05 {
+		t.Errorf("Laplace variance = %v, want ~%v", variance, want)
+	}
+}
+
+func TestLaplaceSymmetryAndTails(t *testing.T) {
+	s := NewSource(13)
+	const n = 100000
+	pos := 0
+	big := 0
+	for i := 0; i < n; i++ {
+		x := s.Laplace(1)
+		if x > 0 {
+			pos++
+		}
+		if math.Abs(x) > 3 { // P(|X|>3) = e^-3 ≈ 0.0498
+			big++
+		}
+	}
+	if frac := float64(pos) / n; frac < 0.48 || frac > 0.52 {
+		t.Errorf("positive fraction = %v, want ~0.5", frac)
+	}
+	if frac := float64(big) / n; frac < 0.04 || frac > 0.06 {
+		t.Errorf("tail fraction = %v, want ~0.0498", frac)
+	}
+}
+
+func TestLaplaceZeroScale(t *testing.T) {
+	s := NewSource(1)
+	for i := 0; i < 10; i++ {
+		if got := s.Laplace(0); got != 0 {
+			t.Fatalf("Laplace(0) = %v, want 0", got)
+		}
+	}
+}
+
+func TestLaplaceInvalidScalePanics(t *testing.T) {
+	s := NewSource(1)
+	for _, bad := range []float64{-1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Laplace(%v) did not panic", bad)
+				}
+			}()
+			s.Laplace(bad)
+		}()
+	}
+}
+
+func TestLaplaceVec(t *testing.T) {
+	s := NewSource(5)
+	v := s.LaplaceVec(make([]float64, 16), 1)
+	if len(v) != 16 {
+		t.Fatalf("len = %d, want 16", len(v))
+	}
+	allZero := true
+	for _, x := range v {
+		if x != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Fatal("LaplaceVec produced all zeros")
+	}
+}
+
+func TestTwoSidedGeometricMoments(t *testing.T) {
+	const (
+		n     = 200000
+		scale = 3.0
+	)
+	s := NewSource(17)
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		z := float64(s.TwoSidedGeometric(scale))
+		sum += z
+		sumSq += z * z
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("geometric mean = %v, want ~0", mean)
+	}
+	// Var = 2α/(1-α)² for α = e^{-1/scale}.
+	alpha := math.Exp(-1 / scale)
+	want := 2 * alpha / ((1 - alpha) * (1 - alpha))
+	if math.Abs(variance-want)/want > 0.05 {
+		t.Errorf("geometric variance = %v, want ~%v", variance, want)
+	}
+}
+
+func TestTwoSidedGeometricZeroScale(t *testing.T) {
+	s := NewSource(1)
+	if got := s.TwoSidedGeometric(0); got != 0 {
+		t.Fatalf("TwoSidedGeometric(0) = %v, want 0", got)
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	const (
+		n     = 200000
+		sigma = 1.7
+	)
+	s := NewSource(19)
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := s.Gaussian(sigma)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("Gaussian mean = %v, want ~0", mean)
+	}
+	want := sigma * sigma
+	if math.Abs(variance-want)/want > 0.05 {
+		t.Errorf("Gaussian variance = %v, want ~%v", variance, want)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := NewSource(23)
+	for i := 0; i < 10000; i++ {
+		u := s.Uniform()
+		if u < 0 || u >= 1 {
+			t.Fatalf("Uniform out of range: %v", u)
+		}
+	}
+}
+
+// The Laplace mechanism's privacy proof needs the density ratio between
+// shifted distributions bounded by exp(shift/scale). Empirically check the
+// histogram ratio of two shifted samples stays within the bound (allowing
+// sampling slack); this is a sanity check of sampler correctness, not a
+// privacy proof.
+func TestLaplaceDensityRatio(t *testing.T) {
+	const (
+		n     = 400000
+		scale = 1.0
+		shift = 1.0
+	)
+	s := NewSource(29)
+	bins := 21
+	lo, hi := -5.0, 5.0
+	width := (hi - lo) / float64(bins)
+	h0 := make([]float64, bins)
+	h1 := make([]float64, bins)
+	for i := 0; i < n; i++ {
+		x := s.Laplace(scale)
+		if x >= lo && x < hi {
+			h0[int((x-lo)/width)]++
+		}
+		y := s.Laplace(scale) + shift
+		if y >= lo && y < hi {
+			h1[int((y-lo)/width)]++
+		}
+	}
+	bound := math.Exp(shift/scale) * 1.35 // generous sampling slack
+	for b := 0; b < bins; b++ {
+		if h0[b] < 500 || h1[b] < 500 {
+			continue // too few samples for a stable ratio
+		}
+		ratio := h0[b] / h1[b]
+		if ratio < 1 {
+			ratio = 1 / ratio
+		}
+		if ratio > bound {
+			t.Errorf("bin %d: density ratio %v exceeds bound %v", b, ratio, bound)
+		}
+	}
+}
+
+func TestConvenienceWrappers(t *testing.T) {
+	s := NewSource(41)
+	for i := 0; i < 100; i++ {
+		if v := s.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if v := s.Int63n(1000); v < 0 || v >= 1000 {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+	}
+	perm := s.Perm(10)
+	seen := make(map[int]bool)
+	for _, v := range perm {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("invalid permutation %v", perm)
+		}
+		seen[v] = true
+	}
+	vals := []int{1, 2, 3, 4, 5}
+	s.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	sum := 0
+	for _, v := range vals {
+		sum += v
+	}
+	if sum != 15 {
+		t.Fatalf("Shuffle lost elements: %v", vals)
+	}
+}
+
+func TestGaussianInvalidSigmaPanics(t *testing.T) {
+	s := NewSource(1)
+	for _, bad := range []float64{-1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Gaussian(%v) did not panic", bad)
+				}
+			}()
+			s.Gaussian(bad)
+		}()
+	}
+	if s.Gaussian(0) != 0 {
+		t.Error("Gaussian(0) not exactly 0")
+	}
+}
+
+func TestTwoSidedGeometricInvalidScalePanics(t *testing.T) {
+	s := NewSource(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("TwoSidedGeometric(-1) did not panic")
+		}
+	}()
+	s.TwoSidedGeometric(-1)
+}

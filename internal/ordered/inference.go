@@ -1,0 +1,66 @@
+package ordered
+
+import (
+	"blowfish/internal/infer"
+)
+
+// InferCumulative post-processes the released structure into a consistent
+// cumulative histogram estimate, extending the Section 7.1 constrained
+// inference to the hybrid structure:
+//
+//  1. Hay-style least-squares consistency inside every H-subtree (parents
+//     equal children sums; free accuracy from redundant node observations);
+//  2. extraction of the full cumulative vector C(0..|T|-1);
+//  3. isotonic regression onto the non-decreasing cone, clamped into [0, n]
+//     (n is the public cardinality; pass n < 0 to skip the upper clamp).
+//
+// Post-processing costs no privacy budget. The returned vector answers any
+// range query via RangeFromCumulative.
+func (r *OHRelease) InferCumulative(n float64) ([]float64, error) {
+	// Per-block consistency. Block trees are small (θ wide), so this is
+	// O(|T|) overall. Single-node blocks carry no release (their positions
+	// are answered by S-node prefixes) and are skipped.
+	consistent := make([]*blockView, len(r.blocks))
+	for i, rel := range r.blocks {
+		if rel == nil {
+			continue
+		}
+		cons, err := rel.Consistent()
+		if err != nil {
+			return nil, err
+		}
+		consistent[i] = &blockView{rel: cons}
+	}
+	out := make([]float64, r.oh.size)
+	for j := 0; j < r.oh.size; j++ {
+		block := j / r.oh.theta
+		offsetHi := j - block*r.oh.theta
+		full := offsetHi == r.oh.blocks[block].Size()-1
+		if full {
+			out[j] = r.sPrefix[block]
+			continue
+		}
+		var base float64
+		if block > 0 {
+			base = r.sPrefix[block-1]
+		}
+		inBlock, err := consistent[block].rangeQuery(0, offsetHi)
+		if err != nil {
+			return nil, err
+		}
+		out[j] = base + inBlock
+	}
+	return infer.MonotoneCumulative(out, n), nil
+}
+
+// blockView wraps a consistent released block tree.
+type blockView struct {
+	rel interface {
+		RangeQuery(lo, hi int) (float64, float64, error)
+	}
+}
+
+func (b *blockView) rangeQuery(lo, hi int) (float64, error) {
+	v, _, err := b.rel.RangeQuery(lo, hi)
+	return v, err
+}

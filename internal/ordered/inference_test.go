@@ -1,0 +1,154 @@
+package ordered
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"blowfish/internal/noise"
+)
+
+func TestInferCumulativeInvariants(t *testing.T) {
+	const size = 200
+	rng := rand.New(rand.NewSource(3))
+	counts := make([]float64, size)
+	var n float64
+	for i := range counts {
+		if rng.Float64() < 0.1 { // sparse
+			counts[i] = float64(rng.Intn(40))
+		}
+		n += counts[i]
+	}
+	for _, theta := range []int{1, 7, 16, 200} {
+		o, err := NewOH(size, theta, 4)
+		if err != nil {
+			t.Fatalf("NewOH(θ=%d): %v", theta, err)
+		}
+		rel, err := o.Release(counts, 0.5, noise.NewSource(int64(theta)))
+		if err != nil {
+			t.Fatalf("Release: %v", err)
+		}
+		inf, err := rel.InferCumulative(n)
+		if err != nil {
+			t.Fatalf("InferCumulative(θ=%d): %v", theta, err)
+		}
+		if len(inf) != size {
+			t.Fatalf("len = %d, want %d", len(inf), size)
+		}
+		for i := 1; i < size; i++ {
+			if inf[i] < inf[i-1] {
+				t.Fatalf("θ=%d: inferred cumulative not monotone at %d", theta, i)
+			}
+		}
+		if inf[0] < 0 || inf[size-1] > n {
+			t.Fatalf("θ=%d: inferred cumulative out of [0,n]: %v, %v", theta, inf[0], inf[size-1])
+		}
+	}
+}
+
+// Constrained inference must not hurt: over repetitions, range queries
+// answered from the inferred cumulative histogram have at most the raw
+// greedy error (post-processing optimality on sparse data).
+func TestInferCumulativeReducesError(t *testing.T) {
+	const (
+		size = 512
+		eps  = 0.3
+		reps = 40
+	)
+	rng := rand.New(rand.NewSource(11))
+	counts := make([]float64, size)
+	var n float64
+	for i := range counts {
+		if rng.Float64() < 0.05 { // very sparse, like capital-loss
+			counts[i] = float64(rng.Intn(100))
+		}
+		n += counts[i]
+	}
+	cum := make([]float64, size)
+	run := 0.0
+	for i, c := range counts {
+		run += c
+		cum[i] = run
+	}
+	o, err := NewOH(size, 16, 4)
+	if err != nil {
+		t.Fatalf("NewOH: %v", err)
+	}
+	src := noise.NewSource(13)
+	qrng := rand.New(rand.NewSource(17))
+	var rawErr, infErr float64
+	for r := 0; r < reps; r++ {
+		rel, err := o.Release(counts, eps, src)
+		if err != nil {
+			t.Fatalf("Release: %v", err)
+		}
+		inf, err := rel.InferCumulative(n)
+		if err != nil {
+			t.Fatalf("InferCumulative: %v", err)
+		}
+		for q := 0; q < 60; q++ {
+			lo := qrng.Intn(size)
+			hi := lo + qrng.Intn(size-lo)
+			truth := cum[hi]
+			if lo > 0 {
+				truth -= cum[lo-1]
+			}
+			raw, err := rel.Range(lo, hi)
+			if err != nil {
+				t.Fatalf("Range: %v", err)
+			}
+			infAns, err := RangeFromCumulative(inf, lo, hi)
+			if err != nil {
+				t.Fatalf("RangeFromCumulative: %v", err)
+			}
+			rawErr += (raw - truth) * (raw - truth)
+			infErr += (infAns - truth) * (infAns - truth)
+		}
+	}
+	if infErr > rawErr*1.02 {
+		t.Fatalf("inference increased error: %v > %v", infErr, rawErr)
+	}
+	// On sparse data the reduction should be substantial.
+	if infErr > rawErr*0.9 {
+		t.Logf("warning: inference saved only %.1f%% on sparse data", 100*(1-infErr/rawErr))
+	}
+}
+
+// The inferred estimate must not leak exact block totals: with a tiny ε the
+// inferred cumulative histogram should be far from the truth (an exact leak
+// would reproduce block totals perfectly).
+func TestInferCumulativeDoesNotLeakBlockTotals(t *testing.T) {
+	const (
+		size  = 64
+		theta = 8
+	)
+	counts := make([]float64, size)
+	for i := range counts {
+		counts[i] = 100 // big uniform counts: leaks would be obvious
+	}
+	o, err := NewOH(size, theta, 2)
+	if err != nil {
+		t.Fatalf("NewOH: %v", err)
+	}
+	rel, err := o.Release(counts, 0.001, noise.NewSource(5))
+	if err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	inf, err := rel.InferCumulative(-1) // no clamp: leaks would survive
+	if err != nil {
+		t.Fatalf("InferCumulative: %v", err)
+	}
+	// Check the block-total differences: if block roots leaked exactly, the
+	// inferred cumulative at block boundaries would match truth closely.
+	exactBoundaries := 0
+	for b := 1; b*theta-1 < size; b++ {
+		j := b*theta - 1
+		truth := 100.0 * float64(j+1)
+		if math.Abs(inf[j]-truth) < 1 {
+			exactBoundaries++
+		}
+	}
+	if exactBoundaries > 1 { // one coincidence allowed
+		t.Fatalf("%d block boundaries match truth at ε=0.001: block totals leaked", exactBoundaries)
+	}
+}

@@ -1,0 +1,364 @@
+package ordered
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"blowfish/internal/noise"
+)
+
+func cumulativeOf(counts []float64) []float64 {
+	out := make([]float64, len(counts))
+	var run float64
+	for i, c := range counts {
+		run += c
+		out[i] = run
+	}
+	return out
+}
+
+func TestReleaseCumulativeValidation(t *testing.T) {
+	src := noise.NewSource(1)
+	if _, err := ReleaseCumulative([]float64{1}, 1, 0, src); err == nil {
+		t.Error("zero epsilon accepted")
+	}
+	if _, err := ReleaseCumulative([]float64{1}, -1, 1, src); err == nil {
+		t.Error("negative sensitivity accepted")
+	}
+	out, err := ReleaseCumulative([]float64{1, 2, 3}, 0, 1, src)
+	if err != nil {
+		t.Fatalf("ReleaseCumulative: %v", err)
+	}
+	for i, v := range []float64{1, 2, 3} {
+		if out[i] != v {
+			t.Fatal("zero sensitivity release not exact")
+		}
+	}
+}
+
+func TestOrderedMechanismEndToEnd(t *testing.T) {
+	// A sparse dataset: the inferred cumulative histogram should be monotone,
+	// within [0, n], and close to the truth.
+	counts := []float64{0, 0, 5, 0, 0, 0, 12, 0, 0, 3, 0, 0}
+	cum := cumulativeOf(counts)
+	n := cum[len(cum)-1]
+	src := noise.NewSource(7)
+	noisy, err := ReleaseCumulative(cum, 1, 1.0, src)
+	if err != nil {
+		t.Fatalf("ReleaseCumulative: %v", err)
+	}
+	inferred := InferCumulative(noisy, n)
+	for i := 1; i < len(inferred); i++ {
+		if inferred[i] < inferred[i-1] {
+			t.Fatalf("inferred cumulative not monotone: %v", inferred)
+		}
+	}
+	if inferred[0] < 0 || inferred[len(inferred)-1] > n {
+		t.Fatalf("inferred cumulative out of [0,n]: %v", inferred)
+	}
+}
+
+func TestOrderedRangeErrorTheorem71(t *testing.T) {
+	// Theorem 7.1: expected squared error of a range query ≤ 4/ε², even
+	// without constrained inference.
+	const (
+		eps  = 0.5
+		reps = 30000
+	)
+	counts := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3}
+	cum := cumulativeOf(counts)
+	src := noise.NewSource(11)
+	truth := cum[7] - cum[2] // range [3,7]
+	var sq float64
+	for r := 0; r < reps; r++ {
+		noisy, err := ReleaseCumulative(cum, 1, eps, src)
+		if err != nil {
+			t.Fatalf("ReleaseCumulative: %v", err)
+		}
+		got, err := RangeFromCumulative(noisy, 3, 7)
+		if err != nil {
+			t.Fatalf("RangeFromCumulative: %v", err)
+		}
+		sq += (got - truth) * (got - truth)
+	}
+	emp := sq / reps
+	bound := OrderedRangeErrorBound(eps)
+	if emp > bound*1.05 {
+		t.Fatalf("empirical range error %v exceeds Theorem 7.1 bound %v", emp, bound)
+	}
+	// And it should be close to the bound (two independent Laplace terms).
+	if emp < bound*0.8 {
+		t.Fatalf("empirical range error %v implausibly below bound %v", emp, bound)
+	}
+}
+
+func TestRangeFromCumulative(t *testing.T) {
+	cum := []float64{1, 3, 6, 10}
+	got, err := RangeFromCumulative(cum, 0, 3)
+	if err != nil || got != 10 {
+		t.Fatalf("full range = %v (err %v), want 10", got, err)
+	}
+	got, err = RangeFromCumulative(cum, 2, 2)
+	if err != nil || got != 3 {
+		t.Fatalf("point range = %v (err %v), want 3", got, err)
+	}
+	if _, err := RangeFromCumulative(cum, 3, 1); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := RangeFromCumulative(cum, 0, 9); err == nil {
+		t.Error("out-of-range accepted")
+	}
+}
+
+func TestNewOHValidation(t *testing.T) {
+	if _, err := NewOH(0, 1, 2); err == nil {
+		t.Error("size 0 accepted")
+	}
+	if _, err := NewOH(10, 0, 2); err == nil {
+		t.Error("theta 0 accepted")
+	}
+	if _, err := NewOH(10, 2, 1); err == nil {
+		t.Error("fanout 1 accepted")
+	}
+	// theta beyond size clamps.
+	o, err := NewOH(10, 99, 2)
+	if err != nil {
+		t.Fatalf("NewOH: %v", err)
+	}
+	if o.Theta() != 10 || o.NumSNodes() != 1 {
+		t.Fatalf("clamped theta = %d, k = %d", o.Theta(), o.NumSNodes())
+	}
+}
+
+func TestOHStructureFigure2a(t *testing.T) {
+	// Figure 2(a): θ=4 over a domain of 16 with fanout 2: k = 4 S-nodes,
+	// H-subtrees of height 2.
+	o, err := NewOH(16, 4, 2)
+	if err != nil {
+		t.Fatalf("NewOH: %v", err)
+	}
+	if o.NumSNodes() != 4 {
+		t.Fatalf("k = %d, want 4", o.NumSNodes())
+	}
+	if o.Height() != 2 {
+		t.Fatalf("height = %d, want 2", o.Height())
+	}
+}
+
+func TestOHDegenerateSplits(t *testing.T) {
+	// θ = |T|: all budget to H (hierarchical mechanism).
+	o, err := NewOH(64, 64, 4)
+	if err != nil {
+		t.Fatalf("NewOH: %v", err)
+	}
+	epsS, epsH := o.OptimalSplit(1.0)
+	if epsS != 0 || epsH != 1.0 {
+		t.Fatalf("θ=|T| split = (%v,%v), want (0,1)", epsS, epsH)
+	}
+	// θ = 1: all budget to S (ordered mechanism).
+	o, err = NewOH(64, 1, 4)
+	if err != nil {
+		t.Fatalf("NewOH: %v", err)
+	}
+	epsS, epsH = o.OptimalSplit(1.0)
+	if epsS != 1.0 || epsH != 0 {
+		t.Fatalf("θ=1 split = (%v,%v), want (1,0)", epsS, epsH)
+	}
+}
+
+func TestOHErrorCoefficients(t *testing.T) {
+	o, err := NewOH(4096, 256, 16)
+	if err != nil {
+		t.Fatalf("NewOH: %v", err)
+	}
+	c1, c2 := o.ErrorCoefficients()
+	wantC1 := 4 * float64(4096-256) / float64(4097)
+	logf := math.Log(256) / math.Log(16) // = 2
+	wantC2 := 8 * 15 * logf * logf * logf * 4096 / 4097
+	if math.Abs(c1-wantC1) > 1e-9 || math.Abs(c2-wantC2) > 1e-9 {
+		t.Fatalf("coefficients = (%v,%v), want (%v,%v)", c1, c2, wantC1, wantC2)
+	}
+	// Optimal split minimizes the model: perturb and compare.
+	epsS, epsH := o.OptimalSplit(1.0)
+	best := o.ExpectedRangeError(epsS, epsH)
+	if math.Abs(best-o.MinimalExpectedRangeError(1.0)) > 1e-9 {
+		t.Fatalf("model mismatch: %v vs %v", best, o.MinimalExpectedRangeError(1.0))
+	}
+	for _, d := range []float64{-0.05, 0.05, -0.2, 0.2} {
+		s := epsS + d
+		if s <= 0 || s >= 1 {
+			continue
+		}
+		if o.ExpectedRangeError(s, 1-s) < best-1e-9 {
+			t.Fatalf("split (%v) beats the optimal (%v)", s, epsS)
+		}
+	}
+}
+
+func TestOHReleaseUnbiasedRanges(t *testing.T) {
+	const (
+		size = 64
+		eps  = 1.0
+		reps = 4000
+	)
+	rng := rand.New(rand.NewSource(13))
+	counts := make([]float64, size)
+	for i := range counts {
+		counts[i] = float64(rng.Intn(20))
+	}
+	for _, theta := range []int{1, 4, 16, 64} {
+		o, err := NewOH(size, theta, 4)
+		if err != nil {
+			t.Fatalf("NewOH(θ=%d): %v", theta, err)
+		}
+		src := noise.NewSource(int64(17 + theta))
+		lo, hi := 5, 49
+		var truth float64
+		for i := lo; i <= hi; i++ {
+			truth += counts[i]
+		}
+		var sum float64
+		for r := 0; r < reps; r++ {
+			rel, err := o.Release(counts, eps, src)
+			if err != nil {
+				t.Fatalf("Release(θ=%d): %v", theta, err)
+			}
+			got, err := rel.Range(lo, hi)
+			if err != nil {
+				t.Fatalf("Range(θ=%d): %v", theta, err)
+			}
+			sum += got
+		}
+		mean := sum / reps
+		if math.Abs(mean-truth) > 0.15*truth+5 {
+			t.Fatalf("θ=%d: mean range answer %v, truth %v", theta, mean, truth)
+		}
+	}
+}
+
+func TestOHCumulativeMatchesTruthWithoutNoise(t *testing.T) {
+	// With huge ε the release should reproduce all cumulative counts almost
+	// exactly, for every θ and for irregular last blocks.
+	const size = 37
+	counts := make([]float64, size)
+	for i := range counts {
+		counts[i] = float64((i * 7) % 5)
+	}
+	cum := cumulativeOf(counts)
+	for _, theta := range []int{1, 3, 5, 16, 37} {
+		o, err := NewOH(size, theta, 4)
+		if err != nil {
+			t.Fatalf("NewOH(θ=%d): %v", theta, err)
+		}
+		rel, err := o.Release(counts, 1e9, noise.NewSource(int64(theta)))
+		if err != nil {
+			t.Fatalf("Release(θ=%d): %v", theta, err)
+		}
+		for j := -1; j < size; j++ {
+			got, err := rel.Cumulative(j)
+			if err != nil {
+				t.Fatalf("Cumulative(%d): %v", j, err)
+			}
+			want := 0.0
+			if j >= 0 {
+				want = cum[j]
+			}
+			if math.Abs(got-want) > 1e-3 {
+				t.Fatalf("θ=%d: C(%d) = %v, want %v", theta, j, got, want)
+			}
+		}
+		vec, err := rel.CumulativeVector()
+		if err != nil {
+			t.Fatalf("CumulativeVector: %v", err)
+		}
+		if len(vec) != size {
+			t.Fatalf("CumulativeVector len = %d", len(vec))
+		}
+	}
+}
+
+func TestOHRangeValidation(t *testing.T) {
+	o, err := NewOH(16, 4, 2)
+	if err != nil {
+		t.Fatalf("NewOH: %v", err)
+	}
+	rel, err := o.Release(make([]float64, 16), 1, noise.NewSource(1))
+	if err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if _, err := rel.Range(-1, 3); err == nil {
+		t.Error("negative lo accepted")
+	}
+	if _, err := rel.Range(3, 16); err == nil {
+		t.Error("hi out of range accepted")
+	}
+	if _, err := rel.Range(5, 2); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := rel.Cumulative(99); err == nil {
+		t.Error("cumulative index out of range accepted")
+	}
+	if _, err := o.Release(make([]float64, 3), 1, noise.NewSource(1)); err == nil {
+		t.Error("count size mismatch accepted")
+	}
+	if _, err := o.ReleaseWithSplit(make([]float64, 16), -1, 2, noise.NewSource(1)); err == nil {
+		t.Error("negative split accepted")
+	}
+}
+
+// The headline claim of Section 7: smaller θ (stronger utility, weaker
+// privacy within distance θ) means lower range query error, with orders of
+// magnitude between θ=1 and θ=|T|.
+func TestOHErrorDecreasesWithTheta(t *testing.T) {
+	const (
+		size = 1024
+		eps  = 0.5
+		reps = 60
+	)
+	rng := rand.New(rand.NewSource(29))
+	counts := make([]float64, size)
+	for i := range counts {
+		counts[i] = float64(rng.Intn(50))
+	}
+	thetas := []int{1, 16, 256, 1024}
+	var errs []float64
+	for _, theta := range thetas {
+		o, err := NewOH(size, theta, 16)
+		if err != nil {
+			t.Fatalf("NewOH: %v", err)
+		}
+		src := noise.NewSource(int64(31 + theta))
+		var sq float64
+		qrng := rand.New(rand.NewSource(37)) // same queries for every θ
+		for r := 0; r < reps; r++ {
+			rel, err := o.Release(counts, eps, src)
+			if err != nil {
+				t.Fatalf("Release: %v", err)
+			}
+			for q := 0; q < 50; q++ {
+				lo := qrng.Intn(size)
+				hi := lo + qrng.Intn(size-lo)
+				var truth float64
+				for i := lo; i <= hi; i++ {
+					truth += counts[i]
+				}
+				got, err := rel.Range(lo, hi)
+				if err != nil {
+					t.Fatalf("Range: %v", err)
+				}
+				sq += (got - truth) * (got - truth)
+			}
+		}
+		errs = append(errs, sq/float64(reps*50))
+	}
+	for i := 1; i < len(errs); i++ {
+		if errs[i] < errs[i-1] {
+			t.Fatalf("error not increasing in θ: θ=%d gives %v < θ=%d gives %v",
+				thetas[i], errs[i], thetas[i-1], errs[i-1])
+		}
+	}
+	if errs[len(errs)-1] < 50*errs[0] {
+		t.Fatalf("θ=|T| error %v not orders of magnitude above θ=1 error %v", errs[len(errs)-1], errs[0])
+	}
+}

@@ -1,0 +1,140 @@
+package policy
+
+import (
+	"testing"
+
+	"blowfish/internal/domain"
+	"blowfish/internal/secgraph"
+)
+
+// Section 3.1: privacy-agnostic individuals have no discriminative pairs.
+// Neighbors may only differ on participating ids, and with no participants
+// every query has zero oracle sensitivity.
+func TestParticipantRestriction(t *testing.T) {
+	d := domain.MustLine("v", 3)
+	base := Differential(d)
+	if !base.Participates(0) || !base.AllParticipate() {
+		t.Fatal("default policy restricts participants")
+	}
+	restricted := base.WithParticipants([]int{1})
+	if restricted.Participates(0) || !restricted.Participates(1) {
+		t.Fatal("participant restriction not applied")
+	}
+	if restricted.AllParticipate() {
+		t.Fatal("restricted policy reports all participate")
+	}
+	// The base policy must be unaffected (copy semantics).
+	if !base.Participates(0) {
+		t.Fatal("WithParticipants mutated the receiver")
+	}
+
+	o, err := NewOracle(restricted, 2)
+	if err != nil {
+		t.Fatalf("NewOracle: %v", err)
+	}
+	d1, err := domain.FromPoints(d, []domain.Point{0, 0})
+	if err != nil {
+		t.Fatalf("FromPoints: %v", err)
+	}
+	// Changing the participating tuple 1: neighbor.
+	d2, err := domain.FromPoints(d, []domain.Point{0, 2})
+	if err != nil {
+		t.Fatalf("FromPoints: %v", err)
+	}
+	if !o.IsNeighbor(d1, d2) {
+		t.Fatal("participating change not a neighbor")
+	}
+	// Changing the agnostic tuple 0: not a neighbor.
+	d3, err := domain.FromPoints(d, []domain.Point{2, 0})
+	if err != nil {
+		t.Fatalf("FromPoints: %v", err)
+	}
+	if o.IsNeighbor(d1, d3) {
+		t.Fatal("privacy-agnostic change treated as a neighbor")
+	}
+	// Oracle sensitivity counts only participating changes.
+	hist := func(ds *domain.Dataset) []float64 {
+		h, err := ds.Histogram()
+		if err != nil {
+			panic(err)
+		}
+		return h
+	}
+	if got := o.Sensitivity(hist); got != 2 {
+		t.Fatalf("restricted sensitivity = %v, want 2", got)
+	}
+	// No participants at all: no neighbors, zero sensitivity.
+	none, err := NewOracle(base.WithParticipants(nil), 2)
+	if err != nil {
+		t.Fatalf("NewOracle: %v", err)
+	}
+	if got := none.Sensitivity(hist); got != 0 {
+		t.Fatalf("no-participant sensitivity = %v, want 0", got)
+	}
+	count := 0
+	none.ForEachNeighborPair(func(_, _ *domain.Dataset) bool { count++; return true })
+	if count != 0 {
+		t.Fatalf("no-participant policy has %d neighbor pairs", count)
+	}
+}
+
+// The ⊥ extension: presence itself becomes a secret. The oracle confirms
+// that appearing/disappearing transitions are neighbors and that the
+// histogram over the extended domain keeps sensitivity 2 while the
+// cumulative histogram pays |T|.
+func TestBottomExtensionSensitivities(t *testing.T) {
+	base, err := secgraph.NewLine(domain.MustLine("v", 4))
+	if err != nil {
+		t.Fatalf("NewLine: %v", err)
+	}
+	b, err := secgraph.NewWithBottom(base)
+	if err != nil {
+		t.Fatalf("NewWithBottom: %v", err)
+	}
+	p := New(b)
+	ext := b.Domain()
+	o, err := NewOracle(p, 2)
+	if err != nil {
+		t.Fatalf("NewOracle: %v", err)
+	}
+	// Disappearance is a neighbor transition.
+	d1, err := domain.FromPoints(ext, []domain.Point{2, 1})
+	if err != nil {
+		t.Fatalf("FromPoints: %v", err)
+	}
+	d2, err := domain.FromPoints(ext, []domain.Point{2, b.Bottom()})
+	if err != nil {
+		t.Fatalf("FromPoints: %v", err)
+	}
+	if !o.IsNeighbor(d1, d2) {
+		t.Fatal("disappearance x→⊥ not a neighbor")
+	}
+	hist := func(ds *domain.Dataset) []float64 {
+		h, err := ds.Histogram()
+		if err != nil {
+			panic(err)
+		}
+		return h
+	}
+	if got := o.Sensitivity(hist); got != 2 {
+		t.Fatalf("extended histogram sensitivity = %v, want 2", got)
+	}
+	// Analytic cumulative sensitivity: max(base edge 1, |T| = 4).
+	cum, err := p.CumulativeHistogramSensitivity()
+	if err != nil {
+		t.Fatalf("CumulativeHistogramSensitivity: %v", err)
+	}
+	if cum != 4 {
+		t.Fatalf("extended cumulative sensitivity = %v, want 4", cum)
+	}
+	cumQ := func(ds *domain.Dataset) []float64 {
+		s, err := ds.CumulativeHistogram()
+		if err != nil {
+			panic(err)
+		}
+		return s
+	}
+	if got := o.Sensitivity(cumQ); got != cum {
+		t.Fatalf("oracle cumulative sensitivity = %v, analytic %v", got, cum)
+	}
+}

@@ -1,0 +1,324 @@
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"blowfish/internal/domain"
+)
+
+// MaxOracleDatasets bounds |T|^n for the exhaustive oracle.
+const MaxOracleDatasets = 1 << 18
+
+// Oracle enumerates neighboring databases per Definition 4.1, including the
+// minimality condition for constrained policies. It is exponential in the
+// database size and exists as a test oracle: the analytic sensitivities and
+// the Section 8 policy-graph bounds are all validated against it on small
+// domains.
+//
+// Two neighbor semantics are supported (they coincide for unconstrained
+// policies):
+//
+//   - literal (NewOracle): Definition 4.1 exactly as printed. Tuples may
+//     additionally differ along non-secret pairs when those "repair" moves
+//     are needed to stay inside I_Q; such moves contribute to Δ but not to
+//     T(D1, D2).
+//   - edge moves (NewEdgeMoveOracle): neighbors (and the D3 blockers of the
+//     minimality condition) may only differ along discriminative pairs.
+//     This is the semantics under which the paper's Theorem 8.2 step
+//     ||h(D1)−h(D2)||₁ ≤ 2|T(D1, D2)| — and hence the closed forms of
+//     Theorems 8.4-8.6 — are exact. The literal semantics can exceed those
+//     bounds on instances where constraint-repairing non-secret moves
+//     exist; see DESIGN.md ("fidelity notes").
+type Oracle struct {
+	p *Policy
+	n int
+	// edgeMoves selects the edge-move semantics described above.
+	edgeMoves bool
+	// valid lists every dataset of size n in I_Q, as flat value tuples.
+	valid []*domain.Dataset
+}
+
+// NewEdgeMoveOracle builds an oracle over databases of exactly n tuples
+// under the edge-move neighbor semantics.
+func NewEdgeMoveOracle(p *Policy, n int) (*Oracle, error) {
+	o, err := NewOracle(p, n)
+	if err != nil {
+		return nil, err
+	}
+	o.edgeMoves = true
+	return o, nil
+}
+
+// NewOracle builds an oracle over databases of exactly n tuples under the
+// literal Definition 4.1 semantics. It errors when |T|^n exceeds
+// MaxOracleDatasets.
+func NewOracle(p *Policy, n int) (*Oracle, error) {
+	if n <= 0 {
+		return nil, errors.New("policy: oracle requires n >= 1")
+	}
+	d := p.Domain()
+	total := 1.0
+	for i := 0; i < n; i++ {
+		total *= float64(d.Size())
+		if total > MaxOracleDatasets {
+			return nil, fmt.Errorf("policy: |T|^n = %v exceeds oracle limit %d", total, MaxOracleDatasets)
+		}
+	}
+	o := &Oracle{p: p, n: n}
+	err := ForEachDataset(d, n, func(ds *domain.Dataset) bool {
+		if p.q == nil || p.q.Satisfied(ds) {
+			o.valid = append(o.valid, ds.Clone())
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// ForEachDataset enumerates all |T|^n datasets of size n over d in
+// lexicographic order, reusing a single Dataset buffer. fn must not retain
+// the dataset; clone it if needed. Enumeration stops early when fn returns
+// false.
+func ForEachDataset(d *domain.Domain, n int, fn func(*domain.Dataset) bool) error {
+	if n <= 0 {
+		return errors.New("policy: dataset enumeration requires n >= 1")
+	}
+	total := 1.0
+	for i := 0; i < n; i++ {
+		total *= float64(d.Size())
+		if total > MaxOracleDatasets {
+			return fmt.Errorf("policy: |T|^n = %v exceeds oracle limit %d", total, MaxOracleDatasets)
+		}
+	}
+	pts := make([]domain.Point, n)
+	ds, err := domain.FromPoints(d, pts)
+	if err != nil {
+		return err
+	}
+	for {
+		if !fn(ds) {
+			return nil
+		}
+		// Increment the mixed-radix counter.
+		i := n - 1
+		for ; i >= 0; i-- {
+			v := ds.At(i) + 1
+			if int64(v) < d.Size() {
+				if err := ds.Set(i, v); err != nil {
+					return err
+				}
+				break
+			}
+			if err := ds.Set(i, 0); err != nil {
+				return err
+			}
+		}
+		if i < 0 {
+			return nil
+		}
+	}
+}
+
+// ValidDatasets returns the datasets of I_Q (all datasets when the policy
+// is unconstrained). The returned slice and its elements must not be
+// modified.
+func (o *Oracle) ValidDatasets() []*domain.Dataset { return o.valid }
+
+// discPair is one element of T(D1, D2): tuple id plus the (x, y) secret
+// pair it realizes.
+type discPair struct {
+	id   int
+	x, y domain.Point
+}
+
+// discSet computes T(D1, D2): the discriminative pairs realized between two
+// equal-size datasets (Definition 4.1). Positions that differ on a
+// non-secret pair — or belong to non-participating (privacy-agnostic)
+// individuals — contribute to Δ but not to T.
+func (o *Oracle) discSet(d1, d2 *domain.Dataset) []discPair {
+	var out []discPair
+	for i := 0; i < d1.Len(); i++ {
+		x, y := d1.At(i), d2.At(i)
+		if x != y && o.p.Participates(i) && o.p.g.Adjacent(x, y) {
+			out = append(out, discPair{i, x, y})
+		}
+	}
+	return out
+}
+
+// deltaIDs returns the tuple ids where d1 and d2 differ (the support of
+// Δ(D1, D2)).
+func deltaIDs(d1, d2 *domain.Dataset) []int {
+	var out []int
+	for i := 0; i < d1.Len(); i++ {
+		if d1.At(i) != d2.At(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// IsNeighbor reports whether (d1, d2) ∈ N(P) per Definition 4.1. For
+// constrained policies the minimality conditions are checked by exhaustive
+// search over the valid datasets of the same size.
+func (o *Oracle) IsNeighbor(d1, d2 *domain.Dataset) bool {
+	if d1.Len() != o.n || d2.Len() != o.n {
+		return false
+	}
+	if o.p.q != nil && (!o.p.q.Satisfied(d1) || !o.p.q.Satisfied(d2)) {
+		return false
+	}
+	t12 := o.discSet(d1, d2)
+	if len(t12) == 0 {
+		return false // condition 2
+	}
+	delta12 := deltaIDs(d1, d2)
+	if o.edgeMoves && len(delta12) != len(t12) {
+		return false // some tuple changed along a non-secret pair
+	}
+	if o.p.q == nil {
+		// Unconstrained: minimality forces exactly one changed tuple, which
+		// must be the single discriminative pair.
+		return len(delta12) == 1
+	}
+	// Index T(D1,D2) by tuple id for subset tests: a pair (i, x, z) of
+	// T(D1, D3) lies in T(D1, D2) iff z equals D2's value at i (x = D1's
+	// value at i always holds).
+	want := make(map[int]domain.Point, len(t12))
+	for _, dp := range t12 {
+		want[dp.id] = dp.y
+	}
+	delta12Set := make(map[int]bool, len(delta12))
+	for _, id := range delta12 {
+		delta12Set[id] = true
+	}
+	for _, d3 := range o.valid {
+		t13 := o.discSet(d1, d3)
+		if o.edgeMoves && len(deltaIDs(d1, d3)) != len(t13) {
+			continue // blockers must also be reachable by edge moves only
+		}
+		// Condition 3(a): some valid D3 realizes a non-empty strict subset
+		// of the discriminative pairs.
+		if len(t13) > 0 && len(t13) < len(t12) && subsetOf(t13, want) {
+			return false
+		}
+		// Condition 3(b): same discriminative pairs but strictly fewer
+		// tuple changes.
+		if len(t13) == len(t12) && subsetOf(t13, want) {
+			d3ids := deltaIDs(d1, d3)
+			if len(d3ids) < len(delta12) && idsSubset(d3ids, delta12Set) && valuesMatch(d3ids, d2, d3) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func subsetOf(t []discPair, want map[int]domain.Point) bool {
+	for _, dp := range t {
+		if y, ok := want[dp.id]; !ok || y != dp.y {
+			return false
+		}
+	}
+	return true
+}
+
+func idsSubset(ids []int, set map[int]bool) bool {
+	for _, id := range ids {
+		if !set[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// valuesMatch reports whether d3 agrees with d2 on every id in ids; only
+// then is Δ(D3, D1) a subset of Δ(D2, D1) as a set of (id, value) tuples.
+func valuesMatch(ids []int, d2, d3 *domain.Dataset) bool {
+	for _, id := range ids {
+		if d3.At(id) != d2.At(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEachNeighborPair invokes fn on every unordered neighbor pair
+// (D1, D2) ∈ N(P) with both datasets of size n. Enumeration stops early
+// when fn returns false.
+func (o *Oracle) ForEachNeighborPair(fn func(d1, d2 *domain.Dataset) bool) {
+	if o.p.q == nil {
+		// Unconstrained fast path: mutate one participating tuple along
+		// each edge.
+		for _, ds := range o.valid {
+			for i := 0; i < o.n; i++ {
+				if !o.p.Participates(i) {
+					continue
+				}
+				x := ds.At(i)
+				for y := int64(int64(x) + 1); y < o.p.Domain().Size(); y++ {
+					py := domain.Point(y)
+					if !o.p.g.Adjacent(x, py) {
+						continue
+					}
+					d2 := ds.Clone()
+					if err := d2.Set(i, py); err != nil {
+						panic(err) // unreachable: py validated by Adjacent domain
+					}
+					if !fn(ds, d2) {
+						return
+					}
+				}
+			}
+		}
+		return
+	}
+	for a := 0; a < len(o.valid); a++ {
+		for b := a + 1; b < len(o.valid); b++ {
+			if o.IsNeighbor(o.valid[a], o.valid[b]) {
+				if !fn(o.valid[a], o.valid[b]) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Sensitivity returns S(f, P) restricted to databases of size n: the
+// maximum L1 distance of f across neighbor pairs. It returns 0 when N(P)
+// is empty.
+func (o *Oracle) Sensitivity(f func(*domain.Dataset) []float64) float64 {
+	best := 0.0
+	o.ForEachNeighborPair(func(d1, d2 *domain.Dataset) bool {
+		v1, v2 := f(d1), f(d2)
+		if len(v1) != len(v2) {
+			panic("policy: query returned inconsistent dimensions")
+		}
+		var l1 float64
+		for i := range v1 {
+			l1 += math.Abs(v1[i] - v2[i])
+		}
+		if l1 > best {
+			best = l1
+		}
+		return true
+	})
+	return best
+}
+
+// MaxDiscPairs returns max |T(D1,D2)| over neighbor pairs — the quantity
+// the tightness condition of Theorem 8.2 speaks about.
+func (o *Oracle) MaxDiscPairs() int {
+	best := 0
+	o.ForEachNeighborPair(func(d1, d2 *domain.Dataset) bool {
+		if n := len(o.discSet(d1, d2)); n > best {
+			best = n
+		}
+		return true
+	})
+	return best
+}

@@ -1,0 +1,279 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+
+	"blowfish/internal/domain"
+	"blowfish/internal/secgraph"
+)
+
+// Property test: for random explicit secret graphs, the oracle sensitivity
+// of the standard queries matches the analytic formulas — S(h) = 2 iff the
+// graph has an edge, S(S_T) = the longest edge, S(f_w) = max|w|·longest
+// edge.
+func TestRandomGraphSensitivitiesMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		size := 3 + rng.Intn(4)
+		d := domain.MustLine("v", size)
+		g, err := secgraph.NewExplicit(d, "rand")
+		if err != nil {
+			t.Fatalf("NewExplicit: %v", err)
+		}
+		for x := 0; x < size; x++ {
+			for y := x + 1; y < size; y++ {
+				if rng.Float64() < 0.4 {
+					if err := g.AddEdge(domain.Point(x), domain.Point(y)); err != nil {
+						t.Fatalf("AddEdge: %v", err)
+					}
+				}
+			}
+		}
+		p := New(g)
+		o, err := NewOracle(p, 2)
+		if err != nil {
+			t.Fatalf("NewOracle: %v", err)
+		}
+		hist := func(ds *domain.Dataset) []float64 {
+			h, err := ds.Histogram()
+			if err != nil {
+				panic(err)
+			}
+			return h
+		}
+		wantHist, err := p.HistogramSensitivity()
+		if err != nil {
+			t.Fatalf("HistogramSensitivity: %v", err)
+		}
+		if got := o.Sensitivity(hist); got != wantHist {
+			t.Fatalf("trial %d: oracle S(h) = %v, analytic %v (edges %d)", trial, got, wantHist, g.NumEdges())
+		}
+		cum := func(ds *domain.Dataset) []float64 {
+			s, err := ds.CumulativeHistogram()
+			if err != nil {
+				panic(err)
+			}
+			return s
+		}
+		wantCum, err := p.CumulativeHistogramSensitivity()
+		if err != nil {
+			t.Fatalf("CumulativeHistogramSensitivity: %v", err)
+		}
+		if got := o.Sensitivity(cum); got != wantCum {
+			t.Fatalf("trial %d: oracle S(S_T) = %v, analytic %v", trial, got, wantCum)
+		}
+		weights := []float64{1 + rng.Float64()*2, -(1 + rng.Float64())}
+		linear := func(ds *domain.Dataset) []float64 {
+			var sum float64
+			for i := 0; i < ds.Len(); i++ {
+				sum += weights[i] * float64(ds.At(i))
+			}
+			return []float64{sum}
+		}
+		wantLin, err := p.LinearQuerySensitivity(weights)
+		if err != nil {
+			t.Fatalf("LinearQuerySensitivity: %v", err)
+		}
+		if got := o.Sensitivity(linear); got < wantLin-1e-9 || got > wantLin+1e-9 {
+			t.Fatalf("trial %d: oracle S(f_w) = %v, analytic %v", trial, got, wantLin)
+		}
+	}
+}
+
+// MaxDiscPairs on unconstrained policies is always 1 (single-edge moves).
+func TestMaxDiscPairsUnconstrained(t *testing.T) {
+	d := domain.MustLine("v", 4)
+	o, err := NewOracle(Differential(d), 3)
+	if err != nil {
+		t.Fatalf("NewOracle: %v", err)
+	}
+	if got := o.MaxDiscPairs(); got != 1 {
+		t.Fatalf("MaxDiscPairs = %d, want 1", got)
+	}
+}
+
+// Edge-move and literal semantics agree on unconstrained policies.
+func TestOracleModesAgreeUnconstrained(t *testing.T) {
+	d := domain.MustLine("v", 4)
+	p := New(secgraph.MustDistanceThreshold(d, 2))
+	lit, err := NewOracle(p, 2)
+	if err != nil {
+		t.Fatalf("NewOracle: %v", err)
+	}
+	edge, err := NewEdgeMoveOracle(p, 2)
+	if err != nil {
+		t.Fatalf("NewEdgeMoveOracle: %v", err)
+	}
+	litPairs := make(map[[4]domain.Point]bool)
+	lit.ForEachNeighborPair(func(d1, d2 *domain.Dataset) bool {
+		litPairs[[4]domain.Point{d1.At(0), d1.At(1), d2.At(0), d2.At(1)}] = true
+		return true
+	})
+	edgeCount := 0
+	edge.ForEachNeighborPair(func(d1, d2 *domain.Dataset) bool {
+		edgeCount++
+		if !litPairs[[4]domain.Point{d1.At(0), d1.At(1), d2.At(0), d2.At(1)}] {
+			t.Fatalf("edge-move pair %v/%v missing from literal enumeration", d1.Points(), d2.Points())
+		}
+		return true
+	})
+	if edgeCount != len(litPairs) {
+		t.Fatalf("edge-move pairs %d != literal pairs %d", edgeCount, len(litPairs))
+	}
+}
+
+// The oracle size guard rejects oversized instances.
+func TestOracleSizeGuard(t *testing.T) {
+	d := domain.MustLine("v", 100)
+	if _, err := NewOracle(Differential(d), 5); err == nil {
+		t.Fatal("oversized oracle accepted")
+	}
+	if _, err := NewOracle(Differential(d), 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+// lineRangeConstraint is a minimal in-package ConstraintSet: it pins the
+// number of tuples with values in [lo, hi].
+type lineRangeConstraint struct {
+	lo, hi domain.Point
+	want   float64
+}
+
+func (c lineRangeConstraint) Satisfied(ds *domain.Dataset) bool {
+	var n float64
+	for _, p := range ds.Points() {
+		if p >= c.lo && p <= c.hi {
+			n++
+		}
+	}
+	return n == c.want
+}
+
+func (c lineRangeConstraint) Name() string { return "IQ(range)" }
+
+// Condition 3(b) of Definition 4.1: a candidate pair with the same
+// discriminative pairs as a valid alternative but strictly more tuple
+// changes is NOT minimal, hence not a neighbor.
+func TestCondition3bPrunesExtraChanges(t *testing.T) {
+	d := domain.MustLine("v", 6)
+	g := secgraph.MustDistanceThreshold(d, 1) // line graph
+	q := lineRangeConstraint{lo: 0, hi: 1, want: 1}
+	p := NewConstrained(g, q)
+	o, err := NewOracle(p, 2)
+	if err != nil {
+		t.Fatalf("NewOracle: %v", err)
+	}
+	d1, err := domain.FromPoints(d, []domain.Point{0, 3})
+	if err != nil {
+		t.Fatalf("FromPoints: %v", err)
+	}
+	// D2 changes tuple 0 along the edge (0,1) AND teleports tuple 1 from 3
+	// to 5 (non-edge). The same secret pair is realizable by D3 = (1, 3)
+	// without the teleport, so condition 3(b) must prune (D1, D2).
+	d2, err := domain.FromPoints(d, []domain.Point{1, 5})
+	if err != nil {
+		t.Fatalf("FromPoints: %v", err)
+	}
+	if o.IsNeighbor(d1, d2) {
+		t.Fatal("condition 3(b) failed to prune a pair with redundant non-secret changes")
+	}
+	// The minimal alternative IS a neighbor.
+	d3, err := domain.FromPoints(d, []domain.Point{1, 3})
+	if err != nil {
+		t.Fatalf("FromPoints: %v", err)
+	}
+	if !o.IsNeighbor(d1, d3) {
+		t.Fatal("minimal single-edge change not a neighbor")
+	}
+	// Condition 1: pairs outside I_Q are never neighbors.
+	bad, err := domain.FromPoints(d, []domain.Point{0, 1}) // range count 2 ≠ 1
+	if err != nil {
+		t.Fatalf("FromPoints: %v", err)
+	}
+	if o.IsNeighbor(d1, bad) || o.IsNeighbor(bad, d1) {
+		t.Fatal("pair violating I_Q accepted")
+	}
+	// ValidDatasets only contains I_Q members.
+	for _, ds := range o.ValidDatasets() {
+		if !q.Satisfied(ds) {
+			t.Fatalf("invalid dataset %v in ValidDatasets", ds.Points())
+		}
+	}
+	// Condition 3(a): a pair realizing a strict superset of another valid
+	// pair's discriminative pairs is pruned. D1=(0,3) → D4=(1,4): both
+	// tuples move along edges; tuple 0's move alone is valid (D3), so
+	// T(D1,D3) ⊊ T(D1,D4) prunes D4.
+	d4, err := domain.FromPoints(d, []domain.Point{1, 4})
+	if err != nil {
+		t.Fatalf("FromPoints: %v", err)
+	}
+	if o.IsNeighbor(d1, d4) {
+		t.Fatal("condition 3(a) failed to prune a two-edge pair with a valid one-edge refinement")
+	}
+}
+
+func TestPolicyConstructorsPanicOnNil(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(nil) },
+		func() { NewConstrained(nil, trueConstraint{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("nil graph accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+	d := domain.MustLine("v", 3)
+	p := NewConstrained(secgraph.NewComplete(d), trueConstraint{})
+	if p.Constraints() == nil {
+		t.Fatal("Constraints() lost the set")
+	}
+}
+
+// The default (edge-scanning) branch of PartitionHistogramSensitivity:
+// explicit graphs are not special-cased.
+func TestPartitionHistogramSensitivityExplicitGraph(t *testing.T) {
+	d := domain.MustLine("v", 6)
+	part, err := domain.NewUniformGrid(d, []int{3}) // blocks {0,1,2}, {3,4,5}
+	if err != nil {
+		t.Fatalf("NewUniformGrid: %v", err)
+	}
+	// Within-block edges only: sensitivity 0.
+	within, err := secgraph.NewExplicit(d, "within")
+	if err != nil {
+		t.Fatalf("NewExplicit: %v", err)
+	}
+	if err := within.AddEdge(0, 2); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if err := within.AddEdge(4, 5); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	s, err := New(within).PartitionHistogramSensitivity(part)
+	if err != nil {
+		t.Fatalf("PartitionHistogramSensitivity: %v", err)
+	}
+	if s != 0 {
+		t.Fatalf("within-block explicit sensitivity = %v, want 0", s)
+	}
+	// One crossing edge: sensitivity 2.
+	crossing, err := secgraph.NewExplicit(d, "crossing")
+	if err != nil {
+		t.Fatalf("NewExplicit: %v", err)
+	}
+	if err := crossing.AddEdge(2, 3); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	s, err = New(crossing).PartitionHistogramSensitivity(part)
+	if err != nil {
+		t.Fatalf("PartitionHistogramSensitivity: %v", err)
+	}
+	if s != 2 {
+		t.Fatalf("crossing explicit sensitivity = %v, want 2", s)
+	}
+}

@@ -1,0 +1,308 @@
+// Package policy defines Blowfish privacy policies P = (T, G, I_Q) and the
+// policy-specific global sensitivity S(f, P) that mechanisms calibrate
+// noise with (Definitions 3.1, 4.1, 5.1 of the paper).
+//
+// The package provides
+//
+//   - the Policy type combining a discriminative secret graph with optional
+//     publicly known constraints,
+//   - analytic sensitivities for the workloads studied in Sections 5-7
+//     (histograms, cumulative histograms, linear queries, k-means queries),
+//   - an exact, exponential-time neighbor enumerator and sensitivity oracle
+//     for small domains, used throughout the test suite to validate every
+//     analytic formula against Definition 4.1 directly.
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"blowfish/internal/domain"
+	"blowfish/internal/secgraph"
+)
+
+// ConstraintSet is the I_Q component of a policy: the set of databases
+// consistent with publicly known deterministic constraints Q. The concrete
+// constraint machinery (count queries, marginals, policy graphs) lives in
+// package constraints; policy only needs membership tests.
+type ConstraintSet interface {
+	// Satisfied reports whether ds ∈ I_Q.
+	Satisfied(ds *domain.Dataset) bool
+	// Name describes the constraint set for diagnostics.
+	Name() string
+}
+
+// Policy is a Blowfish privacy policy (T, G, I_Q). T is implied by G's
+// domain. A nil constraint set denotes I_n: all databases of the public
+// cardinality are possible.
+type Policy struct {
+	g secgraph.Graph
+	q ConstraintSet
+	// participants restricts secrets to a subset of tuple ids; nil means
+	// every individual has secrets (the paper's default of uniform
+	// discriminative pairs).
+	participants map[int]bool
+}
+
+// New creates an unconstrained policy (T, G, I_n).
+func New(g secgraph.Graph) *Policy {
+	if g == nil {
+		panic("policy: nil secret graph")
+	}
+	return &Policy{g: g}
+}
+
+// NewConstrained creates a policy (T, G, I_Q) with publicly known
+// constraints.
+func NewConstrained(g secgraph.Graph, q ConstraintSet) *Policy {
+	if g == nil {
+		panic("policy: nil secret graph")
+	}
+	return &Policy{g: g, q: q}
+}
+
+// Differential returns the policy equivalent to ε-differential privacy over
+// d: full-domain secrets and no constraints (Section 4.2).
+func Differential(d *domain.Domain) *Policy {
+	return New(secgraph.NewComplete(d))
+}
+
+// Domain returns T.
+func (p *Policy) Domain() *domain.Domain { return p.g.Domain() }
+
+// Graph returns the discriminative secret graph G.
+func (p *Policy) Graph() secgraph.Graph { return p.g }
+
+// Constraints returns the constraint set, or nil when unconstrained.
+func (p *Policy) Constraints() ConstraintSet { return p.q }
+
+// Unconstrained reports whether I_Q = I_n.
+func (p *Policy) Unconstrained() bool { return p.q == nil }
+
+// Name renders a short description such as "(T, L1|θ=100, In)".
+func (p *Policy) Name() string {
+	q := "In"
+	if p.q != nil {
+		q = p.q.Name()
+	}
+	return fmt.Sprintf("(T, %s, %s)", p.g.Name(), q)
+}
+
+// ErrConstrained is returned by the analytic sensitivity helpers, which
+// apply only to unconstrained policies; constrained histogram sensitivity
+// is provided by package constraints (Section 8).
+var ErrConstrained = errors.New("policy: analytic sensitivity requires an unconstrained policy; see package constraints")
+
+// HistogramSensitivity returns S(h, P) for the complete histogram query h
+// under an unconstrained policy: 2 if G has any edge, else 0 (Section 5).
+func (p *Policy) HistogramSensitivity() (float64, error) {
+	if p.q != nil {
+		return 0, ErrConstrained
+	}
+	has, err := secgraph.HasAnyEdge(p.g)
+	if err != nil {
+		return 0, err
+	}
+	if has {
+		return 2, nil
+	}
+	return 0, nil
+}
+
+// PartitionHistogramSensitivity returns S(h_B, P) for the histogram over
+// the blocks of part: 2 when some secret pair crosses two blocks, 0 when
+// every edge of G stays within a block (then h_B is released exactly — the
+// "coarse grid" release of Section 5).
+func (p *Policy) PartitionHistogramSensitivity(part domain.Partition) (float64, error) {
+	if p.q != nil {
+		return 0, ErrConstrained
+	}
+	d := p.Domain()
+	if !d.Equal(part.Domain()) {
+		return 0, errors.New("policy: partition is over a different domain")
+	}
+	switch g := p.g.(type) {
+	case *secgraph.PartitionGraph:
+		// Sensitivity is 0 iff the policy partition refines part.
+		refines, err := refinesPartition(g.Partition(), part)
+		if err != nil {
+			return 0, err
+		}
+		if refines {
+			return 0, nil
+		}
+		return 2, nil
+	case *secgraph.Complete, *secgraph.AttributeGraph, *secgraph.DistanceThreshold:
+		// These graphs connect the whole lattice (when they have any edge at
+		// all), so some edge crosses blocks iff at least two blocks are
+		// occupied.
+		has, err := secgraph.HasAnyEdge(p.g)
+		if err != nil {
+			return 0, err
+		}
+		if !has {
+			return 0, nil
+		}
+		multi, err := multipleOccupiedBlocks(part)
+		if err != nil {
+			return 0, err
+		}
+		if multi {
+			return 2, nil
+		}
+		return 0, nil
+	default:
+		crosses := false
+		err := secgraph.Edges(p.g, func(x, y domain.Point) bool {
+			if part.Block(x) != part.Block(y) {
+				crosses = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return 0, err
+		}
+		if crosses {
+			return 2, nil
+		}
+		return 0, nil
+	}
+}
+
+// refinesPartition reports whether every block of fine lies inside a single
+// block of coarse.
+func refinesPartition(fine, coarse domain.Partition) (bool, error) {
+	d := fine.Domain()
+	if d.Size() > domain.MaxMaterializedSize {
+		return false, domain.ErrDomainTooLarge
+	}
+	blockOf := make(map[int]int, fine.NumBlocks())
+	ok := true
+	err := d.Points(func(p domain.Point) bool {
+		fb, cb := fine.Block(p), coarse.Block(p)
+		if prev, seen := blockOf[fb]; seen {
+			if prev != cb {
+				ok = false
+				return false
+			}
+		} else {
+			blockOf[fb] = cb
+		}
+		return true
+	})
+	if err != nil {
+		return false, err
+	}
+	return ok, nil
+}
+
+// multipleOccupiedBlocks reports whether at least two blocks of part contain
+// domain values.
+func multipleOccupiedBlocks(part domain.Partition) (bool, error) {
+	if part.NumBlocks() < 2 {
+		return false, nil
+	}
+	d := part.Domain()
+	if d.Size() > domain.MaxMaterializedSize {
+		// Partitions over non-materializable domains with >= 2 blocks are
+		// produced only by the grid constructors, whose blocks are all
+		// non-empty.
+		return true, nil
+	}
+	first := -1
+	multi := false
+	err := d.Points(func(p domain.Point) bool {
+		b := part.Block(p)
+		if first == -1 {
+			first = b
+			return true
+		}
+		if b != first {
+			multi = true
+			return false
+		}
+		return true
+	})
+	return multi, err
+}
+
+// SumSensitivity returns S(qsum, P): the policy-specific sensitivity of the
+// per-cluster coordinate-sum query used by private k-means. By Lemma 6.1 a
+// tuple change along an edge (x, y) alters two cluster sums by at most
+// L1(x,y) each, so S = 2·MaxEdgeDistance (2·d(T) under differential
+// privacy).
+func (p *Policy) SumSensitivity() (float64, error) {
+	if p.q != nil {
+		return 0, ErrConstrained
+	}
+	return 2 * p.g.MaxEdgeDistance(), nil
+}
+
+// CumulativeHistogramSensitivity returns S(S_T, P) for the cumulative
+// histogram over a one-dimensional ordered domain: a change from x to y
+// shifts the |x−y| prefix counts between them by one, so S equals the
+// largest edge length — θ for G^{d,θ} (Section 7.2), |T|−1 for the complete
+// graph.
+func (p *Policy) CumulativeHistogramSensitivity() (float64, error) {
+	if p.q != nil {
+		return 0, ErrConstrained
+	}
+	if p.Domain().NumAttrs() != 1 {
+		return 0, errors.New("policy: cumulative histogram requires a one-dimensional ordered domain")
+	}
+	return p.g.MaxEdgeDistance(), nil
+}
+
+// LinearQuerySensitivity returns S(f_w, P) for the weighted per-individual
+// sum f_w(D) = Σ_i w_i·value(t_i) over a one-dimensional domain:
+// max_i |w_i| times the largest edge length (Section 5's linear sum query
+// example).
+func (p *Policy) LinearQuerySensitivity(w []float64) (float64, error) {
+	if p.q != nil {
+		return 0, ErrConstrained
+	}
+	if p.Domain().NumAttrs() != 1 {
+		return 0, errors.New("policy: linear query requires a one-dimensional domain")
+	}
+	maxW := 0.0
+	for _, wi := range w {
+		if a := math.Abs(wi); a > maxW {
+			maxW = a
+		}
+	}
+	return maxW * p.g.MaxEdgeDistance(), nil
+}
+
+// WithParticipants returns a copy of the policy whose secrets pertain only
+// to the given tuple ids. Section 3.1 models privacy-agnostic individuals —
+// people who do not mind their value being disclosed — by removing every
+// discriminative pair that involves them; this constructor is that
+// specification. Ids absent from the list have no secrets: no neighbor pair
+// differs on them, and mechanisms may release their contribution exactly.
+//
+// A nil participant list (the default policy) means every individual
+// participates. Sensitivities computed by the analytic helpers are
+// unchanged as long as at least one individual participates; with an empty
+// participant set every query has sensitivity 0.
+func (p *Policy) WithParticipants(ids []int) *Policy {
+	cp := *p
+	cp.participants = make(map[int]bool, len(ids))
+	for _, id := range ids {
+		cp.participants[id] = true
+	}
+	return &cp
+}
+
+// Participates reports whether tuple id carries secrets under this policy.
+func (p *Policy) Participates(id int) bool {
+	if p.participants == nil {
+		return true
+	}
+	return p.participants[id]
+}
+
+// AllParticipate reports whether the policy restricts secrets to a subset
+// of individuals.
+func (p *Policy) AllParticipate() bool { return p.participants == nil }

@@ -1,0 +1,587 @@
+package pufferfish
+
+import (
+	"math"
+	"testing"
+
+	"blowfish/internal/constraints"
+	"blowfish/internal/domain"
+	"blowfish/internal/noise"
+	"blowfish/internal/policy"
+	"blowfish/internal/secgraph"
+)
+
+const tol = 1e-9
+
+// sampleOutputs draws outputs from the prior-weighted mechanism mixture so
+// loss checks cover the outputs that actually occur.
+func sampleOutputs(t *testing.T, m *GeometricHistogram, d *domain.Domain, pr Prior, src *noise.Source, count int) [][]int64 {
+	t.Helper()
+	var out [][]int64
+	for s := 0; s < count; s++ {
+		ds := domain.NewDataset(d)
+		for i := range pr {
+			u := src.Uniform()
+			x := 0
+			for ; x < len(pr[i])-1; x++ {
+				u -= pr[i][x]
+				if u <= 0 {
+					break
+				}
+			}
+			ds.MustAdd(domain.Point(x))
+		}
+		w, err := m.Sample(ds, src)
+		if err != nil {
+			t.Fatalf("Sample: %v", err)
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// Theorem 4.4, forward direction: a geometric histogram mechanism
+// calibrated to the Blowfish sensitivity satisfies the Pufferfish bound for
+// every product prior — the posterior odds of any secret pair move by at
+// most e^ε.
+func TestTheorem44CalibratedMechanismSatisfiesPufferfish(t *testing.T) {
+	const (
+		eps = 0.7
+		n   = 2
+	)
+	d := domain.MustLine("v", 3)
+	for _, g := range []secgraph.Graph{
+		secgraph.NewComplete(d),
+		secgraph.MustDistanceThreshold(d, 1), // line graph
+	} {
+		pol := policy.New(g)
+		sens, err := pol.HistogramSensitivity()
+		if err != nil {
+			t.Fatalf("HistogramSensitivity: %v", err)
+		}
+		m, err := NewGeometricHistogram(d, sens, eps)
+		if err != nil {
+			t.Fatalf("NewGeometricHistogram: %v", err)
+		}
+		src := noise.NewSource(1)
+		priors := []Prior{UniformPrior(d, n)}
+		for p := 0; p < 4; p++ {
+			priors = append(priors, RandomPrior(d, n, src))
+		}
+		for pi, pr := range priors {
+			for _, w := range sampleOutputs(t, m, d, pr, src, 12) {
+				loss, err := LossAt(m, pol, pr, w)
+				if err != nil {
+					t.Fatalf("LossAt: %v", err)
+				}
+				if loss > eps+tol {
+					t.Fatalf("%s prior %d: Pufferfish loss %v exceeds ε=%v at output %v",
+						g.Name(), pi, loss, eps, w)
+				}
+			}
+		}
+	}
+}
+
+// Converse: an under-calibrated mechanism (noise for sensitivity 1 where
+// the policy demands 2) violates the Pufferfish bound at some prior and
+// output — the semantics detect the bug.
+func TestUnderCalibratedMechanismViolatesPufferfish(t *testing.T) {
+	const eps = 0.7
+	d := domain.MustLine("v", 3)
+	pol := policy.Differential(d)
+	m, err := NewGeometricHistogram(d, 1, eps) // too little noise
+	if err != nil {
+		t.Fatalf("NewGeometricHistogram: %v", err)
+	}
+	// Adversarial prior: tuple 0 is either value 0 or value 1; tuple 1
+	// known to be value 2.
+	pr := Prior{
+		{0.5, 0.5, 0},
+		{0, 0, 1},
+	}
+	// Adversarial output: the exact histogram of the dataset (0, 2).
+	w := []int64{1, 0, 1}
+	loss, err := LossAt(m, pol, pr, w)
+	if err != nil {
+		t.Fatalf("LossAt: %v", err)
+	}
+	if loss <= eps+tol {
+		t.Fatalf("under-calibrated mechanism not detected: loss %v <= ε %v", loss, eps)
+	}
+	// Expected loss: the pair (0,1) changes two cells, each contributing
+	// ε/sens = ε, totaling 2ε.
+	if math.Abs(loss-2*eps) > 1e-6 {
+		t.Fatalf("loss = %v, want 2ε = %v", loss, 2*eps)
+	}
+}
+
+// Eq. (9): under the line-graph policy, the Ordered-Mechanism-style
+// cumulative release (sensitivity 1) protects values at hop distance k with
+// budget k·ε — adjacent values are ε-indistinguishable, distant values leak
+// proportionally more but never unboundedly. (The complete histogram shows
+// no gradient: its sensitivity is 2 under every graph.)
+func TestEq9ProtectionGradient(t *testing.T) {
+	const eps = 0.5
+	d := domain.MustLine("v", 4)
+	g := secgraph.MustDistanceThreshold(d, 1)
+	pol := policy.New(g)
+	sens, err := pol.CumulativeHistogramSensitivity() // 1 on the line graph
+	if err != nil {
+		t.Fatalf("CumulativeHistogramSensitivity: %v", err)
+	}
+	m, err := NewGeometricCumulative(d, sens, eps)
+	if err != nil {
+		t.Fatalf("NewGeometricCumulative: %v", err)
+	}
+	// Adversary: tuple 0 unknown, tuple 1 known.
+	pr := Prior{
+		{0.25, 0.25, 0.25, 0.25},
+		{1, 0, 0, 0},
+	}
+	// Adversarial outputs distinguishing low from high values, plus samples.
+	ds := domain.NewDataset(d)
+	ds.MustAdd(1)
+	ds.MustAdd(0)
+	src := noise.NewSource(3)
+	outputs := [][]int64{
+		{2, 2, 2, 2}, // consistent with tuple-0 = 0
+		{1, 1, 1, 2}, // consistent with tuple-0 = 3
+		{1, 2, 2, 2},
+	}
+	for s := 0; s < 40; s++ {
+		w, err := m.Sample(ds, src)
+		if err != nil {
+			t.Fatalf("Sample: %v", err)
+		}
+		outputs = append(outputs, w)
+	}
+	worstAdj, worstHop2, worstHop3 := 0.0, 0.0, 0.0
+	for _, w := range outputs {
+		adj, err := PairLossAt(m, pol, pr, 0, 0, 1, w)
+		if err != nil {
+			t.Fatalf("PairLossAt: %v", err)
+		}
+		hop2, err := PairLossAt(m, pol, pr, 0, 0, 2, w)
+		if err != nil {
+			t.Fatalf("PairLossAt: %v", err)
+		}
+		hop3, err := PairLossAt(m, pol, pr, 0, 0, 3, w)
+		if err != nil {
+			t.Fatalf("PairLossAt: %v", err)
+		}
+		if adj > eps+tol {
+			t.Fatalf("adjacent pair loss %v exceeds ε", adj)
+		}
+		if hop2 > 2*eps+tol {
+			t.Fatalf("hop-2 pair loss %v exceeds 2ε", hop2)
+		}
+		if hop3 > 3*eps+tol {
+			t.Fatalf("hop-3 pair loss %v exceeds 3ε", hop3)
+		}
+		worstAdj = math.Max(worstAdj, adj)
+		worstHop2 = math.Max(worstHop2, hop2)
+		worstHop3 = math.Max(worstHop3, hop3)
+	}
+	// The gradient is real: distant pairs leak more than adjacent ones.
+	if worstHop2 <= worstAdj+tol {
+		t.Fatalf("no protection gradient: hop-2 worst %v <= adjacent worst %v", worstHop2, worstAdj)
+	}
+	if worstHop3 <= worstHop2+tol {
+		t.Fatalf("no protection gradient: hop-3 worst %v <= hop-2 worst %v", worstHop3, worstHop2)
+	}
+	// And the line-graph promise holds at the boundary: adjacent pairs use
+	// the full ε somewhere.
+	if worstAdj < eps*0.9 {
+		t.Fatalf("adjacent worst %v far below ε=%v", worstAdj, eps)
+	}
+}
+
+// Blowfish loss over exact Definition 4.1 neighbors is bounded by ε for the
+// calibrated mechanism, and the bound is essentially attained.
+func TestBlowfishLossCalibration(t *testing.T) {
+	const eps = 0.8
+	d := domain.MustLine("v", 3)
+	pol := policy.Differential(d)
+	m, err := NewGeometricHistogram(d, 2, eps)
+	if err != nil {
+		t.Fatalf("NewGeometricHistogram: %v", err)
+	}
+	o, err := policy.NewOracle(pol, 2)
+	if err != nil {
+		t.Fatalf("NewOracle: %v", err)
+	}
+	worst := 0.0
+	src := noise.NewSource(5)
+	ds := domain.NewDataset(d)
+	ds.MustAdd(0)
+	ds.MustAdd(1)
+	for s := 0; s < 40; s++ {
+		w, err := m.Sample(ds, src)
+		if err != nil {
+			t.Fatalf("Sample: %v", err)
+		}
+		loss, err := BlowfishLossAt(m, o, w)
+		if err != nil {
+			t.Fatalf("BlowfishLossAt: %v", err)
+		}
+		if loss > eps+tol {
+			t.Fatalf("Blowfish loss %v exceeds ε=%v", loss, eps)
+		}
+		worst = math.Max(worst, loss)
+	}
+	if worst < eps*0.95 {
+		t.Fatalf("worst observed loss %v far below ε=%v: calibration is loose", worst, eps)
+	}
+}
+
+// Kifer–Lin axiom 1 (transformation invariance): thresholding the released
+// counts — arbitrary post-processing — cannot increase the privacy loss.
+func TestAxiomTransformationInvariance(t *testing.T) {
+	const eps = 0.6
+	d := domain.MustLine("v", 3)
+	pol := policy.Differential(d)
+	m, err := NewGeometricHistogram(d, 2, eps)
+	if err != nil {
+		t.Fatalf("NewGeometricHistogram: %v", err)
+	}
+	o, err := policy.NewOracle(pol, 2)
+	if err != nil {
+		t.Fatalf("NewOracle: %v", err)
+	}
+	o.ForEachNeighborPair(func(d1, d2 *domain.Dataset) bool {
+		for cell := 0; int64(cell) < d.Size(); cell++ {
+			for c := int64(-2); c <= 3; c++ {
+				p1, err := m.ThresholdProb(d1, cell, c)
+				if err != nil {
+					t.Fatalf("ThresholdProb: %v", err)
+				}
+				p2, err := m.ThresholdProb(d2, cell, c)
+				if err != nil {
+					t.Fatalf("ThresholdProb: %v", err)
+				}
+				// Check both the event and its complement.
+				for _, pair := range [][2]float64{{p1, p2}, {1 - p1, 1 - p2}} {
+					if pair[0] == 0 && pair[1] == 0 {
+						continue
+					}
+					ratio := pair[0] / pair[1]
+					if ratio < 1 {
+						ratio = 1 / ratio
+					}
+					if math.Log(ratio) > eps+1e-6 {
+						t.Fatalf("post-processed loss %v exceeds ε=%v (cell %d, c %d)",
+							math.Log(ratio), eps, cell, c)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// Kifer–Lin axiom 2 (convexity): a coin-flip choice between two
+// (ε, P)-private mechanisms is (ε, P)-private.
+func TestAxiomConvexity(t *testing.T) {
+	const eps = 0.6
+	d := domain.MustLine("v", 3)
+	pol := policy.Differential(d)
+	m1, err := NewGeometricHistogram(d, 2, eps)
+	if err != nil {
+		t.Fatalf("NewGeometricHistogram: %v", err)
+	}
+	m2, err := NewGeometricHistogram(d, 2, eps/2) // more noise: also ε-private
+	if err != nil {
+		t.Fatalf("NewGeometricHistogram: %v", err)
+	}
+	o, err := policy.NewOracle(pol, 2)
+	if err != nil {
+		t.Fatalf("NewOracle: %v", err)
+	}
+	src := noise.NewSource(7)
+	ds := domain.NewDataset(d)
+	ds.MustAdd(0)
+	ds.MustAdd(2)
+	for s := 0; s < 25; s++ {
+		w, err := m1.Sample(ds, src)
+		if err != nil {
+			t.Fatalf("Sample: %v", err)
+		}
+		violated := false
+		o.ForEachNeighborPair(func(d1, d2 *domain.Dataset) bool {
+			p1, err := MixtureProb(m1, m2, 0.4, d1, w)
+			if err != nil {
+				t.Fatalf("MixtureProb: %v", err)
+			}
+			p2, err := MixtureProb(m1, m2, 0.4, d2, w)
+			if err != nil {
+				t.Fatalf("MixtureProb: %v", err)
+			}
+			ratio := p1 / p2
+			if ratio < 1 {
+				ratio = 1 / ratio
+			}
+			if math.Log(ratio) > eps+1e-6 {
+				violated = true
+				return false
+			}
+			return true
+		})
+		if violated {
+			t.Fatalf("mixture mechanism violates ε at output %v", w)
+		}
+	}
+}
+
+// Theorem 4.5 direction: with public constraints, the mechanism calibrated
+// to the constrained policy-graph sensitivity keeps posterior odds bounded
+// for constraint-conditioned product priors on this instance. (The paper
+// proves Pufferfish ⟹ Blowfish under constraints and conjectures the
+// converse; this is evidence on a concrete instance, not a proof.)
+func TestTheorem45ConstrainedInstance(t *testing.T) {
+	const eps = 0.9
+	d := domain.MustNew(
+		domain.Attribute{Name: "A1", Size: 2},
+		domain.Attribute{Name: "A2", Size: 2},
+	)
+	m, err := constraints.NewMarginal(d, []int{0})
+	if err != nil {
+		t.Fatalf("NewMarginal: %v", err)
+	}
+	ref := domain.NewDataset(d)
+	ref.MustAdd(d.MustEncode(0, 0))
+	ref.MustAdd(d.MustEncode(1, 0))
+	set, err := m.Set(ref)
+	if err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	g := secgraph.NewComplete(d)
+	pol := policy.NewConstrained(g, set)
+	sens := m.FullDomainSensitivity() // 4
+	mech, err := NewGeometricHistogram(d, sens, eps)
+	if err != nil {
+		t.Fatalf("NewGeometricHistogram: %v", err)
+	}
+	src := noise.NewSource(11)
+	priors := []Prior{UniformPrior(d, 2)}
+	for p := 0; p < 3; p++ {
+		priors = append(priors, RandomPrior(d, 2, src))
+	}
+	for pi, pr := range priors {
+		for s := 0; s < 8; s++ {
+			w, err := mech.Sample(ref, src)
+			if err != nil {
+				t.Fatalf("Sample: %v", err)
+			}
+			loss, err := LossAt(mech, pol, pr, w)
+			if err != nil {
+				t.Fatalf("LossAt: %v", err)
+			}
+			if loss > eps+tol {
+				t.Fatalf("prior %d: constrained Pufferfish loss %v exceeds ε=%v at %v", pi, loss, eps, w)
+			}
+		}
+	}
+}
+
+func TestGeometricHistogramValidation(t *testing.T) {
+	d := domain.MustLine("v", 3)
+	if _, err := NewGeometricHistogram(d, 0, 1); err == nil {
+		t.Error("zero sensitivity accepted")
+	}
+	if _, err := NewGeometricHistogram(d, 2, 0); err == nil {
+		t.Error("zero epsilon accepted")
+	}
+	if _, err := NewGeometricHistogram(domain.MustLine("v", 1000), 2, 1); err == nil {
+		t.Error("oversized domain accepted")
+	}
+	m, err := NewGeometricHistogram(d, 2, 1)
+	if err != nil {
+		t.Fatalf("NewGeometricHistogram: %v", err)
+	}
+	ds := domain.NewDataset(d)
+	ds.MustAdd(0)
+	if _, err := m.Prob(ds, []int64{1}); err == nil {
+		t.Error("wrong output length accepted")
+	}
+	// pmf sums to ~1 over a wide window.
+	var sum float64
+	for z := int64(-200); z <= 200; z++ {
+		sum += m.pmf(z)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("pmf sums to %v", sum)
+	}
+	// tail consistent with pmf.
+	var tailSum float64
+	for z := int64(3); z <= 300; z++ {
+		tailSum += m.pmf(z)
+	}
+	if math.Abs(m.tail(3)-tailSum) > 1e-9 {
+		t.Fatalf("tail(3) = %v, pmf sum = %v", m.tail(3), tailSum)
+	}
+}
+
+func TestPriorValidation(t *testing.T) {
+	d := domain.MustLine("v", 3)
+	pol := policy.Differential(d)
+	m, err := NewGeometricHistogram(d, 2, 1)
+	if err != nil {
+		t.Fatalf("NewGeometricHistogram: %v", err)
+	}
+	bad := Prior{{0.5, 0.5}} // wrong width
+	if _, err := OutputProbGiven(m, pol, bad, 0, 0, []int64{0, 0, 0}); err == nil {
+		t.Error("wrong-width prior accepted")
+	}
+	bad = Prior{{0.7, 0.7, 0.1}} // does not sum to 1
+	if _, err := OutputProbGiven(m, pol, bad, 0, 0, []int64{0, 0, 0}); err == nil {
+		t.Error("non-normalized prior accepted")
+	}
+	ok := Prior{{0, 1, 0}}
+	if _, err := OutputProbGiven(m, pol, ok, 0, 0, []int64{0, 0, 0}); err == nil {
+		t.Error("zero-probability conditioning accepted")
+	}
+}
+
+// Theorem 4.1 (sequential composition), verified on exact output
+// distributions: releasing M1(D) and M2(D) together has Blowfish loss at
+// most ε1 + ε2, and the bound is essentially attained.
+func TestTheorem41SequentialComposition(t *testing.T) {
+	const (
+		eps1 = 0.4
+		eps2 = 0.3
+	)
+	d := domain.MustLine("v", 3)
+	pol := policy.Differential(d)
+	m1, err := NewGeometricHistogram(d, 2, eps1)
+	if err != nil {
+		t.Fatalf("NewGeometricHistogram: %v", err)
+	}
+	m2, err := NewGeometricCumulative(d, 2, eps2) // cumulative sens = |T|-1 = 2 under full graph
+	if err != nil {
+		t.Fatalf("NewGeometricCumulative: %v", err)
+	}
+	o, err := policy.NewOracle(pol, 2)
+	if err != nil {
+		t.Fatalf("NewOracle: %v", err)
+	}
+	ds := domain.NewDataset(d)
+	ds.MustAdd(0)
+	ds.MustAdd(2)
+	src := noise.NewSource(13)
+	worst := 0.0
+	for s := 0; s < 30; s++ {
+		w1, err := m1.Sample(ds, src)
+		if err != nil {
+			t.Fatalf("Sample: %v", err)
+		}
+		w2, err := m2.Sample(ds, src)
+		if err != nil {
+			t.Fatalf("Sample: %v", err)
+		}
+		// Joint loss over neighbor pairs: independent mechanisms multiply.
+		var visit func(d1, d2 *domain.Dataset) bool
+		maxJoint := 0.0
+		visit = func(d1, d2 *domain.Dataset) bool {
+			p11, err := m1.Prob(d1, w1)
+			if err != nil {
+				t.Fatalf("Prob: %v", err)
+			}
+			p12, err := m2.Prob(d1, w2)
+			if err != nil {
+				t.Fatalf("Prob: %v", err)
+			}
+			p21, err := m1.Prob(d2, w1)
+			if err != nil {
+				t.Fatalf("Prob: %v", err)
+			}
+			p22, err := m2.Prob(d2, w2)
+			if err != nil {
+				t.Fatalf("Prob: %v", err)
+			}
+			loss := math.Abs(math.Log(p11*p12) - math.Log(p21*p22))
+			if loss > maxJoint {
+				maxJoint = loss
+			}
+			return true
+		}
+		o.ForEachNeighborPair(visit)
+		if maxJoint > eps1+eps2+tol {
+			t.Fatalf("joint loss %v exceeds ε1+ε2 = %v", maxJoint, eps1+eps2)
+		}
+		worst = math.Max(worst, maxJoint)
+	}
+	if worst < (eps1+eps2)*0.6 {
+		t.Logf("note: worst joint loss %v well below budget %v (sampled outputs only)", worst, eps1+eps2)
+	}
+}
+
+// Theorem 4.2 (parallel composition with the cardinality constraint):
+// mechanisms over disjoint id-subsets jointly cost max(ε_i), verified on
+// exact output distributions. M1 releases the histogram of tuple 0's
+// sub-dataset, M2 of tuple 1's; a neighbor pair changes only one tuple, so
+// only one sub-release differs.
+func TestTheorem42ParallelComposition(t *testing.T) {
+	const (
+		eps1 = 0.5
+		eps2 = 0.3
+	)
+	d := domain.MustLine("v", 3)
+	pol := policy.Differential(d)
+	m1, err := NewGeometricHistogram(d, 2, eps1)
+	if err != nil {
+		t.Fatalf("NewGeometricHistogram: %v", err)
+	}
+	m2, err := NewGeometricHistogram(d, 2, eps2)
+	if err != nil {
+		t.Fatalf("NewGeometricHistogram: %v", err)
+	}
+	o, err := policy.NewOracle(pol, 2)
+	if err != nil {
+		t.Fatalf("NewOracle: %v", err)
+	}
+	sub := func(ds *domain.Dataset, id int) *domain.Dataset {
+		s, err := ds.Subset([]int{id})
+		if err != nil {
+			t.Fatalf("Subset: %v", err)
+		}
+		return s
+	}
+	ds := domain.NewDataset(d)
+	ds.MustAdd(1)
+	ds.MustAdd(2)
+	src := noise.NewSource(17)
+	budget := math.Max(eps1, eps2)
+	for s := 0; s < 30; s++ {
+		w1, err := m1.Sample(sub(ds, 0), src)
+		if err != nil {
+			t.Fatalf("Sample: %v", err)
+		}
+		w2, err := m2.Sample(sub(ds, 1), src)
+		if err != nil {
+			t.Fatalf("Sample: %v", err)
+		}
+		maxJoint := 0.0
+		o.ForEachNeighborPair(func(d1, d2 *domain.Dataset) bool {
+			j1 := func(dd *domain.Dataset) float64 {
+				p1, err := m1.Prob(sub(dd, 0), w1)
+				if err != nil {
+					t.Fatalf("Prob: %v", err)
+				}
+				p2, err := m2.Prob(sub(dd, 1), w2)
+				if err != nil {
+					t.Fatalf("Prob: %v", err)
+				}
+				return p1 * p2
+			}
+			loss := math.Abs(math.Log(j1(d1)) - math.Log(j1(d2)))
+			if loss > maxJoint {
+				maxJoint = loss
+			}
+			return true
+		})
+		if maxJoint > budget+tol {
+			t.Fatalf("parallel joint loss %v exceeds max(ε1,ε2) = %v", maxJoint, budget)
+		}
+	}
+}

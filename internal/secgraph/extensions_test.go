@@ -1,0 +1,204 @@
+package secgraph
+
+import (
+	"math"
+	"testing"
+
+	"blowfish/internal/domain"
+)
+
+func TestBottomGraphBasics(t *testing.T) {
+	d := domain.MustLine("v", 5)
+	base := MustDistanceThreshold(d, 1)
+	b, err := NewWithBottom(base)
+	if err != nil {
+		t.Fatalf("NewWithBottom: %v", err)
+	}
+	if got, want := b.Domain().Size(), int64(6); got != want {
+		t.Fatalf("extended size = %d, want %d", got, want)
+	}
+	bot := b.Bottom()
+	if bot != domain.Point(5) {
+		t.Fatalf("Bottom = %d, want 5", bot)
+	}
+	// ⊥ adjacent to every real value.
+	for x := domain.Point(0); x < 5; x++ {
+		if !b.Adjacent(x, bot) || !b.Adjacent(bot, x) {
+			t.Fatalf("⊥ not adjacent to %d", x)
+		}
+	}
+	if b.Adjacent(bot, bot) {
+		t.Fatal("⊥ self-loop")
+	}
+	// Real pairs follow the base line graph.
+	if !b.Adjacent(2, 3) || b.Adjacent(1, 3) {
+		t.Fatal("base adjacency not preserved")
+	}
+	if b.Name() != "L1|θ=1+⊥" {
+		t.Fatalf("Name = %q", b.Name())
+	}
+	// Multi-dimensional base rejected.
+	if _, err := NewWithBottom(NewComplete(domain.MustGrid(3, 3))); err == nil {
+		t.Error("2-D base accepted")
+	}
+}
+
+func TestBottomGraphHopDistance(t *testing.T) {
+	d := domain.MustLine("v", 6)
+	base := MustDistanceThreshold(d, 1)
+	b, err := NewWithBottom(base)
+	if err != nil {
+		t.Fatalf("NewWithBottom: %v", err)
+	}
+	bot := b.Bottom()
+	if got := b.HopDistance(2, bot); got != 1 {
+		t.Fatalf("hop(2,⊥) = %v, want 1", got)
+	}
+	// Distant real values short-circuit through ⊥: min(base 5, 2) = 2.
+	if got := b.HopDistance(0, 5); got != 2 {
+		t.Fatalf("hop(0,5) = %v, want 2 via ⊥", got)
+	}
+	// Adjacent real values stay at 1.
+	if got := b.HopDistance(3, 4); got != 1 {
+		t.Fatalf("hop(3,4) = %v, want 1", got)
+	}
+	// Cross-check against BFS on the materialized extension.
+	e, err := Materialize(b)
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	n := b.Domain().Size()
+	for x := int64(0); x < n; x++ {
+		for y := int64(0); y < n; y++ {
+			got := b.HopDistance(domain.Point(x), domain.Point(y))
+			want := e.HopDistance(domain.Point(x), domain.Point(y))
+			if got != want {
+				t.Fatalf("hop(%d,%d) = %v, BFS says %v", x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestBottomGraphMaxEdgeDistance(t *testing.T) {
+	d := domain.MustLine("v", 5)
+	b, err := NewWithBottom(MustDistanceThreshold(d, 2))
+	if err != nil {
+		t.Fatalf("NewWithBottom: %v", err)
+	}
+	// Edge (0, ⊥) spans the whole extended line: |T| = 5.
+	if got := b.MaxEdgeDistance(); got != 5 {
+		t.Fatalf("MaxEdgeDistance = %v, want 5", got)
+	}
+	// And it matches the brute-force maximum over edges.
+	best := 0.0
+	if err := Edges(b, func(x, y domain.Point) bool {
+		if dist := b.Domain().L1(x, y); dist > best {
+			best = dist
+		}
+		return true
+	}); err != nil {
+		t.Fatalf("Edges: %v", err)
+	}
+	if b.MaxEdgeDistance() != best {
+		t.Fatalf("MaxEdgeDistance = %v, brute force %v", b.MaxEdgeDistance(), best)
+	}
+}
+
+func TestLInfThresholdBasics(t *testing.T) {
+	d := domain.MustGrid(10, 10)
+	g, err := NewLInfThreshold(d, 2)
+	if err != nil {
+		t.Fatalf("NewLInfThreshold: %v", err)
+	}
+	a := d.MustEncode(0, 0)
+	diag := d.MustEncode(2, 2) // LInf = 2: adjacent (L1 = 4 would not be under L1|θ=2)
+	far := d.MustEncode(3, 0)  // LInf = 3: not adjacent
+	if !g.Adjacent(a, diag) {
+		t.Fatal("diagonal within θ not adjacent")
+	}
+	if g.Adjacent(a, far) {
+		t.Fatal("value beyond θ adjacent")
+	}
+	// Hop distance = ceil(LInf/θ).
+	corner := d.MustEncode(9, 9)
+	if got, want := g.HopDistance(a, corner), 5.0; got != want {
+		t.Fatalf("hop = %v, want %v", got, want)
+	}
+	if _, err := NewLInfThreshold(d, 0); err == nil {
+		t.Error("θ=0 accepted")
+	}
+	if _, err := NewLInfThreshold(d, math.NaN()); err == nil {
+		t.Error("NaN θ accepted")
+	}
+}
+
+func TestLInfThresholdHopMatchesBFS(t *testing.T) {
+	d := domain.MustGrid(5, 4)
+	g, err := NewLInfThreshold(d, 2)
+	if err != nil {
+		t.Fatalf("NewLInfThreshold: %v", err)
+	}
+	e, err := Materialize(g)
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	n := d.Size()
+	for x := int64(0); x < n; x++ {
+		for y := int64(0); y < n; y++ {
+			got := g.HopDistance(domain.Point(x), domain.Point(y))
+			want := e.HopDistance(domain.Point(x), domain.Point(y))
+			if got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+				t.Fatalf("hop(%d,%d) = %v, BFS says %v", x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestLInfThresholdMaxEdgeMatchesBruteForce(t *testing.T) {
+	for _, theta := range []float64{1, 2, 3.5, 100} {
+		d := domain.MustGrid(6, 4)
+		g, err := NewLInfThreshold(d, theta)
+		if err != nil {
+			t.Fatalf("NewLInfThreshold: %v", err)
+		}
+		best := 0.0
+		if err := Edges(g, func(x, y domain.Point) bool {
+			if dist := d.L1(x, y); dist > best {
+				best = dist
+			}
+			return true
+		}); err != nil {
+			t.Fatalf("Edges: %v", err)
+		}
+		if got := g.MaxEdgeDistance(); got != best {
+			t.Fatalf("θ=%v: MaxEdgeDistance = %v, brute force %v", theta, got, best)
+		}
+	}
+}
+
+// L∞ vs L1 at the same θ: the L∞ ball strictly contains the L1 ball in 2-D,
+// so the L∞ policy has more secrets (weaker utility, stronger privacy).
+func TestLInfContainsL1Ball(t *testing.T) {
+	d := domain.MustGrid(8, 8)
+	l1 := MustDistanceThreshold(d, 2)
+	linf, err := NewLInfThreshold(d, 2)
+	if err != nil {
+		t.Fatalf("NewLInfThreshold: %v", err)
+	}
+	n := d.Size()
+	extra := 0
+	for x := int64(0); x < n; x++ {
+		for y := x + 1; y < n; y++ {
+			px, py := domain.Point(x), domain.Point(y)
+			if l1.Adjacent(px, py) && !linf.Adjacent(px, py) {
+				t.Fatalf("L1 edge (%d,%d) missing from L∞ graph", x, y)
+			}
+			if linf.Adjacent(px, py) && !l1.Adjacent(px, py) {
+				extra++
+			}
+		}
+	}
+	if extra == 0 {
+		t.Fatal("L∞ graph adds no edges over L1 at θ=2 in 2-D")
+	}
+}

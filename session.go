@@ -1,0 +1,147 @@
+package blowfish
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"blowfish/internal/domain"
+)
+
+// Session ties a policy, a privacy-budget accountant and a noise source
+// together: every release is charged against the budget before anything is
+// returned, so a data publisher cannot accidentally overspend. Releases are
+// computed first and charged second — if the charge fails, the computed
+// values are discarded unpublished, so a failed call costs nothing.
+//
+// Budget arithmetic follows sequential composition (Theorem 4.1); use the
+// underlying Accountant's SpendParallel for disjoint-subset workloads
+// (Theorem 4.2).
+type Session struct {
+	pol  *Policy
+	acct *Accountant
+	src  *Source
+}
+
+// NewSession creates a session for the policy with a total ε budget.
+func NewSession(pol *Policy, budget float64, src *Source) (*Session, error) {
+	if pol == nil {
+		return nil, errors.New("blowfish: nil policy")
+	}
+	if src == nil {
+		return nil, errors.New("blowfish: nil noise source")
+	}
+	acct, err := NewAccountant(budget)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{pol: pol, acct: acct, src: src}, nil
+}
+
+// Policy returns the session's policy.
+func (s *Session) Policy() *Policy { return s.pol }
+
+// Accountant exposes the budget ledger (remaining budget, release log,
+// parallel spending).
+func (s *Session) Accountant() *Accountant { return s.acct }
+
+// Remaining returns the unspent budget.
+func (s *Session) Remaining() float64 { return s.acct.Remaining() }
+
+// checkDataset validates the dataset against the session policy's domain.
+func (s *Session) checkDataset(ds *Dataset) error {
+	if !s.pol.Domain().Equal(ds.Domain()) {
+		return errors.New("blowfish: dataset domain differs from the session policy's")
+	}
+	return nil
+}
+
+// ReleaseHistogram releases the complete histogram, charging eps.
+func (s *Session) ReleaseHistogram(ds *Dataset, eps float64) ([]float64, error) {
+	if err := s.checkDataset(ds); err != nil {
+		return nil, err
+	}
+	rel, err := ReleaseHistogram(s.pol, ds, eps, s.src)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.acct.Spend("histogram", eps); err != nil {
+		return nil, err // release discarded unpublished
+	}
+	return rel, nil
+}
+
+// ReleasePartitionHistogram releases the block histogram, charging eps only
+// when the release is actually noisy; a zero-sensitivity (exact) release is
+// free, as Section 5's coarse-grid observation permits.
+func (s *Session) ReleasePartitionHistogram(ds *Dataset, part Partition, eps float64) ([]float64, error) {
+	if err := s.checkDataset(ds); err != nil {
+		return nil, err
+	}
+	sens, err := s.pol.PartitionHistogramSensitivity(part)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := ReleasePartitionHistogram(s.pol, ds, part, eps, s.src)
+	if err != nil {
+		return nil, err
+	}
+	if sens > 0 {
+		if err := s.acct.Spend(fmt.Sprintf("partition-histogram|%d", part.NumBlocks()), eps); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+// PrivateKMeans runs SuLQ k-means, charging eps.
+func (s *Session) PrivateKMeans(ds *Dataset, k, iterations int, eps float64) (KMeansResult, error) {
+	if err := s.checkDataset(ds); err != nil {
+		return KMeansResult{}, err
+	}
+	res, err := PrivateKMeans(s.pol, ds, k, iterations, eps, s.src)
+	if err != nil {
+		return KMeansResult{}, err
+	}
+	if err := s.acct.Spend(fmt.Sprintf("kmeans|k=%d", k), eps); err != nil {
+		return KMeansResult{}, err
+	}
+	return res, nil
+}
+
+// ReleaseCumulativeHistogram runs the Ordered Mechanism, charging eps.
+func (s *Session) ReleaseCumulativeHistogram(ds *Dataset, eps float64) (*CumulativeRelease, error) {
+	if err := s.checkDataset(ds); err != nil {
+		return nil, err
+	}
+	rel, err := ReleaseCumulativeHistogram(s.pol, ds, eps, s.src)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.acct.Spend("cumulative-histogram", eps); err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
+// NewRangeReleaser builds an Ordered Hierarchical release, charging eps.
+func (s *Session) NewRangeReleaser(ds *Dataset, fanout int, eps float64) (*RangeReleaser, error) {
+	if err := s.checkDataset(ds); err != nil {
+		return nil, err
+	}
+	rel, err := NewRangeReleaser(s.pol, ds, fanout, eps, s.src)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.acct.Spend("range-releaser", eps); err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
+// ReadDatasetCSV parses a dataset from the library's CSV interchange format
+// (a header of attribute names, one integer row per tuple); Dataset.WriteCSV
+// produces it.
+func ReadDatasetCSV(d *Domain, r io.Reader) (*Dataset, error) {
+	return domain.ReadCSV(d, r)
+}
