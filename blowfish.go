@@ -206,7 +206,7 @@ func KMeans(ds *Dataset, k, iterations int, src *Source) (KMeansResult, error) {
 // clamping box from the domain.
 func PrivateKMeans(p *Policy, ds *Dataset, k, iterations int, eps float64, src *Source) (KMeansResult, error) {
 	if !p.Domain().Equal(ds.Domain()) {
-		return KMeansResult{}, errors.New("blowfish: policy and dataset domains differ")
+		return KMeansResult{}, ErrDomainMismatch
 	}
 	cfg, err := kmeansConfig(ds, k, iterations)
 	if err != nil {
@@ -256,7 +256,7 @@ func (c *CumulativeRelease) Range(lo, hi int) (float64, error) {
 // and applies constrained inference.
 func ReleaseCumulativeHistogram(p *Policy, ds *Dataset, eps float64, src *Source) (*CumulativeRelease, error) {
 	if !p.Domain().Equal(ds.Domain()) {
-		return nil, errors.New("blowfish: policy and dataset domains differ")
+		return nil, ErrDomainMismatch
 	}
 	sens, err := p.CumulativeHistogramSensitivity()
 	if err != nil {
@@ -288,7 +288,7 @@ type RangeReleaser struct {
 // for the dataset under the policy.
 func NewRangeReleaser(p *Policy, ds *Dataset, fanout int, eps float64, src *Source) (*RangeReleaser, error) {
 	if !p.Domain().Equal(ds.Domain()) {
-		return nil, errors.New("blowfish: policy and dataset domains differ")
+		return nil, ErrDomainMismatch
 	}
 	if p.Domain().NumAttrs() != 1 {
 		return nil, errors.New("blowfish: range release requires a one-dimensional ordered domain")
@@ -363,3 +363,9 @@ func ExtendedDomain(g SecretGraph) (*Domain, Point, error) {
 // ErrBudgetExceeded is returned when a release would exceed the privacy
 // budget of an Accountant or Session.
 var ErrBudgetExceeded = composition.ErrBudgetExceeded
+
+// ErrDomainMismatch is returned when a dataset (or partition) is defined
+// over a different domain than the policy it is used with. Callers that
+// serve untrusted requests can detect it with errors.Is and report a
+// structured "domain mismatch" failure instead of a generic error.
+var ErrDomainMismatch = errors.New("blowfish: dataset domain differs from the policy's")

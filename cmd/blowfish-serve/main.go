@@ -1,0 +1,95 @@
+// Command blowfish-serve runs the Blowfish policy-release HTTP service: a
+// JSON API for declaring domains and secret-graph policies, uploading
+// datasets, opening budgeted sessions and drawing histogram, cumulative
+// and range-query releases (see internal/server and the README's curl
+// walkthrough).
+//
+// Usage:
+//
+//	blowfish-serve -addr :8080 -seed 1 -session-ttl 30m
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"blowfish/internal/server"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":8080", "listen address")
+		seed  = flag.Int64("seed", 1, "base seed for per-session noise sources")
+		ttl   = flag.Duration("session-ttl", 30*time.Minute, "idle session lifetime (0 = never expire)")
+		sweep = flag.Duration("sweep", time.Minute, "session expiry sweep interval")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{Seed: *seed, SessionTTL: *ttl})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(srv),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *ttl > 0 {
+		go func() {
+			t := time.NewTicker(*sweep)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if n := srv.ExpireSessions(); n > 0 {
+						log.Printf("expired %d idle session(s)", n)
+					}
+				}
+			}
+		}()
+	}
+
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("blowfish-serve listening on %s (seed=%d, session-ttl=%s)", *addr, *seed, *ttl)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Print("blowfish-serve stopped")
+}
+
+// logRequests is a minimal structured-ish access log middleware.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		log.Printf("%s %s %d %s", r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}

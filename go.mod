@@ -1,0 +1,3 @@
+module blowfish
+
+go 1.24

@@ -76,11 +76,33 @@ func (a *Accountant) Spend(label string, eps float64) error {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if a.spent+eps > a.budget+1e-12 {
-		return fmt.Errorf("%w: spent %v + %v > budget %v", ErrBudgetExceeded, a.spent, eps, a.budget)
+	if err := a.checkLocked(eps); err != nil {
+		return err
 	}
 	a.spent += eps
 	a.releases = append(a.releases, Release{Label: label, Epsilon: eps})
+	return nil
+}
+
+// CanSpend reports whether a sequential charge of eps would currently fit
+// the budget, with the same tolerance and error as Spend. It is advisory —
+// a concurrent Spend may consume the headroom before the caller charges —
+// but lets expensive release computations be skipped when the budget is
+// already exhausted.
+func (a *Accountant) CanSpend(eps float64) error {
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return fmt.Errorf("composition: invalid epsilon %v", eps)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.checkLocked(eps)
+}
+
+// checkLocked is the single budget rule shared by Spend and CanSpend.
+func (a *Accountant) checkLocked(eps float64) error {
+	if a.spent+eps > a.budget+1e-12 {
+		return fmt.Errorf("%w: spent %v + %v > budget %v", ErrBudgetExceeded, a.spent, eps, a.budget)
+	}
 	return nil
 }
 

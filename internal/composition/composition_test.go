@@ -54,6 +54,33 @@ func TestSequentialComposition(t *testing.T) {
 	}
 }
 
+func TestCanSpend(t *testing.T) {
+	a, err := NewAccountant(1.0)
+	if err != nil {
+		t.Fatalf("NewAccountant: %v", err)
+	}
+	if err := a.CanSpend(0.8); err != nil {
+		t.Fatalf("CanSpend(0.8) on fresh accountant: %v", err)
+	}
+	if err := a.CanSpend(0); err == nil {
+		t.Fatal("CanSpend(0) accepted")
+	}
+	if err := a.Spend("histogram", 0.8); err != nil {
+		t.Fatalf("Spend: %v", err)
+	}
+	// The advisory check agrees with the authoritative gate.
+	if err := a.CanSpend(0.3); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("CanSpend over budget: err = %v, want ErrBudgetExceeded", err)
+	}
+	if err := a.CanSpend(0.2); err != nil {
+		t.Fatalf("CanSpend of exact remainder: %v", err)
+	}
+	// CanSpend never charges.
+	if got := a.Spent(); got != 0.8 {
+		t.Fatalf("CanSpend charged the accountant: spent %v", got)
+	}
+}
+
 func TestSpendValidation(t *testing.T) {
 	a, err := NewAccountant(1)
 	if err != nil {

@@ -132,9 +132,22 @@ func ReleasePartitionHistogram(p *policy.Policy, ds *domain.Dataset, part domain
 	if err != nil {
 		return nil, err
 	}
+	return ReleasePartitionHistogramWithSens(ds, part, sens, eps, src)
+}
+
+// ReleasePartitionHistogramWithSens is ReleasePartitionHistogram with the
+// policy sensitivity already computed by the caller — for callers that need
+// the sensitivity anyway (e.g. to decide whether the release is free) and
+// must not pay the graph scan twice.
+func ReleasePartitionHistogramWithSens(ds *domain.Dataset, part domain.Partition, sens, eps float64, src *noise.Source) ([]float64, error) {
 	truth, err := ds.PartitionHistogram(part)
 	if err != nil {
 		return nil, err
+	}
+	if sens == 0 {
+		// No secret pair crosses blocks: the release is exact and free, so
+		// any epsilon (including 0) is acceptable and no noise is drawn.
+		return truth, nil
 	}
 	m, err := NewLaplace(eps, sens, src)
 	if err != nil {

@@ -1,0 +1,71 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"blowfish"
+)
+
+// Error codes returned in the "error.code" field of failure responses.
+// Clients branch on the code, not the message.
+const (
+	CodeBadRequest      = "bad_request"
+	CodeUnknownPolicy   = "unknown_policy"
+	CodeUnknownDataset  = "unknown_dataset"
+	CodeUnknownSession  = "unknown_session"
+	CodeDomainMismatch  = "domain_mismatch"
+	CodeBudgetExhausted = "budget_exhausted"
+	CodePolicyInUse     = "policy_in_use"
+)
+
+// APIError is the structured error body: {"error": {"code", "message"}}.
+type APIError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+type errorEnvelope struct {
+	Error APIError `json:"error"`
+}
+
+func (e *APIError) Error() string { return e.Code + ": " + e.Message }
+
+// httpStatus maps an error code to its response status.
+func httpStatus(code string) int {
+	switch code {
+	case CodeUnknownPolicy, CodeUnknownDataset, CodeUnknownSession:
+		return http.StatusNotFound
+	case CodeBudgetExhausted, CodePolicyInUse:
+		return http.StatusConflict
+	case CodeDomainMismatch:
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code, message string) {
+	writeJSON(w, httpStatus(code), errorEnvelope{Error: APIError{Code: code, Message: message}})
+}
+
+// writeLibError maps a blowfish library error onto the structured error
+// vocabulary: budget exhaustion and domain mismatches get their dedicated
+// codes, everything else is a bad request.
+func writeLibError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, blowfish.ErrBudgetExceeded):
+		writeError(w, CodeBudgetExhausted, err.Error())
+	case errors.Is(err, blowfish.ErrDomainMismatch):
+		writeError(w, CodeDomainMismatch, err.Error())
+	default:
+		writeError(w, CodeBadRequest, err.Error())
+	}
+}

@@ -1,0 +1,372 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"blowfish"
+)
+
+// decodeJSON parses a request body into v, rejecting unknown fields so
+// misspelled parameters fail loudly instead of silently defaulting.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, CodeBadRequest, "invalid JSON body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "sessions": s.SessionCount()})
+}
+
+func (s *Server) handleCreatePolicy(w http.ResponseWriter, r *http.Request) {
+	var req CreatePolicyRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	dom, err := buildDomain(req.Domain)
+	if err != nil {
+		writeError(w, CodeBadRequest, err.Error())
+		return
+	}
+	g, part, err := buildGraph(dom, req.Graph)
+	if err != nil {
+		writeError(w, CodeBadRequest, err.Error())
+		return
+	}
+	pol := blowfish.NewPolicy(g)
+	sens, err := blowfish.HistogramSensitivity(pol)
+	if err != nil {
+		writeError(w, CodeBadRequest, err.Error())
+		return
+	}
+	e := &policyEntry{
+		pol:      pol,
+		attrs:    append([]AttrSpec(nil), req.Domain...),
+		part:     part,
+		histSens: sens,
+	}
+	s.mu.Lock()
+	e.id = s.newID(0, "pol")
+	s.policies[e.id] = e
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, policyResponse(e))
+}
+
+func policyResponse(e *policyEntry) PolicyResponse {
+	return PolicyResponse{
+		ID:                   e.id,
+		Name:                 e.pol.Name(),
+		Domain:               e.attrs,
+		DomainSize:           e.pol.Domain().Size(),
+		HistogramSensitivity: e.histSens,
+	}
+}
+
+func (s *Server) handleGetPolicy(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.getPolicy(r.PathValue("id"))
+	if !ok {
+		writeError(w, CodeUnknownPolicy, fmt.Sprintf("no policy %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, policyResponse(e))
+}
+
+// handleDeletePolicy unregisters a policy. Deletion is refused while any
+// live session references it: a release against such a session would
+// otherwise silently lose the policy's partition and fall back to a
+// different mechanism.
+func (s *Server) handleDeletePolicy(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, ok := s.policies[id]
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, CodeUnknownPolicy, fmt.Sprintf("no policy %q", id))
+		return
+	}
+	for _, sess := range s.sessions {
+		if sess.policyID == id {
+			s.mu.Unlock()
+			writeError(w, CodePolicyInUse, fmt.Sprintf("policy %q has live sessions (e.g. %q); delete or expire them first", id, sess.id))
+			return
+		}
+	}
+	delete(s.policies, id)
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleDeleteDataset unregisters a dataset. In-flight releases holding the
+// entry finish against their own reference; new requests see 404.
+func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, ok := s.datasets[id]
+	delete(s.datasets, id)
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, CodeUnknownDataset, fmt.Sprintf("no dataset %q", id))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
+	var req CreateDatasetRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	var attrs []AttrSpec
+	switch {
+	case req.PolicyID != "" && len(req.Domain) > 0:
+		writeError(w, CodeBadRequest, "give policy_id or domain, not both")
+		return
+	case req.PolicyID != "":
+		pe, ok := s.getPolicy(req.PolicyID)
+		if !ok {
+			writeError(w, CodeUnknownPolicy, fmt.Sprintf("no policy %q", req.PolicyID))
+			return
+		}
+		attrs = pe.attrs
+	case len(req.Domain) > 0:
+		attrs = req.Domain
+	default:
+		writeError(w, CodeBadRequest, "dataset needs a policy_id or an inline domain")
+		return
+	}
+	dom, err := buildDomain(attrs)
+	if err != nil {
+		writeError(w, CodeBadRequest, err.Error())
+		return
+	}
+	ds := blowfish.NewDataset(dom)
+	for i, row := range req.Rows {
+		p, err := dom.Encode(row...)
+		if err != nil {
+			writeError(w, CodeBadRequest, fmt.Sprintf("row %d: %v", i, err))
+			return
+		}
+		if err := ds.Add(p); err != nil {
+			writeError(w, CodeBadRequest, fmt.Sprintf("row %d: %v", i, err))
+			return
+		}
+	}
+	e := &datasetEntry{ds: ds, attrs: append([]AttrSpec(nil), attrs...)}
+	s.mu.Lock()
+	e.id = s.newID(1, "ds")
+	s.datasets[e.id] = e
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, DatasetResponse{ID: e.id, Rows: ds.Len(), Domain: e.attrs})
+}
+
+func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.getDataset(r.PathValue("id"))
+	if !ok {
+		writeError(w, CodeUnknownDataset, fmt.Sprintf("no dataset %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, DatasetResponse{ID: e.id, Rows: e.ds.Len(), Domain: e.attrs})
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req CreateSessionRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	pe, ok := s.getPolicy(req.PolicyID)
+	if !ok {
+		writeError(w, CodeUnknownPolicy, fmt.Sprintf("no policy %q", req.PolicyID))
+		return
+	}
+	seed := s.nextSeed.Add(1)
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	sess, err := blowfish.NewSession(pe.pol, req.Budget, blowfish.NewSource(seed))
+	if err != nil {
+		writeError(w, CodeBadRequest, err.Error())
+		return
+	}
+	e := &sessionEntry{policyID: pe.id, pol: pe, sess: sess}
+	e.lastUsed.Store(s.cfg.Now().UnixNano())
+	s.mu.Lock()
+	// Re-check under the write lock that inserts the session: a concurrent
+	// policy deletion in the lookup window must not leave a session
+	// referencing an unregistered policy.
+	if _, still := s.policies[pe.id]; !still {
+		s.mu.Unlock()
+		writeError(w, CodeUnknownPolicy, fmt.Sprintf("no policy %q", req.PolicyID))
+		return
+	}
+	e.id = s.newID(2, "sess")
+	s.sessions[e.id] = e
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, sessionResponse(e, false))
+}
+
+func sessionResponse(e *sessionEntry, withLog bool) SessionResponse {
+	acct := e.sess.Accountant()
+	resp := SessionResponse{
+		ID:        e.id,
+		PolicyID:  e.policyID,
+		Budget:    acct.Budget(),
+		Spent:     acct.Spent(),
+		Remaining: acct.Remaining(),
+	}
+	if withLog {
+		for _, rel := range acct.Releases() {
+			resp.Releases = append(resp.Releases, ReleaseRecord{Label: rel.Label, Epsilon: rel.Epsilon})
+		}
+	}
+	return resp
+}
+
+// sessionFor resolves the {id} path segment, writing the structured
+// unknown-session error on miss.
+func (s *Server) sessionFor(w http.ResponseWriter, r *http.Request) (*sessionEntry, bool) {
+	e, ok := s.getSession(r.PathValue("id"))
+	if !ok {
+		writeError(w, CodeUnknownSession, fmt.Sprintf("no session %q (expired or never created)", r.PathValue("id")))
+		return nil, false
+	}
+	return e, true
+}
+
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.sessionFor(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, sessionResponse(e, true))
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, ok := s.sessions[id]
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, CodeUnknownSession, fmt.Sprintf("no session %q", id))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// datasetFor resolves a dataset id from a release request body.
+func (s *Server) datasetFor(w http.ResponseWriter, id string) (*datasetEntry, bool) {
+	e, ok := s.getDataset(id)
+	if !ok {
+		writeError(w, CodeUnknownDataset, fmt.Sprintf("no dataset %q", id))
+		return nil, false
+	}
+	return e, true
+}
+
+func (s *Server) handleHistogram(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.sessionFor(w, r)
+	if !ok {
+		return
+	}
+	var req HistogramRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	de, ok := s.datasetFor(w, req.DatasetID)
+	if !ok {
+		return
+	}
+	var counts []float64
+	var err error
+	if e.pol.part != nil {
+		// Partition policies answer the block histogram h_P; when every
+		// secret pair stays within a block the release is exact and free.
+		counts, err = e.sess.ReleasePartitionHistogram(de.ds, e.pol.part, req.Epsilon)
+	} else {
+		counts, err = e.sess.ReleaseHistogram(de.ds, req.Epsilon)
+	}
+	if err != nil {
+		writeLibError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, HistogramResponse{Counts: counts, Remaining: e.sess.Remaining()})
+}
+
+func (s *Server) handleCumulative(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.sessionFor(w, r)
+	if !ok {
+		return
+	}
+	var req CumulativeRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	de, ok := s.datasetFor(w, req.DatasetID)
+	if !ok {
+		return
+	}
+	rel, err := e.sess.ReleaseCumulativeHistogram(de.ds, req.Epsilon)
+	if err != nil {
+		writeLibError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CumulativeResponse{
+		Raw:       rel.Raw,
+		Inferred:  rel.Inferred,
+		Remaining: e.sess.Remaining(),
+	})
+}
+
+const defaultFanout = 16
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.sessionFor(w, r)
+	if !ok {
+		return
+	}
+	var req RangeRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, CodeBadRequest, "range release needs at least one query")
+		return
+	}
+	de, ok := s.datasetFor(w, req.DatasetID)
+	if !ok {
+		return
+	}
+	// Validate query bounds before building the releaser: a malformed
+	// query must not cost budget.
+	size := int(de.ds.Domain().Size())
+	for i, q := range req.Queries {
+		if q.Lo < 0 || q.Hi >= size || q.Lo > q.Hi {
+			writeError(w, CodeBadRequest, fmt.Sprintf("query %d: invalid range [%d,%d] over domain size %d", i, q.Lo, q.Hi, size))
+			return
+		}
+	}
+	fanout := req.Fanout
+	if fanout == 0 {
+		fanout = defaultFanout
+	}
+	rel, err := e.sess.NewRangeReleaser(de.ds, fanout, req.Epsilon)
+	if err != nil {
+		writeLibError(w, err)
+		return
+	}
+	answers := make([]float64, len(req.Queries))
+	for i, q := range req.Queries {
+		answers[i], err = rel.Range(q.Lo, q.Hi)
+		if err != nil {
+			writeError(w, CodeBadRequest, fmt.Sprintf("query %d: %v", i, err))
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, RangeResponse{Answers: answers, Remaining: e.sess.Remaining()})
+}

@@ -1,0 +1,236 @@
+// Package server exposes the blowfish library as a concurrent
+// JSON-over-HTTP policy-release service: clients declare domains and
+// secret-graph policies (Sections 3–5 of the paper), upload datasets,
+// open budgeted sessions, and draw histogram, cumulative-histogram and
+// range-query releases until the session's ε budget is exhausted.
+//
+// The server is safe under full concurrency: registries are guarded by a
+// read-write mutex, every session owns a private noise Source (sessions
+// serialize draws internally), and budget charges are atomic — parallel
+// release requests against one session can never overspend its ε
+// (sequential composition, Theorem 4.1).
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blowfish"
+)
+
+// Config tunes a Server. The zero value is usable.
+type Config struct {
+	// Seed is the base seed per-session noise sources are derived from.
+	// Two servers with the same seed, the same request sequence and
+	// explicit session seeds produce identical releases.
+	Seed int64
+	// SessionTTL expires sessions idle for longer than this; zero means
+	// sessions never expire.
+	SessionTTL time.Duration
+	// MaxBodyBytes caps request bodies; defaults to 32 MiB.
+	MaxBodyBytes int64
+	// Now overrides the clock (tests); defaults to time.Now.
+	Now func() time.Time
+}
+
+const defaultMaxBodyBytes = 32 << 20
+
+// Server is the in-memory policy-release service. Create with New; it
+// implements http.Handler.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	mu       sync.RWMutex
+	policies map[string]*policyEntry
+	datasets map[string]*datasetEntry
+	sessions map[string]*sessionEntry
+	nextID   [3]uint64 // policy, dataset, session counters
+
+	nextSeed atomic.Int64
+}
+
+type policyEntry struct {
+	id    string
+	pol   *blowfish.Policy
+	attrs []AttrSpec
+	// part is non-nil for partition policies; histogram releases over such
+	// policies answer the block histogram h_P.
+	part blowfish.Partition
+	// histSens is S(h, P), computed once at registration.
+	histSens float64
+}
+
+type datasetEntry struct {
+	id    string
+	ds    *blowfish.Dataset
+	attrs []AttrSpec
+}
+
+type sessionEntry struct {
+	id       string
+	policyID string
+	// pol is the policy entry captured at session creation: releases use
+	// this reference rather than re-resolving policyID, so a policy
+	// deletion racing session creation can never change which mechanism a
+	// live session's releases go through.
+	pol  *policyEntry
+	sess *blowfish.Session
+	// lastUsed is the unix-nano timestamp of the latest access, advanced
+	// atomically so reads can stay under the server's read lock.
+	lastUsed atomic.Int64
+}
+
+// New creates a Server.
+func New(cfg Config) *Server {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	s := &Server{
+		cfg:      cfg,
+		policies: make(map[string]*policyEntry),
+		datasets: make(map[string]*datasetEntry),
+		sessions: make(map[string]*sessionEntry),
+	}
+	s.nextSeed.Store(cfg.Seed)
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /v1/policies", s.handleCreatePolicy)
+	s.mux.HandleFunc("GET /v1/policies/{id}", s.handleGetPolicy)
+	s.mux.HandleFunc("DELETE /v1/policies/{id}", s.handleDeletePolicy)
+	s.mux.HandleFunc("POST /v1/datasets", s.handleCreateDataset)
+	s.mux.HandleFunc("GET /v1/datasets/{id}", s.handleGetDataset)
+	s.mux.HandleFunc("DELETE /v1/datasets/{id}", s.handleDeleteDataset)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleGetSession)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDeleteSession)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/releases/histogram", s.handleHistogram)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/releases/cumulative", s.handleCumulative)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/releases/range", s.handleRange)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// newID mints the next identifier in one of the three namespaces.
+func (s *Server) newID(kind int, prefix string) string {
+	s.nextID[kind]++
+	return fmt.Sprintf("%s-%d", prefix, s.nextID[kind])
+}
+
+// ExpireSessions drops sessions idle past the configured TTL and returns
+// how many were removed. Call it periodically (cmd/blowfish-serve runs a
+// sweeper goroutine); a zero TTL makes it a no-op.
+func (s *Server) ExpireSessions() int {
+	if s.cfg.SessionTTL <= 0 {
+		return 0
+	}
+	cutoff := s.cfg.Now().Add(-s.cfg.SessionTTL).UnixNano()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for id, e := range s.sessions {
+		if e.lastUsed.Load() < cutoff {
+			delete(s.sessions, id)
+			n++
+		}
+	}
+	return n
+}
+
+// SessionCount returns the number of live sessions (diagnostics).
+func (s *Server) SessionCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.sessions)
+}
+
+// getSession looks a session up and refreshes its idle timer.
+func (s *Server) getSession(id string) (*sessionEntry, bool) {
+	s.mu.RLock()
+	e, ok := s.sessions[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	e.lastUsed.Store(s.cfg.Now().UnixNano())
+	return e, true
+}
+
+func (s *Server) getPolicy(id string) (*policyEntry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.policies[id]
+	return e, ok
+}
+
+func (s *Server) getDataset(id string) (*datasetEntry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.datasets[id]
+	return e, ok
+}
+
+// buildDomain validates an AttrSpec list into a Domain.
+func buildDomain(attrs []AttrSpec) (*blowfish.Domain, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("domain needs at least one attribute")
+	}
+	out := make([]blowfish.Attribute, len(attrs))
+	for i, a := range attrs {
+		out[i] = blowfish.Attribute{Name: a.Name, Size: a.Size}
+	}
+	return blowfish.NewDomain(out...)
+}
+
+// buildGraph constructs the secret graph named by spec, returning the
+// partition alongside for kind "partition".
+func buildGraph(dom *blowfish.Domain, spec GraphSpec) (blowfish.SecretGraph, blowfish.Partition, error) {
+	switch spec.Kind {
+	case "full":
+		return blowfish.FullDomain(dom), nil, nil
+	case "attr":
+		return blowfish.AttributeSecrets(dom), nil, nil
+	case "line":
+		g, err := blowfish.LineGraph(dom)
+		return g, nil, err
+	case "l1":
+		g, err := blowfish.DistanceThreshold(dom, spec.Theta)
+		return g, nil, err
+	case "linf":
+		g, err := blowfish.LInfDistanceThreshold(dom, spec.Theta)
+		return g, nil, err
+	case "partition":
+		var part blowfish.Partition
+		var err error
+		if len(spec.Widths) > 0 {
+			part, err = blowfish.UniformGridPartition(dom, spec.Widths)
+		} else if spec.Blocks > 0 {
+			part, err = blowfish.UniformPartitionByCount(dom, spec.Blocks)
+		} else {
+			err = fmt.Errorf("partition graph needs blocks or widths")
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		return blowfish.PartitionedSecrets(part), part, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown graph kind %q (want full, attr, line, l1, linf or partition)", spec.Kind)
+	}
+}

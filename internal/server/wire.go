@@ -1,0 +1,141 @@
+package server
+
+// Wire types: the JSON request and response bodies of the v1 API. Every
+// response that costs privacy budget echoes the session's remaining budget
+// so clients can pace themselves without an extra round trip.
+
+// AttrSpec declares one categorical attribute of a domain.
+type AttrSpec struct {
+	Name string `json:"name"`
+	Size int    `json:"size"`
+}
+
+// GraphSpec selects one of the paper's standard secret-graph
+// specifications over the declared domain.
+//
+// Kinds:
+//
+//	full      — S^full, the complete graph (ε-differential privacy)
+//	attr      — S^attr, per-attribute secrets
+//	line      — G^{d,1}, the line graph over a 1-D ordered domain
+//	l1        — S^{d,θ} under the L1 metric; requires Theta
+//	linf      — S^{d,θ} under the L∞ metric; requires Theta
+//	partition — S^P over a uniform grid partition; requires Blocks or Widths
+type GraphSpec struct {
+	Kind string `json:"kind"`
+	// Theta is the distance threshold for kinds l1 and linf.
+	Theta float64 `json:"theta,omitempty"`
+	// Blocks is the approximate block count for kind partition (aspect-ratio
+	// preserving uniform grid).
+	Blocks int `json:"blocks,omitempty"`
+	// Widths gives explicit per-attribute cell widths for kind partition;
+	// it takes precedence over Blocks.
+	Widths []int `json:"widths,omitempty"`
+}
+
+// CreatePolicyRequest declares a domain and a secret-graph specification.
+type CreatePolicyRequest struct {
+	Domain []AttrSpec `json:"domain"`
+	Graph  GraphSpec  `json:"graph"`
+}
+
+// PolicyResponse describes a registered policy.
+type PolicyResponse struct {
+	ID         string     `json:"id"`
+	Name       string     `json:"name"`
+	Domain     []AttrSpec `json:"domain"`
+	DomainSize int64      `json:"domain_size"`
+	// HistogramSensitivity is S(h, P), the noise driver for histogram
+	// releases (Theorem 5.1).
+	HistogramSensitivity float64 `json:"histogram_sensitivity"`
+}
+
+// CreateDatasetRequest uploads a dataset as integer rows, one tuple per
+// row, over either an inline domain or the domain of a registered policy.
+type CreateDatasetRequest struct {
+	// PolicyID borrows the domain of a registered policy; mutually
+	// exclusive with Domain.
+	PolicyID string     `json:"policy_id,omitempty"`
+	Domain   []AttrSpec `json:"domain,omitempty"`
+	Rows     [][]int    `json:"rows"`
+}
+
+// DatasetResponse describes a registered dataset.
+type DatasetResponse struct {
+	ID     string     `json:"id"`
+	Rows   int        `json:"rows"`
+	Domain []AttrSpec `json:"domain"`
+}
+
+// CreateSessionRequest opens a budgeted release session against a policy.
+type CreateSessionRequest struct {
+	PolicyID string  `json:"policy_id"`
+	Budget   float64 `json:"budget"`
+	// Seed optionally fixes the session's noise stream for reproducible
+	// runs; omitted, the server derives a fresh per-session seed.
+	Seed *int64 `json:"seed,omitempty"`
+}
+
+// ReleaseRecord is one entry of a session's budget ledger.
+type ReleaseRecord struct {
+	Label   string  `json:"label"`
+	Epsilon float64 `json:"epsilon"`
+}
+
+// SessionResponse describes a session and its budget ledger.
+type SessionResponse struct {
+	ID        string          `json:"id"`
+	PolicyID  string          `json:"policy_id"`
+	Budget    float64         `json:"budget"`
+	Spent     float64         `json:"spent"`
+	Remaining float64         `json:"remaining"`
+	Releases  []ReleaseRecord `json:"releases,omitempty"`
+}
+
+// HistogramRequest draws a complete (or partition-block) histogram release.
+type HistogramRequest struct {
+	DatasetID string  `json:"dataset_id"`
+	Epsilon   float64 `json:"epsilon"`
+}
+
+// HistogramResponse carries the noisy counts.
+type HistogramResponse struct {
+	Counts    []float64 `json:"counts"`
+	Remaining float64   `json:"remaining"`
+}
+
+// CumulativeRequest draws an Ordered Mechanism cumulative histogram.
+type CumulativeRequest struct {
+	DatasetID string  `json:"dataset_id"`
+	Epsilon   float64 `json:"epsilon"`
+}
+
+// CumulativeResponse carries the raw noisy cumulative counts and the
+// constrained-inference estimate (monotone, clamped to [0, n]).
+type CumulativeResponse struct {
+	Raw       []float64 `json:"raw"`
+	Inferred  []float64 `json:"inferred"`
+	Remaining float64   `json:"remaining"`
+}
+
+// RangeQuery is one inclusive range count query q[lo, hi].
+type RangeQuery struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// RangeRequest builds one Ordered Hierarchical release (charging Epsilon
+// once) and answers every query against it.
+type RangeRequest struct {
+	DatasetID string  `json:"dataset_id"`
+	Epsilon   float64 `json:"epsilon"`
+	// Fanout is the hierarchy branching factor; defaults to 16.
+	Fanout  int          `json:"fanout,omitempty"`
+	Queries []RangeQuery `json:"queries"`
+}
+
+// RangeResponse carries one answer per query, in request order.
+type RangeResponse struct {
+	Answers   []float64 `json:"answers"`
+	Remaining float64   `json:"remaining"`
+}

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"blowfish/internal/domain"
+	"blowfish/internal/mechanism"
 )
 
 // Session ties a policy, a privacy-budget accountant and a noise source
@@ -17,10 +19,22 @@ import (
 // Budget arithmetic follows sequential composition (Theorem 4.1); use the
 // underlying Accountant's SpendParallel for disjoint-subset workloads
 // (Theorem 4.2).
+//
+// A Session is safe for concurrent use. The Accountant is internally
+// locked, and the session serializes draws from its noise Source (which is
+// itself not concurrency-safe) with a mutex, so releases issued from many
+// goroutines never race and never overspend: each charge is atomic against
+// the remaining budget. Concurrent releases are computed one at a time; for
+// parallel noise generation give each goroutine its own Session over a
+// Split source.
 type Session struct {
 	pol  *Policy
 	acct *Accountant
-	src  *Source
+
+	// mu serializes use of src: noise Sources are deterministic streams and
+	// must not be shared across goroutines without this lock.
+	mu  sync.Mutex
+	src *Source
 }
 
 // NewSession creates a session for the policy with a total ε budget.
@@ -51,9 +65,22 @@ func (s *Session) Remaining() float64 { return s.acct.Remaining() }
 // checkDataset validates the dataset against the session policy's domain.
 func (s *Session) checkDataset(ds *Dataset) error {
 	if !s.pol.Domain().Equal(ds.Domain()) {
-		return errors.New("blowfish: dataset domain differs from the session policy's")
+		return ErrDomainMismatch
 	}
 	return nil
+}
+
+// precheck cheaply refuses a charge that cannot possibly fit the remaining
+// budget, before any noise is computed — an exhausted session would
+// otherwise pay the full release computation (under the source lock) just
+// to be refused at the Spend. The check is advisory: Accountant.Spend
+// remains the authoritative, atomic gate.
+func (s *Session) precheck(eps float64) error {
+	if !(eps > 0) {
+		// Invalid epsilons surface from the mechanism's own validation.
+		return nil
+	}
+	return s.acct.CanSpend(eps)
 }
 
 // ReleaseHistogram releases the complete histogram, charging eps.
@@ -61,7 +88,12 @@ func (s *Session) ReleaseHistogram(ds *Dataset, eps float64) ([]float64, error) 
 	if err := s.checkDataset(ds); err != nil {
 		return nil, err
 	}
+	if err := s.precheck(eps); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
 	rel, err := ReleaseHistogram(s.pol, ds, eps, s.src)
+	s.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -82,7 +114,14 @@ func (s *Session) ReleasePartitionHistogram(ds *Dataset, part Partition, eps flo
 	if err != nil {
 		return nil, err
 	}
-	rel, err := ReleasePartitionHistogram(s.pol, ds, part, eps, s.src)
+	if sens > 0 {
+		if err := s.precheck(eps); err != nil {
+			return nil, err
+		}
+	}
+	s.mu.Lock()
+	rel, err := mechanism.ReleasePartitionHistogramWithSens(ds, part, sens, eps, s.src)
+	s.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -99,7 +138,12 @@ func (s *Session) PrivateKMeans(ds *Dataset, k, iterations int, eps float64) (KM
 	if err := s.checkDataset(ds); err != nil {
 		return KMeansResult{}, err
 	}
+	if err := s.precheck(eps); err != nil {
+		return KMeansResult{}, err
+	}
+	s.mu.Lock()
 	res, err := PrivateKMeans(s.pol, ds, k, iterations, eps, s.src)
+	s.mu.Unlock()
 	if err != nil {
 		return KMeansResult{}, err
 	}
@@ -114,7 +158,12 @@ func (s *Session) ReleaseCumulativeHistogram(ds *Dataset, eps float64) (*Cumulat
 	if err := s.checkDataset(ds); err != nil {
 		return nil, err
 	}
+	if err := s.precheck(eps); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
 	rel, err := ReleaseCumulativeHistogram(s.pol, ds, eps, s.src)
+	s.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -129,7 +178,12 @@ func (s *Session) NewRangeReleaser(ds *Dataset, fanout int, eps float64) (*Range
 	if err := s.checkDataset(ds); err != nil {
 		return nil, err
 	}
+	if err := s.precheck(eps); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
 	rel, err := NewRangeReleaser(s.pol, ds, fanout, eps, s.src)
+	s.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
