@@ -26,12 +26,11 @@ package blowfish
 
 import (
 	"errors"
-	"fmt"
-	"math"
 
 	"blowfish/internal/composition"
 	"blowfish/internal/constraints"
 	"blowfish/internal/domain"
+	"blowfish/internal/engine"
 	"blowfish/internal/infer"
 	"blowfish/internal/kmeans"
 	"blowfish/internal/mechanism"
@@ -229,12 +228,7 @@ func PrivateKMeans(p *Policy, ds *Dataset, k, iterations int, eps float64, src *
 }
 
 func kmeansConfig(ds *Dataset, k, iterations int) (kmeans.Config, error) {
-	d := ds.Domain()
-	lo := make([]float64, d.NumAttrs())
-	hi := make([]float64, d.NumAttrs())
-	for i := 0; i < d.NumAttrs(); i++ {
-		hi[i] = float64(d.Attr(i).Size - 1)
-	}
+	lo, hi := engine.KMeansBox(ds.Domain())
 	return kmeans.Config{K: k, Iterations: iterations, Lo: lo, Hi: hi}, nil
 }
 
@@ -296,20 +290,11 @@ func NewRangeReleaser(p *Policy, ds *Dataset, fanout int, eps float64, src *Sour
 	if !p.Unconstrained() {
 		return nil, errors.New("blowfish: range release supports unconstrained policies only")
 	}
-	size := int(p.Domain().Size())
-	var theta int
-	switch g := p.Graph().(type) {
-	case *secgraph.DistanceThreshold:
-		theta = int(math.Floor(g.Theta()))
-		if theta < 1 {
-			theta = 1
-		}
-	case *secgraph.Complete:
-		theta = size
-	default:
-		return nil, fmt.Errorf("blowfish: range release requires a distance-threshold or full-domain policy, got %s", g.Name())
+	theta, err := engine.RangeTheta(p)
+	if err != nil {
+		return nil, err
 	}
-	oh, err := ordered.NewOH(size, theta, fanout)
+	oh, err := ordered.NewOH(int(p.Domain().Size()), theta, fanout)
 	if err != nil {
 		return nil, err
 	}
@@ -368,4 +353,68 @@ var ErrBudgetExceeded = composition.ErrBudgetExceeded
 // over a different domain than the policy it is used with. Callers that
 // serve untrusted requests can detect it with errors.Is and report a
 // structured "domain mismatch" failure instead of a generic error.
-var ErrDomainMismatch = errors.New("blowfish: dataset domain differs from the policy's")
+var ErrDomainMismatch = domain.ErrDomainMismatch
+
+// CompiledPolicy is a policy compiled once into the release engine's plan:
+// every query sensitivity, the partition block index and the range-release
+// tree layout are precomputed, and dataset indexes are shared across every
+// session created from it. Compile once per policy and mint sessions from
+// the result when many sessions serve the same policy (the HTTP server
+// does); a CompiledPolicy is safe for concurrent use.
+type CompiledPolicy struct {
+	pol  *Policy
+	plan *engine.Plan
+}
+
+// Compile precomputes the release plan for a policy. Constrained policies
+// compile to a legacy-path CompiledPolicy: sessions still work, through the
+// per-release constraints machinery.
+func Compile(pol *Policy) (*CompiledPolicy, error) {
+	if pol == nil {
+		return nil, errors.New("blowfish: nil policy")
+	}
+	cp := &CompiledPolicy{pol: pol}
+	if pol.Unconstrained() {
+		plan, err := engine.Compile(pol)
+		if err != nil {
+			return nil, err
+		}
+		cp.plan = plan
+	}
+	return cp, nil
+}
+
+// Policy returns the compiled policy.
+func (cp *CompiledPolicy) Policy() *Policy { return cp.pol }
+
+// HistogramSensitivity returns S(h, P) from the compiled plan's cache
+// (falling back to the per-call computation for constrained policies), so
+// callers that need the value at registration time do not pay the graph
+// scan twice.
+func (cp *CompiledPolicy) HistogramSensitivity() (float64, error) {
+	if cp.plan != nil {
+		return cp.plan.HistogramSensitivity()
+	}
+	return HistogramSensitivity(cp.pol)
+}
+
+// NewSession creates a session over the compiled plan with a total ε budget
+// drawing all noise from src.
+func (cp *CompiledPolicy) NewSession(budget float64, src *Source) (*Session, error) {
+	return cp.NewSessionShards(budget, src, 1)
+}
+
+// NewSessionShards creates a session over the compiled plan whose noise
+// pool holds `shards` independent streams, so concurrent releases draw
+// noise in parallel (see NewSessionShards).
+func (cp *CompiledPolicy) NewSessionShards(budget float64, src *Source, shards int) (*Session, error) {
+	return newSession(cp.pol, cp.plan, budget, src, shards)
+}
+
+// Forget drops the compiled plan's cached index for ds, releasing its
+// memory. Call it when a dataset is deleted while the policy lives on.
+func (cp *CompiledPolicy) Forget(ds *Dataset) {
+	if cp.plan != nil {
+		cp.plan.Forget(ds)
+	}
+}

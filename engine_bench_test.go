@@ -1,0 +1,195 @@
+// Benchmarks for the compiled release engine versus the legacy per-release
+// path. The legacy path recomputes the policy sensitivity and rescans all n
+// tuples (and, for range releases, rebuilds the hierarchical tree) on every
+// call; the engine compiles the policy once and serves releases from
+// incrementally maintained count vectors, and its sharded noise pool lets
+// RunParallel throughput scale with goroutines instead of flatlining on a
+// single source mutex. Results are recorded in BENCH_engine.json.
+package blowfish_test
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"blowfish"
+)
+
+const (
+	benchDomainSize = 4357 // the adult capital-loss domain used throughout
+	benchTuples     = 200000
+	benchEps        = 1e-6 // tiny per-release charge so b.N releases fit
+	benchBudget     = 1e9
+)
+
+// benchWorld builds the shared policy and dataset: a distance-threshold
+// policy over a non-trivial line domain with a dataset large enough that
+// the legacy O(n) rescan dominates.
+func benchWorld(b *testing.B) (*blowfish.Policy, *blowfish.Dataset) {
+	b.Helper()
+	dom, err := blowfish.LineDomain("v", benchDomainSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := blowfish.DistanceThreshold(dom, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := blowfish.NewDataset(dom)
+	src := blowfish.NewSource(1)
+	for i := 0; i < benchTuples; i++ {
+		ds.MustAdd(blowfish.Point(src.Int63n(int64(benchDomainSize))))
+	}
+	return blowfish.NewPolicy(g), ds
+}
+
+func benchSession(b *testing.B, pol *blowfish.Policy, shards int) *blowfish.Session {
+	b.Helper()
+	sess, err := blowfish.NewSessionShards(pol, benchBudget, blowfish.NewSource(2), shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sess
+}
+
+// BenchmarkEngineRepeatedHistogram measures repeated histogram releases on
+// the engine path: the dataset index is built once, every further release
+// is an O(|T|) snapshot + noise.
+func BenchmarkEngineRepeatedHistogram(b *testing.B) {
+	pol, ds := benchWorld(b)
+	sess := benchSession(b, pol, 1)
+	if _, err := sess.ReleaseHistogram(ds, benchEps); err != nil { // prime the index
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.ReleaseHistogram(ds, benchEps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineRepeatedHistogramLegacy is the pre-engine path: policy
+// sensitivity recomputed and all n tuples rescanned per release.
+func BenchmarkEngineRepeatedHistogramLegacy(b *testing.B) {
+	pol, ds := benchWorld(b)
+	src := blowfish.NewSource(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := blowfish.ReleaseHistogram(pol, ds, benchEps, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineRepeatedRange measures repeated Ordered Hierarchical
+// releases on the engine path: the tree layout comes from the plan cache.
+func BenchmarkEngineRepeatedRange(b *testing.B) {
+	pol, ds := benchWorld(b)
+	sess := benchSession(b, pol, 1)
+	if _, err := sess.NewRangeReleaser(ds, 16, benchEps); err != nil { // prime caches
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rel, err := sess.NewRangeReleaser(ds, 16, benchEps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rel.Range(100, 4000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineRepeatedRangeLegacy rebuilds the OH tree and rescans the
+// tuples per release, as the pre-engine path did.
+func BenchmarkEngineRepeatedRangeLegacy(b *testing.B) {
+	pol, ds := benchWorld(b)
+	src := blowfish.NewSource(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rel, err := blowfish.NewRangeReleaser(pol, ds, 16, benchEps, src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rel.Range(100, 4000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineRepeatedCumulative measures the Ordered Mechanism on the
+// maintained cumulative counts.
+func BenchmarkEngineRepeatedCumulative(b *testing.B) {
+	pol, ds := benchWorld(b)
+	sess := benchSession(b, pol, 1)
+	if _, err := sess.ReleaseCumulativeHistogram(ds, benchEps); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.ReleaseCumulativeHistogram(ds, benchEps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineRepeatedCumulativeLegacy rescans the tuples per release.
+func BenchmarkEngineRepeatedCumulativeLegacy(b *testing.B) {
+	pol, ds := benchWorld(b)
+	src := blowfish.NewSource(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := blowfish.ReleaseCumulativeHistogram(pol, ds, benchEps, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineParallelHistogram measures multi-goroutine release
+// throughput on a sharded session: goroutines draw noise from independent
+// streams and only the (atomic) budget charge is shared.
+func BenchmarkEngineParallelHistogram(b *testing.B) {
+	pol, ds := benchWorld(b)
+	sharded := benchSession(b, pol, runtime.GOMAXPROCS(0))
+	if _, err := sharded.ReleaseHistogram(ds, benchEps); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := sharded.ReleaseHistogram(ds, benchEps); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEngineParallelHistogramLegacy emulates the pre-engine Session:
+// one source behind one mutex, a full rescan inside the critical section —
+// the path every concurrent release serialized on.
+func BenchmarkEngineParallelHistogramLegacy(b *testing.B) {
+	pol, ds := benchWorld(b)
+	src := blowfish.NewSource(2)
+	var mu sync.Mutex
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			mu.Lock()
+			_, err := blowfish.ReleaseHistogram(pol, ds, benchEps, src)
+			mu.Unlock()
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

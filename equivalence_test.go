@@ -1,0 +1,259 @@
+package blowfish_test
+
+import (
+	"testing"
+
+	"blowfish"
+)
+
+// The engine equivalence suite pins the refactor's core contract: a Session
+// (which now serves unconstrained policies from the compiled release
+// engine) produces bit-for-bit the same releases as the legacy per-release
+// functions, given the same seed — across every policy kind the HTTP
+// server supports (full, attr, partition, l1, linf, line).
+
+// equivCase is one policy kind over its natural domain, with the releases
+// that are well-defined for it.
+type equivCase struct {
+	name string
+	pol  *blowfish.Policy
+	ds   *blowfish.Dataset
+	// part is the partition for ReleasePartitionHistogram comparisons.
+	part blowfish.Partition
+	// oneDim marks domains where cumulative and range releases apply.
+	oneDim bool
+}
+
+func equivCases(t *testing.T) []equivCase {
+	t.Helper()
+	line, err := blowfish.LineDomain("v", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := blowfish.GridDomain(12, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lineData := blowfish.NewDataset(line)
+	for i := 0; i < 200; i++ {
+		lineData.MustAdd(blowfish.Point((i * 13) % 64))
+	}
+	gridData := blowfish.NewDataset(grid)
+	for i := 0; i < 200; i++ {
+		gridData.MustAdd(blowfish.Point((i * 29) % (12 * 9)))
+	}
+	part, err := blowfish.UniformGridPartition(grid, []int{4, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := blowfish.DistanceThreshold(line, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	linf, err := blowfish.LInfDistanceThreshold(grid, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lineGraph, err := blowfish.LineGraph(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []equivCase{
+		{name: "full", pol: blowfish.DifferentialPrivacy(line), ds: lineData, oneDim: true},
+		{name: "attr", pol: blowfish.NewPolicy(blowfish.AttributeSecrets(grid)), ds: gridData},
+		{name: "partition", pol: blowfish.NewPolicy(blowfish.PartitionedSecrets(part)), ds: gridData, part: part},
+		{name: "l1", pol: blowfish.NewPolicy(l1), ds: lineData, oneDim: true},
+		{name: "linf", pol: blowfish.NewPolicy(linf), ds: gridData},
+		{name: "line", pol: blowfish.NewPolicy(lineGraph), ds: lineData, oneDim: true},
+	}
+}
+
+// sessionFor mints a fresh engine-backed session with the given seed.
+func sessionFor(t *testing.T, pol *blowfish.Policy, seed int64) *blowfish.Session {
+	t.Helper()
+	s, err := blowfish.NewSession(pol, 100, blowfish.NewSource(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func sameVec(t *testing.T, what string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", what, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: [%d] = %v, want %v (engine release diverged from legacy)", what, i, got[i], want[i])
+		}
+	}
+}
+
+func TestEngineReleasesMatchLegacyBitForBit(t *testing.T) {
+	const (
+		eps  = 0.7
+		seed = 12345
+	)
+	for _, tc := range equivCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			// Histogram: every kind.
+			want, err := blowfish.ReleaseHistogram(tc.pol, tc.ds, eps, blowfish.NewSource(seed))
+			if err != nil {
+				t.Fatalf("legacy histogram: %v", err)
+			}
+			got, err := sessionFor(t, tc.pol, seed).ReleaseHistogram(tc.ds, eps)
+			if err != nil {
+				t.Fatalf("engine histogram: %v", err)
+			}
+			sameVec(t, "histogram", got, want)
+
+			// k-means: every kind.
+			wantKM, err := blowfish.PrivateKMeans(tc.pol, tc.ds, 3, 4, eps, blowfish.NewSource(seed))
+			if err != nil {
+				t.Fatalf("legacy kmeans: %v", err)
+			}
+			gotKM, err := sessionFor(t, tc.pol, seed).PrivateKMeans(tc.ds, 3, 4, eps)
+			if err != nil {
+				t.Fatalf("engine kmeans: %v", err)
+			}
+			if gotKM.Objective != wantKM.Objective {
+				t.Fatalf("kmeans objective %v, want %v", gotKM.Objective, wantKM.Objective)
+			}
+			for c := range wantKM.Centroids {
+				sameVec(t, "kmeans centroid", gotKM.Centroids[c], wantKM.Centroids[c])
+			}
+
+			// Partition histogram: the partitioned kind.
+			if tc.part != nil {
+				want, err := blowfish.ReleasePartitionHistogram(tc.pol, tc.ds, tc.part, eps, blowfish.NewSource(seed))
+				if err != nil {
+					t.Fatalf("legacy partition histogram: %v", err)
+				}
+				got, err := sessionFor(t, tc.pol, seed).ReleasePartitionHistogram(tc.ds, tc.part, eps)
+				if err != nil {
+					t.Fatalf("engine partition histogram: %v", err)
+				}
+				sameVec(t, "partition histogram", got, want)
+			}
+
+			if !tc.oneDim {
+				return
+			}
+
+			// Cumulative histogram: one-dimensional kinds.
+			wantCum, err := blowfish.ReleaseCumulativeHistogram(tc.pol, tc.ds, eps, blowfish.NewSource(seed))
+			if err != nil {
+				t.Fatalf("legacy cumulative: %v", err)
+			}
+			gotCum, err := sessionFor(t, tc.pol, seed).ReleaseCumulativeHistogram(tc.ds, eps)
+			if err != nil {
+				t.Fatalf("engine cumulative: %v", err)
+			}
+			sameVec(t, "cumulative raw", gotCum.Raw, wantCum.Raw)
+			sameVec(t, "cumulative inferred", gotCum.Inferred, wantCum.Inferred)
+
+			// Range releaser: one-dimensional kinds.
+			wantRR, err := blowfish.NewRangeReleaser(tc.pol, tc.ds, 8, eps, blowfish.NewSource(seed))
+			if err != nil {
+				t.Fatalf("legacy range releaser: %v", err)
+			}
+			gotRR, err := sessionFor(t, tc.pol, seed).NewRangeReleaser(tc.ds, 8, eps)
+			if err != nil {
+				t.Fatalf("engine range releaser: %v", err)
+			}
+			for _, q := range [][2]int{{0, 63}, {5, 40}, {17, 17}, {33, 62}} {
+				want, err := wantRR.Range(q[0], q[1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := gotRR.Range(q[0], q[1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("range[%d,%d] = %v, want %v", q[0], q[1], got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineSessionStreamContinuity runs a sequence of mixed releases on
+// one session against the same sequence of legacy calls on one source: the
+// single noise stream must stay aligned across release kinds.
+func TestEngineSessionStreamContinuity(t *testing.T) {
+	const (
+		eps  = 0.3
+		seed = 999
+	)
+	cases := equivCases(t)
+	var l1 equivCase
+	for _, tc := range cases {
+		if tc.name == "l1" {
+			l1 = tc
+		}
+	}
+	src := blowfish.NewSource(seed)
+	wantHist, err := blowfish.ReleaseHistogram(l1.pol, l1.ds, eps, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCum, err := blowfish.ReleaseCumulativeHistogram(l1.pol, l1.ds, eps, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHist2, err := blowfish.ReleaseHistogram(l1.pol, l1.ds, eps, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess := sessionFor(t, l1.pol, seed)
+	gotHist, err := sess.ReleaseHistogram(l1.ds, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCum, err := sess.ReleaseCumulativeHistogram(l1.ds, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotHist2, err := sess.ReleaseHistogram(l1.ds, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameVec(t, "histogram #1", gotHist, wantHist)
+	sameVec(t, "cumulative", gotCum.Inferred, wantCum.Inferred)
+	sameVec(t, "histogram #2", gotHist2, wantHist2)
+}
+
+// TestShardedSessionAccounting asserts a multi-shard session still enforces
+// the budget exactly (the sharded noise pool must not affect accounting).
+func TestShardedSessionAccounting(t *testing.T) {
+	dom, err := blowfish.LineDomain("v", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := blowfish.DistanceThreshold(dom, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := blowfish.NewDataset(dom)
+	for i := 0; i < 64; i++ {
+		ds.MustAdd(blowfish.Point(i % 32))
+	}
+	sess, err := blowfish.NewSessionShards(blowfish.NewPolicy(g), 1.0, blowfish.NewSource(1), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := sess.ReleaseHistogram(ds, 0.25); err != nil {
+			t.Fatalf("release %d: %v", i, err)
+		}
+	}
+	if _, err := sess.ReleaseHistogram(ds, 0.25); err == nil {
+		t.Fatal("over-budget release accepted")
+	}
+	if rem := sess.Remaining(); rem > 1e-9 {
+		t.Fatalf("remaining %v, want 0", rem)
+	}
+}

@@ -30,7 +30,7 @@ type CountQuery struct {
 // Count evaluates q_φ(D).
 func (q CountQuery) Count(ds *domain.Dataset) float64 {
 	var n float64
-	for _, p := range ds.Points() {
+	for _, p := range ds.PointsUnsafe() {
 		if q.Pred(p) {
 			n++
 		}

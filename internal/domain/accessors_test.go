@@ -1,0 +1,87 @@
+package domain
+
+import "testing"
+
+// TestPointsReturnsACopy pins the accessor-leak fix: mutating the slice
+// returned by Points must not alter the dataset (which would bypass domain
+// validation).
+func TestPointsReturnsACopy(t *testing.T) {
+	d := MustLine("v", 8)
+	ds := NewDataset(d)
+	ds.MustAdd(3)
+	ds.MustAdd(5)
+	pts := ds.Points()
+	pts[0] = Point(999) // out of domain; must not reach the dataset
+	if got := ds.At(0); got != 3 {
+		t.Fatalf("Points leaked internal storage: At(0) = %d after external write", got)
+	}
+	// The zero-copy variant aliases internal storage by contract.
+	raw := ds.PointsUnsafe()
+	if len(raw) != 2 || raw[0] != 3 || raw[1] != 5 {
+		t.Fatalf("PointsUnsafe = %v", raw)
+	}
+}
+
+// TestRemoveSwapSemantics pins Remove's O(1) contract: the last tuple takes
+// the removed slot's identifier.
+func TestRemoveSwapSemantics(t *testing.T) {
+	d := MustLine("v", 8)
+	ds := NewDataset(d)
+	for _, p := range []Point{0, 1, 2, 3} {
+		ds.MustAdd(p)
+	}
+	if err := ds.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", ds.Len())
+	}
+	if got := ds.At(1); got != 3 {
+		t.Fatalf("At(1) = %d, want the previously-last tuple 3", got)
+	}
+	if err := ds.Remove(5); err == nil {
+		t.Fatal("out-of-range Remove accepted")
+	}
+	for ds.Len() > 0 {
+		if err := ds.Remove(ds.Len() - 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ds.Remove(0); err == nil {
+		t.Fatal("Remove on empty dataset accepted")
+	}
+}
+
+// TestGenerationAdvancesOnEveryMutation pins the staleness-detection hook
+// derived caches rely on.
+func TestGenerationAdvancesOnEveryMutation(t *testing.T) {
+	d := MustLine("v", 8)
+	ds := NewDataset(d)
+	g0 := ds.Generation()
+	ds.MustAdd(1)
+	g1 := ds.Generation()
+	if g1 == g0 {
+		t.Fatal("Add did not advance the generation")
+	}
+	if err := ds.Set(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	g2 := ds.Generation()
+	if g2 == g1 {
+		t.Fatal("Set did not advance the generation")
+	}
+	if err := ds.Remove(0); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Generation() == g2 {
+		t.Fatal("Remove did not advance the generation")
+	}
+	// Failed mutations leave the generation alone.
+	before := ds.Generation()
+	if err := ds.Add(Point(99)); err == nil {
+		t.Fatal("out-of-domain Add accepted")
+	}
+	if ds.Generation() != before {
+		t.Fatal("failed Add advanced the generation")
+	}
+}

@@ -6,14 +6,25 @@ import (
 	"sort"
 )
 
+// ErrDomainMismatch is returned when a dataset (or partition) is defined
+// over a different domain than the policy it is used with. It lives here so
+// every layer — mechanisms, the release engine, the public facade — reports
+// the one sentinel callers can match with errors.Is.
+var ErrDomainMismatch = errors.New("blowfish: dataset domain differs from the policy's")
+
 // Dataset is an ordered collection of tuples drawn from a single domain.
 // The index of a tuple is its individual's identifier (t.id in the paper):
 // Blowfish neighbors are obtained by changing the value of one identified
 // tuple, never by insertion or deletion (the cardinality n is public,
 // Section 2).
+//
+// A Dataset is not safe for concurrent mutation. Every mutation advances a
+// generation counter so derived caches (engine.DatasetIndex) can detect
+// staleness and rebuild instead of serving stale counts.
 type Dataset struct {
 	dom *Domain
 	pts []Point
+	gen uint64
 }
 
 // NewDataset creates an empty dataset over d.
@@ -39,12 +50,17 @@ func (ds *Dataset) Domain() *Domain { return ds.dom }
 // Len returns the number of tuples n.
 func (ds *Dataset) Len() int { return len(ds.pts) }
 
+// Generation returns the mutation counter: it advances on every Add, Set
+// and Remove, letting caches detect that their derived state is stale.
+func (ds *Dataset) Generation() uint64 { return ds.gen }
+
 // Add appends a tuple, assigning it the next identifier.
 func (ds *Dataset) Add(p Point) error {
 	if !ds.dom.Contains(p) {
 		return ErrPointOutOfRange
 	}
 	ds.pts = append(ds.pts, p)
+	ds.gen++
 	return nil
 }
 
@@ -68,6 +84,22 @@ func (ds *Dataset) Set(i int, p Point) error {
 		return ErrPointOutOfRange
 	}
 	ds.pts[i] = p
+	ds.gen++
+	return nil
+}
+
+// Remove deletes tuple i in O(1) by moving the last tuple into its slot:
+// the removed individual's identifier is recycled to the previously-last
+// individual. Workloads that rely on stable identifiers (parallel
+// composition subsets) must not interleave Remove with id-based grouping.
+func (ds *Dataset) Remove(i int) error {
+	if i < 0 || i >= len(ds.pts) {
+		return fmt.Errorf("domain: tuple index %d out of range [0,%d)", i, len(ds.pts))
+	}
+	last := len(ds.pts) - 1
+	ds.pts[i] = ds.pts[last]
+	ds.pts = ds.pts[:last]
+	ds.gen++
 	return nil
 }
 
@@ -76,9 +108,16 @@ func (ds *Dataset) Clone() *Dataset {
 	return &Dataset{dom: ds.dom, pts: append([]Point(nil), ds.pts...)}
 }
 
-// Points returns the underlying tuple slice. The slice must not be mutated;
-// use Set for modifications.
-func (ds *Dataset) Points() []Point { return ds.pts }
+// Points returns a copy of the tuple slice: mutating the result never
+// bypasses domain validation. Hot paths that only read may use PointsUnsafe
+// to avoid the allocation.
+func (ds *Dataset) Points() []Point { return append([]Point(nil), ds.pts...) }
+
+// PointsUnsafe returns the dataset's internal tuple slice without copying.
+// The caller must treat it as read-only — writing through it bypasses
+// domain validation and the generation counter — and must not retain it
+// across mutations (Add may reallocate, Remove shrinks it).
+func (ds *Dataset) PointsUnsafe() []Point { return ds.pts }
 
 // Subset returns the dataset restricted to the given tuple ids (D ∩ S in the
 // parallel composition theorems). Ids must be valid and are not required to

@@ -1,0 +1,301 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+
+	"blowfish/internal/domain"
+)
+
+// DatasetIndex materializes the count vectors a plan's releases read — the
+// flat histogram, the per-block counts of the registered partition, and the
+// cumulative counts — and maintains them incrementally as tuples are added,
+// changed or removed, so a release costs O(|T|) snapshotting instead of an
+// O(n) rescan of the tuples.
+//
+// Mutations must go through the index (Add, Set, Remove) to stay
+// incremental; direct mutations of the underlying Dataset are detected via
+// its generation counter and trigger a full O(n) rebuild on the next read,
+// so results are never stale either way. A DatasetIndex is safe for
+// concurrent use, but the index's lock only covers its own caches — the
+// Dataset underneath is unsynchronized. While any operation is in flight,
+// the Dataset must not be mutated through any other path: not directly,
+// and not through a different plan's index over the same Dataset (quiesce
+// mutations externally when several plans index one dataset). This is the
+// same contract the legacy release path had, which scanned the tuples with
+// no lock at all.
+type DatasetIndex struct {
+	plan *Plan
+	ds   *domain.Dataset
+
+	mu    sync.RWMutex
+	built bool
+	gen   uint64 // dataset generation the caches reflect
+	// hist is the flat histogram h(D); nil over non-materializable domains.
+	hist []float64
+	// blocks is the histogram over the registered partition's blocks; nil
+	// when the plan has no partition.
+	blocks []float64
+	// cum is the cumulative histogram S_T(D) over one-dimensional domains;
+	// cumOK marks it valid (it is rebuilt lazily and adjusted in place).
+	cum   []float64
+	cumOK bool
+	// vecs caches the k-means coordinate vectors; invalidated on mutation.
+	vecs [][]float64
+}
+
+func newDatasetIndex(p *Plan, ds *domain.Dataset) *DatasetIndex {
+	return &DatasetIndex{plan: p, ds: ds}
+}
+
+// Dataset returns the indexed dataset.
+func (x *DatasetIndex) Dataset() *domain.Dataset { return x.ds }
+
+// Len returns the number of tuples n.
+func (x *DatasetIndex) Len() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.ds.Len()
+}
+
+// materializable reports whether per-value vectors exist for the domain.
+func (x *DatasetIndex) materializable() bool {
+	return x.ds.Domain().Size() <= domain.MaxMaterializedSize
+}
+
+// fresh reports whether the caches reflect the dataset, under either lock.
+func (x *DatasetIndex) fresh() bool {
+	return x.built && x.gen == x.ds.Generation()
+}
+
+// rebuildLocked recomputes every maintained vector from the tuples: the
+// O(n) path taken once at first use or after a direct dataset mutation.
+func (x *DatasetIndex) rebuildLocked() {
+	d := x.ds.Domain()
+	pts := x.ds.PointsUnsafe()
+	if x.materializable() {
+		if x.hist == nil || len(x.hist) != int(d.Size()) {
+			x.hist = make([]float64, d.Size())
+		} else {
+			clear(x.hist)
+		}
+		for _, p := range pts {
+			x.hist[p]++
+		}
+	}
+	if x.plan.part != nil {
+		if x.blocks == nil {
+			x.blocks = make([]float64, x.plan.part.NumBlocks())
+		} else {
+			clear(x.blocks)
+		}
+		for _, p := range pts {
+			x.blocks[x.plan.blockIndex(p)]++
+		}
+	}
+	x.cumOK = false
+	x.vecs = nil
+	x.built = true
+	x.gen = x.ds.Generation()
+}
+
+// ensureLocked rebuilds under the write lock when the caches are stale.
+func (x *DatasetIndex) ensureLocked() {
+	if !x.fresh() {
+		x.rebuildLocked()
+	}
+}
+
+// Add appends a tuple and maintains every count vector in O(1) (plus the
+// cumulative suffix when materialized).
+func (x *DatasetIndex) Add(p domain.Point) error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.ensureLocked()
+	if err := x.ds.Add(p); err != nil {
+		return err
+	}
+	x.applyInsertLocked(p)
+	x.gen = x.ds.Generation()
+	return nil
+}
+
+// Set replaces the value of tuple i, maintaining the counts incrementally.
+func (x *DatasetIndex) Set(i int, p domain.Point) error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.ensureLocked()
+	if i < 0 || i >= x.ds.Len() {
+		// Delegate for the canonical error text.
+		return x.ds.Set(i, p)
+	}
+	old := x.ds.At(i)
+	if err := x.ds.Set(i, p); err != nil {
+		return err
+	}
+	x.applyRemoveLocked(old)
+	x.applyInsertLocked(p)
+	x.gen = x.ds.Generation()
+	return nil
+}
+
+// Remove deletes tuple i (Dataset.Remove swap semantics), maintaining the
+// counts incrementally.
+func (x *DatasetIndex) Remove(i int) error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.ensureLocked()
+	if i < 0 || i >= x.ds.Len() {
+		// Delegate for the canonical error text.
+		return x.ds.Remove(i)
+	}
+	old := x.ds.At(i)
+	if err := x.ds.Remove(i); err != nil {
+		return err
+	}
+	x.applyRemoveLocked(old)
+	x.gen = x.ds.Generation()
+	return nil
+}
+
+func (x *DatasetIndex) applyInsertLocked(p domain.Point) {
+	if x.hist != nil {
+		x.hist[p]++
+	}
+	if x.blocks != nil {
+		x.blocks[x.plan.blockIndex(p)]++
+	}
+	if x.cumOK {
+		for j := int(p); j < len(x.cum); j++ {
+			x.cum[j]++
+		}
+	}
+	x.vecs = nil
+}
+
+func (x *DatasetIndex) applyRemoveLocked(p domain.Point) {
+	if x.hist != nil {
+		x.hist[p]--
+	}
+	if x.blocks != nil {
+		x.blocks[x.plan.blockIndex(p)]--
+	}
+	if x.cumOK {
+		for j := int(p); j < len(x.cum); j++ {
+			x.cum[j]--
+		}
+	}
+	x.vecs = nil
+}
+
+// Histogram returns a private copy of the flat histogram h(D). The copy is
+// the caller's to noise in place.
+func (x *DatasetIndex) Histogram() ([]float64, error) {
+	if !x.materializable() {
+		return nil, domain.ErrDomainTooLarge
+	}
+	x.mu.RLock()
+	if x.fresh() {
+		out := append([]float64(nil), x.hist...)
+		x.mu.RUnlock()
+		return out, nil
+	}
+	x.mu.RUnlock()
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.ensureLocked()
+	return append([]float64(nil), x.hist...), nil
+}
+
+// CumulativeHistogram returns a private copy of the cumulative counts
+// S_T(D) over a one-dimensional ordered domain. The vector is materialized
+// from the histogram on first use and then adjusted in place by Add, Set
+// and Remove.
+func (x *DatasetIndex) CumulativeHistogram() ([]float64, error) {
+	cum, _, err := x.CumulativeSnapshot()
+	return cum, err
+}
+
+// CumulativeSnapshot returns the cumulative counts together with the
+// cardinality n they sum to, taken under a single lock acquisition so a
+// concurrent mutation can never make the pair inconsistent (the Ordered
+// Mechanism clamps its inference into [0, n]).
+func (x *DatasetIndex) CumulativeSnapshot() ([]float64, int, error) {
+	if x.ds.Domain().NumAttrs() != 1 {
+		return nil, 0, errors.New("domain: cumulative histogram requires a one-dimensional ordered domain")
+	}
+	if !x.materializable() {
+		return nil, 0, domain.ErrDomainTooLarge
+	}
+	x.mu.RLock()
+	if x.fresh() && x.cumOK {
+		out := append([]float64(nil), x.cum...)
+		n := x.ds.Len()
+		x.mu.RUnlock()
+		return out, n, nil
+	}
+	x.mu.RUnlock()
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.ensureLocked()
+	if !x.cumOK {
+		if x.cum == nil || len(x.cum) != len(x.hist) {
+			x.cum = make([]float64, len(x.hist))
+		}
+		run := 0.0
+		for i, c := range x.hist {
+			run += c
+			x.cum[i] = run
+		}
+		x.cumOK = true
+	}
+	return append([]float64(nil), x.cum...), x.ds.Len(), nil
+}
+
+// BlockCounts returns a private copy of the histogram over the registered
+// partition's blocks.
+func (x *DatasetIndex) BlockCounts() ([]float64, error) {
+	if x.plan.part == nil {
+		return nil, errors.New("engine: plan has no registered partition")
+	}
+	x.mu.RLock()
+	if x.fresh() {
+		out := append([]float64(nil), x.blocks...)
+		x.mu.RUnlock()
+		return out, nil
+	}
+	x.mu.RUnlock()
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.ensureLocked()
+	return append([]float64(nil), x.blocks...), nil
+}
+
+// PartitionHistogram answers the block histogram for an arbitrary partition
+// by scanning the tuples — the fallback for partitions other than the
+// plan's registered one.
+func (x *DatasetIndex) PartitionHistogram(part domain.Partition) ([]float64, error) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.ds.PartitionHistogram(part)
+}
+
+// Vectors returns the dataset decoded as k-means coordinate vectors, cached
+// until the next mutation. Callers must treat the rows as read-only (the
+// k-means implementations do).
+func (x *DatasetIndex) Vectors() [][]float64 {
+	x.mu.RLock()
+	if x.fresh() && x.vecs != nil {
+		v := x.vecs
+		x.mu.RUnlock()
+		return v
+	}
+	x.mu.RUnlock()
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.ensureLocked()
+	if x.vecs == nil {
+		x.vecs = x.ds.Vectors()
+	}
+	return x.vecs
+}

@@ -60,6 +60,17 @@ func (m *Laplace) Release(truth []float64) []float64 {
 	return out
 }
 
+// ReleaseInPlace adds Lap(scale) to every coordinate of v and returns v.
+// Callers that already own a private copy of the truth (the release engine
+// noises histogram snapshots) use it to skip Release's defensive copy; the
+// noise stream consumed is identical to Release's.
+func (m *Laplace) ReleaseInPlace(v []float64) []float64 {
+	for i := range v {
+		v[i] += m.src.Laplace(m.scale)
+	}
+	return v
+}
+
 // ReleaseScalar releases a single number.
 func (m *Laplace) ReleaseScalar(truth float64) float64 {
 	return truth + m.src.Laplace(m.scale)

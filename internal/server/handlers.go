@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 
 	"blowfish"
 )
@@ -40,13 +41,19 @@ func (s *Server) handleCreatePolicy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	pol := blowfish.NewPolicy(g)
-	sens, err := blowfish.HistogramSensitivity(pol)
+	cp, err := blowfish.Compile(pol)
+	if err != nil {
+		writeError(w, CodeBadRequest, err.Error())
+		return
+	}
+	sens, err := cp.HistogramSensitivity()
 	if err != nil {
 		writeError(w, CodeBadRequest, err.Error())
 		return
 	}
 	e := &policyEntry{
 		pol:      pol,
+		cp:       cp,
 		attrs:    append([]AttrSpec(nil), req.Domain...),
 		part:     part,
 		histSens: sens,
@@ -103,16 +110,32 @@ func (s *Server) handleDeletePolicy(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleDeleteDataset unregisters a dataset. In-flight releases holding the
-// entry finish against their own reference; new requests see 404.
+// entry finish against their own reference; new requests see 404. Every
+// compiled policy drops its cached index for the dataset so the count
+// vectors are released with it.
 func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
-	_, ok := s.datasets[id]
+	e, ok := s.datasets[id]
 	delete(s.datasets, id)
+	// Snapshot the compiled policies under the registry lock but run
+	// Forget after releasing it: Forget takes each plan's own mutex, which
+	// an in-flight release may hold for an expensive compile step (a
+	// first-use tree build), and every handler needs s.mu.
+	var cps []*blowfish.CompiledPolicy
+	if ok {
+		cps = make([]*blowfish.CompiledPolicy, 0, len(s.policies))
+		for _, pe := range s.policies {
+			cps = append(cps, pe.cp)
+		}
+	}
 	s.mu.Unlock()
 	if !ok {
 		writeError(w, CodeUnknownDataset, fmt.Sprintf("no dataset %q", id))
 		return
+	}
+	for _, cp := range cps {
+		cp.Forget(e.ds)
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -185,10 +208,17 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	seed := s.nextSeed.Add(1)
+	// Sessions run on the policy's compiled plan with one noise shard per
+	// CPU, so parallel release requests draw noise concurrently. An
+	// explicitly seeded session instead pins a single shard: its noise
+	// stream must reproduce across hosts, so it cannot depend on core
+	// count.
+	shards := runtime.GOMAXPROCS(0)
 	if req.Seed != nil {
 		seed = *req.Seed
+		shards = 1
 	}
-	sess, err := blowfish.NewSession(pe.pol, req.Budget, blowfish.NewSource(seed))
+	sess, err := pe.cp.NewSessionShards(req.Budget, blowfish.NewSource(seed), shards)
 	if err != nil {
 		writeError(w, CodeBadRequest, err.Error())
 		return

@@ -4,11 +4,18 @@
 // open budgeted sessions, and draw histogram, cumulative-histogram and
 // range-query releases until the session's ε budget is exhausted.
 //
+// Every policy is compiled once at registration (blowfish.Compile): its
+// sensitivities, partition block index and range-tree layout are reused by
+// every session, and dataset count vectors are indexed on first release and
+// shared across the policy's sessions, so repeated releases never rescan
+// the uploaded rows.
+//
 // The server is safe under full concurrency: registries are guarded by a
-// read-write mutex, every session owns a private noise Source (sessions
-// serialize draws internally), and budget charges are atomic — parallel
-// release requests against one session can never overspend its ε
-// (sequential composition, Theorem 4.1).
+// read-write mutex, every session's engine draws noise from a sharded pool
+// (one stream per CPU) so parallel releases do not serialize on a source
+// mutex, and budget charges are atomic — parallel release requests against
+// one session can never overspend its ε (sequential composition, Theorem
+// 4.1).
 package server
 
 import (
@@ -57,6 +64,10 @@ type policyEntry struct {
 	id    string
 	pol   *blowfish.Policy
 	attrs []AttrSpec
+	// cp is the policy compiled into the release engine's plan at
+	// registration: every session minted from it shares the precomputed
+	// sensitivities, tree layouts and dataset indexes.
+	cp *blowfish.CompiledPolicy
 	// part is non-nil for partition policies; histogram releases over such
 	// policies answer the block histogram h_P.
 	part blowfish.Partition

@@ -72,7 +72,10 @@ type CreateSessionRequest struct {
 	PolicyID string  `json:"policy_id"`
 	Budget   float64 `json:"budget"`
 	// Seed optionally fixes the session's noise stream for reproducible
-	// runs; omitted, the server derives a fresh per-session seed.
+	// runs: a seeded session uses a single noise shard so the same seed
+	// and request sequence replay identically on any host. Omitted, the
+	// server derives a fresh per-session seed and shards the noise pool
+	// per CPU for parallel release throughput.
 	Seed *int64 `json:"seed,omitempty"`
 }
 

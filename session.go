@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"blowfish/internal/domain"
+	"blowfish/internal/engine"
 	"blowfish/internal/mechanism"
 )
 
@@ -20,25 +21,51 @@ import (
 // underlying Accountant's SpendParallel for disjoint-subset workloads
 // (Theorem 4.2).
 //
-// A Session is safe for concurrent use. The Accountant is internally
-// locked, and the session serializes draws from its noise Source (which is
-// itself not concurrency-safe) with a mutex, so releases issued from many
-// goroutines never race and never overspend: each charge is atomic against
-// the remaining budget. Concurrent releases are computed one at a time; for
-// parallel noise generation give each goroutine its own Session over a
-// Split source.
+// Unconstrained policies run on the compiled release engine: the policy's
+// sensitivities and tree layouts are computed once at session creation, and
+// each dataset's count vectors are indexed on first use and maintained
+// incrementally, so repeated releases never rescan the tuples. Constrained
+// policies keep the legacy per-release path (package constraints).
+//
+// A Session is safe for concurrent use and never overspends: each charge is
+// atomic against the remaining budget. A Session from NewSession draws all
+// noise from one stream, so concurrent releases serialize on it (and match
+// the legacy noise stream bit-for-bit); NewSessionShards gives the engine a
+// pool of independent Split streams so releases from many goroutines draw
+// noise in parallel.
 type Session struct {
 	pol  *Policy
 	acct *Accountant
 
-	// mu serializes use of src: noise Sources are deterministic streams and
-	// must not be shared across goroutines without this lock.
+	// eng serves unconstrained policies from the compiled plan; nil for
+	// constrained policies, which use the legacy path below.
+	eng *engine.Engine
+
+	// mu serializes use of src on the legacy path: noise Sources are
+	// deterministic streams and must not be shared across goroutines
+	// without this lock.
 	mu  sync.Mutex
 	src *Source
 }
 
-// NewSession creates a session for the policy with a total ε budget.
+// NewSession creates a session for the policy with a total ε budget. The
+// session draws all noise from src; see NewSessionShards for parallel noise
+// generation.
 func NewSession(pol *Policy, budget float64, src *Source) (*Session, error) {
+	return NewSessionShards(pol, budget, src, 1)
+}
+
+// NewSessionShards creates a session whose engine draws noise from a pool
+// of `shards` independent streams derived from src (values < 1 are treated
+// as 1), so releases issued from many goroutines proceed concurrently
+// instead of serializing on a single source. With shards == 1 the session
+// is bit-for-bit identical to NewSession. Constrained policies always use a
+// single stream.
+func NewSessionShards(pol *Policy, budget float64, src *Source, shards int) (*Session, error) {
+	return newSession(pol, nil, budget, src, shards)
+}
+
+func newSession(pol *Policy, plan *engine.Plan, budget float64, src *Source, shards int) (*Session, error) {
 	if pol == nil {
 		return nil, errors.New("blowfish: nil policy")
 	}
@@ -49,7 +76,21 @@ func NewSession(pol *Policy, budget float64, src *Source) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Session{pol: pol, acct: acct, src: src}, nil
+	s := &Session{pol: pol, acct: acct, src: src}
+	if plan == nil && pol.Unconstrained() {
+		plan, err = engine.Compile(pol)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if plan != nil {
+		eng, err := engine.New(plan, acct, src, shards)
+		if err != nil {
+			return nil, err
+		}
+		s.eng = eng
+	}
+	return s, nil
 }
 
 // Policy returns the session's policy.
@@ -62,7 +103,25 @@ func (s *Session) Accountant() *Accountant { return s.acct }
 // Remaining returns the unspent budget.
 func (s *Session) Remaining() float64 { return s.acct.Remaining() }
 
-// checkDataset validates the dataset against the session policy's domain.
+// Forget drops the engine's cached count vectors for ds, releasing their
+// memory. Call it when a long-lived session streams many short-lived
+// datasets; the next release over ds rebuilds the index. For sessions
+// minted from a shared CompiledPolicy the cache is shared, so sibling
+// sessions over the same dataset rebuild on their next release too.
+func (s *Session) Forget(ds *Dataset) {
+	if s.eng != nil {
+		s.eng.Plan().Forget(ds)
+	}
+}
+
+// index resolves the engine's incrementally maintained index for ds,
+// reporting ErrDomainMismatch for foreign-domain datasets.
+func (s *Session) index(ds *Dataset) (*engine.DatasetIndex, error) {
+	return s.eng.Index(ds)
+}
+
+// checkDataset validates the dataset against the session policy's domain
+// (legacy path; the engine path validates through Plan.Index).
 func (s *Session) checkDataset(ds *Dataset) error {
 	if !s.pol.Domain().Equal(ds.Domain()) {
 		return ErrDomainMismatch
@@ -85,6 +144,13 @@ func (s *Session) precheck(eps float64) error {
 
 // ReleaseHistogram releases the complete histogram, charging eps.
 func (s *Session) ReleaseHistogram(ds *Dataset, eps float64) ([]float64, error) {
+	if s.eng != nil {
+		idx, err := s.index(ds)
+		if err != nil {
+			return nil, err
+		}
+		return s.eng.ReleaseHistogram(idx, eps)
+	}
 	if err := s.checkDataset(ds); err != nil {
 		return nil, err
 	}
@@ -107,6 +173,13 @@ func (s *Session) ReleaseHistogram(ds *Dataset, eps float64) ([]float64, error) 
 // when the release is actually noisy; a zero-sensitivity (exact) release is
 // free, as Section 5's coarse-grid observation permits.
 func (s *Session) ReleasePartitionHistogram(ds *Dataset, part Partition, eps float64) ([]float64, error) {
+	if s.eng != nil {
+		idx, err := s.index(ds)
+		if err != nil {
+			return nil, err
+		}
+		return s.eng.ReleasePartitionHistogram(idx, part, eps)
+	}
 	if err := s.checkDataset(ds); err != nil {
 		return nil, err
 	}
@@ -135,6 +208,13 @@ func (s *Session) ReleasePartitionHistogram(ds *Dataset, part Partition, eps flo
 
 // PrivateKMeans runs SuLQ k-means, charging eps.
 func (s *Session) PrivateKMeans(ds *Dataset, k, iterations int, eps float64) (KMeansResult, error) {
+	if s.eng != nil {
+		idx, err := s.index(ds)
+		if err != nil {
+			return KMeansResult{}, err
+		}
+		return s.eng.PrivateKMeans(idx, k, iterations, eps)
+	}
 	if err := s.checkDataset(ds); err != nil {
 		return KMeansResult{}, err
 	}
@@ -155,6 +235,17 @@ func (s *Session) PrivateKMeans(ds *Dataset, k, iterations int, eps float64) (KM
 
 // ReleaseCumulativeHistogram runs the Ordered Mechanism, charging eps.
 func (s *Session) ReleaseCumulativeHistogram(ds *Dataset, eps float64) (*CumulativeRelease, error) {
+	if s.eng != nil {
+		idx, err := s.index(ds)
+		if err != nil {
+			return nil, err
+		}
+		raw, inferred, err := s.eng.ReleaseCumulative(idx, eps)
+		if err != nil {
+			return nil, err
+		}
+		return &CumulativeRelease{Raw: raw, Inferred: inferred}, nil
+	}
 	if err := s.checkDataset(ds); err != nil {
 		return nil, err
 	}
@@ -174,7 +265,20 @@ func (s *Session) ReleaseCumulativeHistogram(ds *Dataset, eps float64) (*Cumulat
 }
 
 // NewRangeReleaser builds an Ordered Hierarchical release, charging eps.
+// On the engine path the tree layout comes from the plan's cache, so only
+// the first release for a given fanout pays tree construction.
 func (s *Session) NewRangeReleaser(ds *Dataset, fanout int, eps float64) (*RangeReleaser, error) {
+	if s.eng != nil {
+		idx, err := s.index(ds)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := s.eng.NewRangeRelease(idx, fanout, eps)
+		if err != nil {
+			return nil, err
+		}
+		return &RangeReleaser{release: rel}, nil
+	}
 	if err := s.checkDataset(ds); err != nil {
 		return nil, err
 	}
