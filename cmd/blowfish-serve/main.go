@@ -1,12 +1,19 @@
 // Command blowfish-serve runs the Blowfish policy-release HTTP service: a
 // JSON API for declaring domains and secret-graph policies, uploading
-// datasets, opening budgeted sessions and drawing histogram, cumulative
-// and range-query releases (see internal/server and the README's curl
-// walkthrough).
+// datasets, streaming events into them, opening budgeted sessions and
+// continual-release streams, and drawing histogram, cumulative and
+// range-query releases (see internal/server and the README's curl
+// walkthroughs).
 //
 // Usage:
 //
 //	blowfish-serve -addr :8080 -seed 1 -session-ttl 30m
+//
+// On SIGINT/SIGTERM the server shuts down in order: stop accepting
+// connections and drain in-flight requests (http.Server.Shutdown with a
+// deadline), stop the session-TTL reaper, then stop every stream epoch
+// scheduler and per-dataset ingest writer (flushing queued events), so no
+// goroutine outlives main.
 package main
 
 import (
@@ -29,6 +36,7 @@ func main() {
 		seed  = flag.Int64("seed", 1, "base seed for per-session noise sources")
 		ttl   = flag.Duration("session-ttl", 30*time.Minute, "idle session lifetime (0 = never expire)")
 		sweep = flag.Duration("sweep", time.Minute, "session expiry sweep interval")
+		drain = flag.Duration("drain", 5*time.Second, "shutdown deadline for in-flight requests")
 	)
 	flag.Parse()
 
@@ -43,8 +51,10 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	reaperDone := make(chan struct{})
 	if *ttl > 0 {
 		go func() {
+			defer close(reaperDone)
 			t := time.NewTicker(*sweep)
 			defer t.Stop()
 			for {
@@ -58,19 +68,33 @@ func main() {
 				}
 			}
 		}()
+	} else {
+		close(reaperDone)
 	}
 
+	shutdownDone := make(chan struct{})
 	go func() {
+		defer close(shutdownDone)
 		<-ctx.Done()
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		log.Print("blowfish-serve shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
-		_ = httpSrv.Shutdown(shutdownCtx)
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
 	}()
 
 	log.Printf("blowfish-serve listening on %s (seed=%d, session-ttl=%s)", *addr, *seed, *ttl)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
+	// Order matters: drain HTTP first (no new work can arrive), then the
+	// reaper, then the streaming goroutines — srv.Close stops every stream
+	// epoch ticker and flushes every dataset's event queue.
+	<-shutdownDone
+	stop()
+	<-reaperDone
+	srv.Close()
 	log.Print("blowfish-serve stopped")
 }
 

@@ -27,10 +27,35 @@ type CountQuery struct {
 	Pred func(domain.Point) bool
 }
 
-// Count evaluates q_φ(D).
+// Count evaluates q_φ(D). The zero-copy tuple scan is validated against the
+// dataset's generation counter: a mutation landing mid-scan (a Remove can
+// shrink the slice under the iterator, an Add can reallocate it) would
+// otherwise count torn state. On a generation change the scan retries, and
+// after a few lost races it falls back to counting over a private snapshot,
+// which cannot tear.
+//
+// The check is exact for same-goroutine mutation (a predicate or callback
+// that mutates ds mid-scan) and best-effort for cross-goroutine mutation:
+// Dataset is unsynchronized (plain gen and slice reads, no happens-before
+// edge), so truly concurrent writers remain the caller's to exclude — the
+// server does, by running every release under its per-dataset table lock.
 func (q CountQuery) Count(ds *domain.Dataset) float64 {
+	const maxRetries = 3
+	for attempt := 0; attempt < maxRetries; attempt++ {
+		gen := ds.Generation()
+		pts := ds.PointsUnsafe()
+		var n float64
+		for _, p := range pts {
+			if q.Pred(p) {
+				n++
+			}
+		}
+		if ds.Generation() == gen {
+			return n
+		}
+	}
 	var n float64
-	for _, p := range ds.PointsUnsafe() {
+	for _, p := range ds.Points() {
 		if q.Pred(p) {
 			n++
 		}

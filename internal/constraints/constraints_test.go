@@ -417,3 +417,31 @@ func TestRectangleSetForeignDataset(t *testing.T) {
 		t.Error("foreign dataset accepted by RectangleConstraints.Set")
 	}
 }
+
+// TestCountSurvivesMidScanMutation forces the dataset's generation to
+// change on every zero-copy scan (the predicate itself mutates the
+// dataset): Count must neither loop forever nor read torn state — after the
+// retry budget it counts over a private snapshot and terminates.
+func TestCountSurvivesMidScanMutation(t *testing.T) {
+	d := domain.MustLine("v", 8)
+	ds := domain.NewDataset(d)
+	for i := 0; i < 4; i++ {
+		ds.MustAdd(domain.Point(i))
+	}
+	evil := CountQuery{Name: "mutates", Pred: func(p domain.Point) bool {
+		ds.MustAdd(0) // advance the generation mid-scan
+		return true
+	}}
+	got := evil.Count(ds)
+	// Every scan sees at least the four original tuples; the exact value
+	// depends on how many retries the growth forced, but it must cover the
+	// snapshot it settled on.
+	if got < 4 {
+		t.Fatalf("Count = %v, want >= 4", got)
+	}
+	// A well-behaved query still counts exactly after the churn.
+	all := CountQuery{Name: "all", Pred: func(domain.Point) bool { return true }}
+	if n := all.Count(ds); n != float64(ds.Len()) {
+		t.Fatalf("Count = %v, want %d", n, ds.Len())
+	}
+}

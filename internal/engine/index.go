@@ -2,6 +2,7 @@ package engine
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 
 	"blowfish/internal/domain"
@@ -156,6 +157,75 @@ func (x *DatasetIndex) Remove(i int) error {
 	x.applyRemoveLocked(old)
 	x.gen = x.ds.Generation()
 	return nil
+}
+
+// MutOp selects the kind of a batched Mutation.
+type MutOp uint8
+
+const (
+	// MutAdd appends a tuple with value P.
+	MutAdd MutOp = iota
+	// MutSet replaces the value of tuple Index with P.
+	MutSet
+	// MutRemove deletes tuple Index (Dataset.Remove swap semantics).
+	MutRemove
+)
+
+// Mutation is one element of an ApplyBatch call.
+type Mutation struct {
+	Op    MutOp
+	Index int
+	P     domain.Point
+}
+
+// ApplyBatch applies a sequence of mutations under a single lock
+// acquisition, maintaining every count vector incrementally — the
+// lock-amortized ingestion path used by internal/stream, where taking the
+// index lock per tuple would dominate sustained event throughput.
+//
+// Mutations apply in order. On the first failing mutation (an out-of-range
+// index or point) ApplyBatch stops and returns the number applied so far
+// together with the error; the prior mutations remain applied and the
+// caches stay consistent with the dataset.
+func (x *DatasetIndex) ApplyBatch(muts []Mutation) (applied int, err error) {
+	if len(muts) == 0 {
+		return 0, nil
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.ensureLocked()
+	defer func() { x.gen = x.ds.Generation() }()
+	for i, m := range muts {
+		switch m.Op {
+		case MutAdd:
+			if err := x.ds.Add(m.P); err != nil {
+				return i, err
+			}
+			x.applyInsertLocked(m.P)
+		case MutSet:
+			if m.Index < 0 || m.Index >= x.ds.Len() {
+				return i, x.ds.Set(m.Index, m.P)
+			}
+			old := x.ds.At(m.Index)
+			if err := x.ds.Set(m.Index, m.P); err != nil {
+				return i, err
+			}
+			x.applyRemoveLocked(old)
+			x.applyInsertLocked(m.P)
+		case MutRemove:
+			if m.Index < 0 || m.Index >= x.ds.Len() {
+				return i, x.ds.Remove(m.Index)
+			}
+			old := x.ds.At(m.Index)
+			if err := x.ds.Remove(m.Index); err != nil {
+				return i, err
+			}
+			x.applyRemoveLocked(old)
+		default:
+			return i, fmt.Errorf("engine: unknown mutation op %d", m.Op)
+		}
+	}
+	return len(muts), nil
 }
 
 func (x *DatasetIndex) applyInsertLocked(p domain.Point) {

@@ -154,6 +154,73 @@ func TestDatasetIndexInterleavedOps(t *testing.T) {
 	}
 }
 
+// TestDatasetIndexApplyBatch drives seeded random mutation batches through
+// ApplyBatch and cross-checks every maintained vector against a rebuild —
+// the same property the per-call mutators satisfy, amortized under one lock.
+func TestDatasetIndexApplyBatch(t *testing.T) {
+	plan, d, part := gridPlan(t)
+	ds := domain.NewDataset(d)
+	idx, err := plan.Index(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := noise.NewSource(7)
+	randPoint := func() domain.Point { return domain.Point(rng.Int63n(d.Size())) }
+	n := 0 // track length ourselves to build valid batches
+	for round := 0; round < 40; round++ {
+		batch := make([]Mutation, 0, 32)
+		for len(batch) < cap(batch) {
+			switch op := rng.Intn(4); {
+			case op == 0 && n > 0:
+				batch = append(batch, Mutation{Op: MutSet, Index: rng.Intn(n), P: randPoint()})
+			case op == 1 && n > 0:
+				batch = append(batch, Mutation{Op: MutRemove, Index: rng.Intn(n)})
+				n--
+			default:
+				batch = append(batch, Mutation{Op: MutAdd, P: randPoint()})
+				n++
+			}
+		}
+		applied, err := idx.ApplyBatch(batch)
+		if err != nil {
+			t.Fatalf("round %d: ApplyBatch: %v", round, err)
+		}
+		if applied != len(batch) {
+			t.Fatalf("round %d: applied = %d, want %d", round, applied, len(batch))
+		}
+		checkAgainstRebuild(t, idx, part, round)
+	}
+}
+
+// TestDatasetIndexApplyBatchPartialFailure asserts a failing mutation stops
+// the batch, reports its position, and leaves the caches consistent with
+// the prefix that did apply.
+func TestDatasetIndexApplyBatchPartialFailure(t *testing.T) {
+	plan, d := linePlan(t, 8)
+	ds := domain.NewDataset(d)
+	idx, err := plan.Index(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []Mutation{
+		{Op: MutAdd, P: 1},
+		{Op: MutAdd, P: 2},
+		{Op: MutSet, Index: 9, P: 3}, // out of range
+		{Op: MutAdd, P: 4},
+	}
+	applied, err := idx.ApplyBatch(batch)
+	if err == nil {
+		t.Fatal("out-of-range Set accepted")
+	}
+	if applied != 2 {
+		t.Fatalf("applied = %d, want 2", applied)
+	}
+	if ds.Len() != 2 {
+		t.Fatalf("dataset len = %d, want 2", ds.Len())
+	}
+	checkAgainstRebuild(t, idx, nil, 0)
+}
+
 // TestDatasetIndexDetectsDirectMutation mutates the dataset behind the
 // index's back and asserts the generation counter forces a rebuild instead
 // of serving stale counts.

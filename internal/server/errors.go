@@ -15,9 +15,11 @@ const (
 	CodeUnknownPolicy   = "unknown_policy"
 	CodeUnknownDataset  = "unknown_dataset"
 	CodeUnknownSession  = "unknown_session"
+	CodeUnknownStream   = "unknown_stream"
 	CodeDomainMismatch  = "domain_mismatch"
 	CodeBudgetExhausted = "budget_exhausted"
 	CodePolicyInUse     = "policy_in_use"
+	CodeDatasetInUse    = "dataset_in_use"
 )
 
 // APIError is the structured error body: {"error": {"code", "message"}}.
@@ -35,9 +37,9 @@ func (e *APIError) Error() string { return e.Code + ": " + e.Message }
 // httpStatus maps an error code to its response status.
 func httpStatus(code string) int {
 	switch code {
-	case CodeUnknownPolicy, CodeUnknownDataset, CodeUnknownSession:
+	case CodeUnknownPolicy, CodeUnknownDataset, CodeUnknownSession, CodeUnknownStream:
 		return http.StatusNotFound
-	case CodeBudgetExhausted, CodePolicyInUse:
+	case CodeBudgetExhausted, CodePolicyInUse, CodeDatasetInUse:
 		return http.StatusConflict
 	case CodeDomainMismatch:
 		return http.StatusUnprocessableEntity

@@ -22,7 +22,42 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "sessions": s.SessionCount()})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"sessions": s.SessionCount(),
+		"streams":  s.StreamCount(),
+	})
+}
+
+func (s *Server) handleListPolicies(w http.ResponseWriter, r *http.Request) {
+	entries := snapshotSorted(s, s.policies, func(e *policyEntry) string { return e.id })
+	resp := ListPoliciesResponse{Policies: make([]PolicyResponse, len(entries))}
+	for i, e := range entries {
+		resp.Policies[i] = policyResponse(e)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	entries := snapshotSorted(s, s.datasets, func(e *datasetEntry) string { return e.id })
+	resp := ListDatasetsResponse{Datasets: make([]DatasetResponse, len(entries))}
+	for i, e := range entries {
+		// Row counts read under the table lock: ingestion may be landing.
+		e.tbl.RLock()
+		rows := e.ds.Len()
+		e.tbl.RUnlock()
+		resp.Datasets[i] = DatasetResponse{ID: e.id, Rows: rows, Domain: e.attrs}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	entries := snapshotSorted(s, s.sessions, func(e *sessionEntry) string { return e.id })
+	resp := ListSessionsResponse{Sessions: make([]SessionResponse, len(entries))}
+	for i, e := range entries {
+		resp.Sessions[i] = sessionResponse(e, false)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleCreatePolicy(w http.ResponseWriter, r *http.Request) {
@@ -104,6 +139,13 @@ func (s *Server) handleDeletePolicy(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	for _, st := range s.streams {
+		if st.policyID == id {
+			s.mu.Unlock()
+			writeError(w, CodePolicyInUse, fmt.Sprintf("policy %q has live streams (e.g. %q); delete them first", id, st.id))
+			return
+		}
+	}
 	delete(s.policies, id)
 	s.mu.Unlock()
 	w.WriteHeader(http.StatusNoContent)
@@ -116,6 +158,13 @@ func (s *Server) handleDeletePolicy(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
+	for _, st := range s.streams {
+		if st.datasetID == id {
+			s.mu.Unlock()
+			writeError(w, CodeDatasetInUse, fmt.Sprintf("dataset %q has live streams (e.g. %q); delete them first", id, st.id))
+			return
+		}
+	}
 	e, ok := s.datasets[id]
 	delete(s.datasets, id)
 	// Snapshot the compiled policies under the registry lock but run
@@ -134,6 +183,9 @@ func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
 		writeError(w, CodeUnknownDataset, fmt.Sprintf("no dataset %q", id))
 		return
 	}
+	// Stop the event-log writer (flushing its queue) before dropping the
+	// count vectors, so no batch lands on a forgotten index.
+	e.closeIngestor()
 	for _, cp := range cps {
 		cp.Forget(e.ds)
 	}
@@ -180,8 +232,18 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	e := &datasetEntry{ds: ds, attrs: append([]AttrSpec(nil), attrs...)}
+	tbl, err := blowfish.NewStreamTable(ds)
+	if err != nil {
+		writeError(w, CodeBadRequest, err.Error())
+		return
+	}
+	e := &datasetEntry{ds: ds, attrs: append([]AttrSpec(nil), attrs...), tbl: tbl, ingCfg: s.cfg.Ingest}
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, CodeBadRequest, "server is shutting down")
+		return
+	}
 	e.id = s.newID(1, "ds")
 	s.datasets[e.id] = e
 	s.mu.Unlock()
@@ -194,7 +256,11 @@ func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
 		writeError(w, CodeUnknownDataset, fmt.Sprintf("no dataset %q", r.PathValue("id")))
 		return
 	}
-	writeJSON(w, http.StatusOK, DatasetResponse{ID: e.id, Rows: e.ds.Len(), Domain: e.attrs})
+	// Row counts read under the table lock: ingestion may be landing.
+	e.tbl.RLock()
+	rows := e.ds.Len()
+	e.tbl.RUnlock()
+	writeJSON(w, http.StatusOK, DatasetResponse{ID: e.id, Rows: rows, Domain: e.attrs})
 }
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
@@ -314,6 +380,9 @@ func (s *Server) handleHistogram(w http.ResponseWriter, r *http.Request) {
 	}
 	var counts []float64
 	var err error
+	// The table read lock orders the release against streaming ingestion:
+	// event batches and window expiry take the write side.
+	de.tbl.RLock()
 	if e.pol.part != nil {
 		// Partition policies answer the block histogram h_P; when every
 		// secret pair stays within a block the release is exact and free.
@@ -321,6 +390,7 @@ func (s *Server) handleHistogram(w http.ResponseWriter, r *http.Request) {
 	} else {
 		counts, err = e.sess.ReleaseHistogram(de.ds, req.Epsilon)
 	}
+	de.tbl.RUnlock()
 	if err != nil {
 		writeLibError(w, err)
 		return
@@ -341,7 +411,9 @@ func (s *Server) handleCumulative(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	de.tbl.RLock()
 	rel, err := e.sess.ReleaseCumulativeHistogram(de.ds, req.Epsilon)
+	de.tbl.RUnlock()
 	if err != nil {
 		writeLibError(w, err)
 		return
@@ -385,7 +457,11 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	if fanout == 0 {
 		fanout = defaultFanout
 	}
+	// The released structure is a snapshot; only its construction needs to
+	// be ordered against streaming ingestion.
+	de.tbl.RLock()
 	rel, err := e.sess.NewRangeReleaser(de.ds, fanout, req.Epsilon)
+	de.tbl.RUnlock()
 	if err != nil {
 		writeLibError(w, err)
 		return

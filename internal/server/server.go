@@ -21,6 +21,8 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,7 +43,20 @@ type Config struct {
 	MaxBodyBytes int64
 	// Now overrides the clock (tests); defaults to time.Now.
 	Now func() time.Time
+	// Ingest tunes the per-dataset event ingestors (batch size, flush
+	// interval, queue depth). Zero values take the library defaults.
+	Ingest blowfish.StreamIngestConfig
+	// MaxEventsPerRequest caps one events POST; defaults to 100k.
+	MaxEventsPerRequest int
+	// MaxLongPollWait caps the wait_ms long-poll parameter of the stream
+	// releases endpoint; defaults to 30s.
+	MaxLongPollWait time.Duration
 }
+
+const (
+	defaultMaxEventsPerRequest = 100_000
+	defaultMaxLongPollWait     = 30 * time.Second
+)
 
 const defaultMaxBodyBytes = 32 << 20
 
@@ -55,7 +70,9 @@ type Server struct {
 	policies map[string]*policyEntry
 	datasets map[string]*datasetEntry
 	sessions map[string]*sessionEntry
-	nextID   [3]uint64 // policy, dataset, session counters
+	streams  map[string]*streamEntry
+	nextID   [4]uint64 // policy, dataset, session, stream counters
+	closed   bool
 
 	nextSeed atomic.Int64
 }
@@ -79,6 +96,63 @@ type datasetEntry struct {
 	id    string
 	ds    *blowfish.Dataset
 	attrs []AttrSpec
+	// tbl coordinates streaming writers (event batches, window expiry)
+	// against release readers: every release over ds runs under its read
+	// lock, every mutation under its write lock.
+	tbl *blowfish.StreamTable
+	// ing is the dataset's single-writer event log, started lazily on the
+	// first events POST (an upload-once dataset costs no goroutine) and
+	// stopped on dataset deletion / server Close.
+	ingOnce    sync.Once
+	ing        *blowfish.StreamIngestor
+	ingErr     error
+	ingStarted atomic.Bool
+	ingCfg     blowfish.StreamIngestConfig
+}
+
+// ingestor returns the dataset's event-log writer, starting it on first use.
+func (e *datasetEntry) ingestor() (*blowfish.StreamIngestor, error) {
+	e.ingOnce.Do(func() {
+		e.ing, e.ingErr = blowfish.NewStreamIngestor(e.tbl, e.ingCfg)
+		if e.ingErr == nil {
+			e.ingStarted.Store(true)
+		}
+	})
+	return e.ing, e.ingErr
+}
+
+// startedIngestor returns the writer only if one is already running —
+// flush paths use it so they never spawn a goroutine just to drain an
+// event log that was never opened.
+func (e *datasetEntry) startedIngestor() *blowfish.StreamIngestor {
+	if !e.ingStarted.Load() {
+		return nil
+	}
+	return e.ing
+}
+
+// closeIngestor stops the event-log goroutine if it was ever started, and
+// pins the never-started case to an error so a late events POST cannot
+// spawn a writer the shutdown already missed.
+func (e *datasetEntry) closeIngestor() {
+	e.ingOnce.Do(func() { e.ingErr = errShuttingDown })
+	if e.ing != nil {
+		e.ing.Close()
+	}
+}
+
+var errShuttingDown = fmt.Errorf("server is shutting down")
+
+type streamEntry struct {
+	id        string
+	policyID  string
+	datasetID string
+	pol       *policyEntry
+	de        *datasetEntry
+	// sess is the dedicated session backing the stream's budget schedule;
+	// its accountant is what epoch closes charge.
+	sess *blowfish.Session
+	st   *blowfish.Stream
 }
 
 type sessionEntry struct {
@@ -103,11 +177,18 @@ func New(cfg Config) *Server {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	if cfg.MaxEventsPerRequest <= 0 {
+		cfg.MaxEventsPerRequest = defaultMaxEventsPerRequest
+	}
+	if cfg.MaxLongPollWait <= 0 {
+		cfg.MaxLongPollWait = defaultMaxLongPollWait
+	}
 	s := &Server{
 		cfg:      cfg,
 		policies: make(map[string]*policyEntry),
 		datasets: make(map[string]*datasetEntry),
 		sessions: make(map[string]*sessionEntry),
+		streams:  make(map[string]*streamEntry),
 	}
 	s.nextSeed.Store(cfg.Seed)
 	s.mux = http.NewServeMux()
@@ -118,17 +199,27 @@ func New(cfg Config) *Server {
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
 	s.mux.HandleFunc("POST /v1/policies", s.handleCreatePolicy)
+	s.mux.HandleFunc("GET /v1/policies", s.handleListPolicies)
 	s.mux.HandleFunc("GET /v1/policies/{id}", s.handleGetPolicy)
 	s.mux.HandleFunc("DELETE /v1/policies/{id}", s.handleDeletePolicy)
 	s.mux.HandleFunc("POST /v1/datasets", s.handleCreateDataset)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	s.mux.HandleFunc("GET /v1/datasets/{id}", s.handleGetDataset)
 	s.mux.HandleFunc("DELETE /v1/datasets/{id}", s.handleDeleteDataset)
+	s.mux.HandleFunc("POST /v1/datasets/{id}/events", s.handleDatasetEvents)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleListSessions)
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleGetSession)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDeleteSession)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/releases/histogram", s.handleHistogram)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/releases/cumulative", s.handleCumulative)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/releases/range", s.handleRange)
+	s.mux.HandleFunc("POST /v1/streams", s.handleCreateStream)
+	s.mux.HandleFunc("GET /v1/streams", s.handleListStreams)
+	s.mux.HandleFunc("GET /v1/streams/{id}", s.handleGetStream)
+	s.mux.HandleFunc("DELETE /v1/streams/{id}", s.handleDeleteStream)
+	s.mux.HandleFunc("POST /v1/streams/{id}/epochs", s.handleCloseEpoch)
+	s.mux.HandleFunc("GET /v1/streams/{id}/releases", s.handleStreamReleases)
 }
 
 // ServeHTTP implements http.Handler.
@@ -172,6 +263,76 @@ func (s *Server) SessionCount() int {
 	return len(s.sessions)
 }
 
+// StreamCount returns the number of live streams (diagnostics).
+func (s *Server) StreamCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.streams)
+}
+
+// Close stops every background goroutine the server owns: stream epoch
+// tickers and per-dataset event-log writers (flushing their queues). It is
+// idempotent; stream and dataset creation after Close is refused. In-flight
+// HTTP requests are the caller's to drain (http.Server.Shutdown does).
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	streams := make([]*streamEntry, 0, len(s.streams))
+	for _, e := range s.streams {
+		streams = append(streams, e)
+	}
+	datasets := make([]*datasetEntry, 0, len(s.datasets))
+	for _, e := range s.datasets {
+		datasets = append(datasets, e)
+	}
+	s.mu.Unlock()
+	// Stop schedulers first so no epoch close races the ingestor drain.
+	for _, e := range streams {
+		e.st.Stop()
+	}
+	for _, e := range datasets {
+		e.closeIngestor()
+	}
+}
+
+// checkOpen refuses resource creation on a closed (shutting down) server.
+func (s *Server) checkOpen(w http.ResponseWriter) bool {
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		writeError(w, CodeBadRequest, "server is shutting down")
+	}
+	return !closed
+}
+
+// byID orders resource ids of one namespace ("pol-2" < "pol-10") for the
+// list endpoints: shorter ids first, then lexicographic — numeric order for
+// the server's prefix-counter ids.
+func byID(a, b string) int {
+	if len(a) != len(b) {
+		return len(a) - len(b)
+	}
+	return strings.Compare(a, b)
+}
+
+// snapshotSorted copies one registry under the server's read lock and
+// orders the entries by id — the shared skeleton of every list endpoint.
+func snapshotSorted[E any](s *Server, m map[string]E, id func(E) string) []E {
+	s.mu.RLock()
+	out := make([]E, 0, len(m))
+	for _, e := range m {
+		out = append(out, e)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return byID(id(out[i]), id(out[j])) < 0 })
+	return out
+}
+
 // getSession looks a session up and refreshes its idle timer.
 func (s *Server) getSession(id string) (*sessionEntry, bool) {
 	s.mu.RLock()
@@ -195,6 +356,13 @@ func (s *Server) getDataset(id string) (*datasetEntry, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	e, ok := s.datasets[id]
+	return e, ok
+}
+
+func (s *Server) getStream(id string) (*streamEntry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.streams[id]
 	return e, ok
 }
 

@@ -1,0 +1,396 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"blowfish"
+)
+
+// handleDatasetEvents appends a batch of events to the dataset's event log.
+// Two encodings share the endpoint: a JSON envelope {"events": [...]} and
+// NDJSON (Content-Type application/x-ndjson), one event object per line —
+// the format high-volume producers pipe without building an envelope in
+// memory. Events are sequence-numbered and applied by the dataset's single
+// writer; the response carries the assigned range and the writer's cursor.
+func (s *Server) handleDatasetEvents(w http.ResponseWriter, r *http.Request) {
+	de, ok := s.getDataset(r.PathValue("id"))
+	if !ok {
+		writeError(w, CodeUnknownDataset, fmt.Sprintf("no dataset %q", r.PathValue("id")))
+		return
+	}
+	var req EventsRequest
+	if isNDJSON(r) {
+		evs, err := decodeNDJSONEvents(r.Body, s.cfg.MaxEventsPerRequest)
+		if err != nil {
+			writeError(w, CodeBadRequest, err.Error())
+			return
+		}
+		req.Events = evs
+		req.Wait = r.URL.Query().Get("wait") == "1" || r.URL.Query().Get("wait") == "true"
+	} else if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Events) == 0 {
+		writeError(w, CodeBadRequest, "events batch is empty")
+		return
+	}
+	if len(req.Events) > s.cfg.MaxEventsPerRequest {
+		writeError(w, CodeBadRequest, fmt.Sprintf("%d events exceed the per-request cap %d", len(req.Events), s.cfg.MaxEventsPerRequest))
+		return
+	}
+	ing, err := de.ingestor()
+	if err != nil {
+		writeError(w, CodeBadRequest, err.Error())
+		return
+	}
+	events := make([]blowfish.StreamEvent, len(req.Events))
+	for i, ev := range req.Events {
+		events[i] = blowfish.StreamEvent{Op: ev.Op, ID: ev.ID, Row: ev.Row}
+	}
+	first, last, err := ing.Submit(events)
+	if err != nil {
+		writeError(w, CodeBadRequest, err.Error())
+		return
+	}
+	if req.Wait {
+		if err := ing.WaitProcessed(r.Context(), last); err != nil {
+			writeError(w, CodeBadRequest, "waiting for apply: "+err.Error())
+			return
+		}
+	}
+	stats := ing.Stats()
+	writeJSON(w, http.StatusAccepted, EventsResponse{
+		Accepted:     len(events),
+		FirstSeq:     first,
+		LastSeq:      last,
+		ProcessedSeq: stats.Processed,
+		Rejected:     stats.Rejected,
+		LastError:    stats.LastError,
+	})
+}
+
+func isNDJSON(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	return strings.HasPrefix(ct, "application/x-ndjson") || strings.HasPrefix(ct, "application/ndjson")
+}
+
+// decodeNDJSONEvents parses one event object per non-empty line.
+func decodeNDJSONEvents(body io.Reader, max int) ([]EventWire, error) {
+	var out []EventWire
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := strings.TrimSpace(sc.Text())
+		if b == "" {
+			continue
+		}
+		var ev EventWire
+		dec := json.NewDecoder(strings.NewReader(b))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&ev); err != nil {
+			return nil, fmt.Errorf("ndjson line %d: %v", line, err)
+		}
+		out = append(out, ev)
+		if len(out) > max {
+			return nil, fmt.Errorf("ndjson body exceeds the per-request cap %d", max)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ndjson body: %v", err)
+	}
+	return out, nil
+}
+
+// handleCreateStream binds a dataset and a policy into a continual-release
+// stream: a dedicated budgeted session backs the epsilon schedule, the
+// dataset's table is indexed through the policy's compiled plan, and (when
+// an interval is configured) an epoch ticker starts.
+func (s *Server) handleCreateStream(w http.ResponseWriter, r *http.Request) {
+	if !s.checkOpen(w) {
+		return
+	}
+	var req CreateStreamRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	pe, ok := s.getPolicy(req.PolicyID)
+	if !ok {
+		writeError(w, CodeUnknownPolicy, fmt.Sprintf("no policy %q", req.PolicyID))
+		return
+	}
+	de, ok := s.getDataset(req.DatasetID)
+	if !ok {
+		writeError(w, CodeUnknownDataset, fmt.Sprintf("no dataset %q", req.DatasetID))
+		return
+	}
+	kinds := make([]blowfish.StreamReleaseKind, len(req.Kinds))
+	for i, k := range req.Kinds {
+		kinds[i] = blowfish.StreamReleaseKind(k)
+	}
+	queries := make([]blowfish.StreamRangeQuery, len(req.RangeQueries))
+	for i, q := range req.RangeQueries {
+		queries[i] = blowfish.StreamRangeQuery{Lo: q.Lo, Hi: q.Hi}
+	}
+	cfg := blowfish.StreamConfig{
+		Window:       blowfish.StreamWindow(req.Window.Kind),
+		WindowEpochs: req.Window.Epochs,
+		Interval:     time.Duration(req.Epoch.IntervalMS) * time.Millisecond,
+		Epsilon:      req.Epoch.Epsilon,
+		Decay:        req.Epoch.Decay,
+		Epsilons:     req.Epoch.Epsilons,
+		Kinds:        kinds,
+		Fanout:       req.Fanout,
+		RangeQueries: queries,
+		MaxReleases:  req.MaxReleases,
+	}
+	// Same seeding contract as sessions: explicit seeds pin one noise shard
+	// so the stream replays identically on any host.
+	seed := s.nextSeed.Add(1)
+	shards := runtime.GOMAXPROCS(0)
+	if req.Seed != nil {
+		seed = *req.Seed
+		shards = 1
+	}
+	sess, err := pe.cp.NewSessionShards(req.Budget, blowfish.NewSource(seed), shards)
+	if err != nil {
+		writeError(w, CodeBadRequest, err.Error())
+		return
+	}
+	st, err := sess.NewStream(de.tbl, cfg)
+	if err != nil {
+		writeLibError(w, err)
+		return
+	}
+	e := &streamEntry{policyID: pe.id, datasetID: de.id, pol: pe, de: de, sess: sess, st: st}
+	// rollback undoes the side effects New applied to the shared table when
+	// the registration below is refused.
+	rollback := func() {
+		st.Stop()
+		st.Unbind()
+	}
+	s.mu.Lock()
+	// Re-check the referenced resources under the write lock that inserts
+	// the stream, so a racing policy/dataset deletion cannot strand it.
+	if s.closed {
+		s.mu.Unlock()
+		rollback()
+		writeError(w, CodeBadRequest, "server is shutting down")
+		return
+	}
+	if _, still := s.policies[pe.id]; !still {
+		s.mu.Unlock()
+		rollback()
+		writeError(w, CodeUnknownPolicy, fmt.Sprintf("no policy %q", req.PolicyID))
+		return
+	}
+	if _, still := s.datasets[de.id]; !still {
+		s.mu.Unlock()
+		rollback()
+		writeError(w, CodeUnknownDataset, fmt.Sprintf("no dataset %q", req.DatasetID))
+		return
+	}
+	// Windowed (tumbling/sliding) streams mutate shared table state at
+	// each close — dataset resets, epoch tags — so a dataset carrying one
+	// admits no other stream, in either direction. Cumulative streams
+	// coexist freely.
+	newWin := st.Config().Window
+	for _, other := range s.streams {
+		if other.datasetID != de.id {
+			continue
+		}
+		otherWin := other.st.Config().Window
+		if newWin != blowfish.WindowCumulative || otherWin != blowfish.WindowCumulative {
+			s.mu.Unlock()
+			rollback()
+			writeError(w, CodeDatasetInUse, fmt.Sprintf(
+				"dataset %q already has stream %q (window %q); windowed streams need the dataset to themselves",
+				de.id, other.id, otherWin))
+			return
+		}
+	}
+	e.id = s.newID(3, "stream")
+	s.streams[e.id] = e
+	s.mu.Unlock()
+	st.Start()
+	writeJSON(w, http.StatusCreated, streamResponse(e))
+}
+
+func streamResponse(e *streamEntry) StreamResponse {
+	acct := e.sess.Accountant()
+	status := e.st.Status()
+	cfg := e.st.Config()
+	kinds := make([]string, len(cfg.Kinds))
+	for i, k := range cfg.Kinds {
+		kinds[i] = string(k)
+	}
+	return StreamResponse{
+		ID:          e.id,
+		PolicyID:    e.policyID,
+		DatasetID:   e.datasetID,
+		Budget:      acct.Budget(),
+		Spent:       acct.Spent(),
+		Remaining:   acct.Remaining(),
+		Window:      string(cfg.Window),
+		Kinds:       kinds,
+		Epoch:       status.Epoch,
+		NextEpsilon: status.NextEpsilon,
+		Exhausted:   status.Exhausted,
+		FirstSeq:    status.FirstSeq,
+		LastSeq:     status.LastSeq,
+		Rows:        status.N,
+		Events:      status.Events,
+	}
+}
+
+// streamFor resolves the {id} path segment, writing the structured
+// unknown-stream error on miss.
+func (s *Server) streamFor(w http.ResponseWriter, r *http.Request) (*streamEntry, bool) {
+	e, ok := s.getStream(r.PathValue("id"))
+	if !ok {
+		writeError(w, CodeUnknownStream, fmt.Sprintf("no stream %q", r.PathValue("id")))
+		return nil, false
+	}
+	return e, true
+}
+
+func (s *Server) handleGetStream(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.streamFor(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, streamResponse(e))
+}
+
+func (s *Server) handleDeleteStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	e, ok := s.streams[id]
+	delete(s.streams, id)
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, CodeUnknownStream, fmt.Sprintf("no stream %q", id))
+		return
+	}
+	e.st.Stop()
+	// Detach the stream's index so ingestion on the surviving dataset stops
+	// maintaining count vectors nobody will read.
+	e.st.Unbind()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleCloseEpoch closes the stream's current epoch on demand — the
+// deterministic trigger (automatic interval-driven closes are configured at
+// stream creation). The dataset's event queue is flushed first so the epoch
+// covers everything submitted before the call.
+func (s *Server) handleCloseEpoch(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.streamFor(w, r)
+	if !ok {
+		return
+	}
+	if ing := e.de.startedIngestor(); ing != nil {
+		if err := ing.Flush(r.Context()); err != nil {
+			writeError(w, CodeBadRequest, "flushing event queue: "+err.Error())
+			return
+		}
+	}
+	rel, err := e.st.CloseEpoch()
+	if err != nil {
+		writeLibError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, releaseWire(rel))
+}
+
+func releaseWire(rel *blowfish.EpochRelease) EpochReleaseWire {
+	return EpochReleaseWire{
+		Seq:                rel.Seq,
+		Epoch:              rel.Epoch,
+		Events:             rel.Events,
+		Rows:               rel.N,
+		Epsilon:            rel.Epsilon,
+		Remaining:          rel.Remaining,
+		Histogram:          rel.Histogram,
+		CumulativeRaw:      rel.CumulativeRaw,
+		CumulativeInferred: rel.CumulativeInferred,
+		RangeAnswers:       rel.RangeAnswers,
+	}
+}
+
+// handleStreamReleases answers a cursor poll over the stream's published
+// releases. With wait_ms > 0 and nothing past the cursor, the request long-
+// polls until a release arrives, the wait elapses (200 with an empty list),
+// or the stream is exhausted with nothing left to wait for (the structured
+// budget_exhausted error, so pollers know to stop).
+func (s *Server) handleStreamReleases(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.streamFor(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	var since uint64
+	if v := q.Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, CodeBadRequest, "invalid since cursor: "+err.Error())
+			return
+		}
+		since = n
+	}
+	var wait time.Duration
+	if v := q.Get("wait_ms"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, CodeBadRequest, "invalid wait_ms")
+			return
+		}
+		wait = time.Duration(n) * time.Millisecond
+		if wait > s.cfg.MaxLongPollWait {
+			wait = s.cfg.MaxLongPollWait
+		}
+	}
+	rels := e.st.Releases(since)
+	if len(rels) == 0 && wait > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), wait)
+		waited, err := e.st.WaitReleases(ctx, since)
+		cancel()
+		switch {
+		case err == nil:
+			rels = waited
+		case errors.Is(err, context.DeadlineExceeded):
+			// Wait elapsed: answer the empty list, the poller retries.
+		case errors.Is(err, blowfish.ErrBudgetExceeded):
+			writeLibError(w, err)
+			return
+		default:
+			writeError(w, CodeBadRequest, err.Error())
+			return
+		}
+	}
+	resp := StreamReleasesResponse{Releases: make([]EpochReleaseWire, len(rels)), NextSince: since}
+	for i, rel := range rels {
+		resp.Releases[i] = releaseWire(rel)
+		resp.NextSince = rel.Seq
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleListStreams(w http.ResponseWriter, r *http.Request) {
+	entries := snapshotSorted(s, s.streams, func(e *streamEntry) string { return e.id })
+	resp := ListStreamsResponse{Streams: make([]StreamResponse, len(entries))}
+	for i, e := range entries {
+		resp.Streams[i] = streamResponse(e)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

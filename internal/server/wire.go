@@ -142,3 +142,144 @@ type RangeResponse struct {
 	Answers   []float64 `json:"answers"`
 	Remaining float64   `json:"remaining"`
 }
+
+// ListPoliciesResponse enumerates registered policies, id order.
+type ListPoliciesResponse struct {
+	Policies []PolicyResponse `json:"policies"`
+}
+
+// ListDatasetsResponse enumerates registered datasets, id order.
+type ListDatasetsResponse struct {
+	Datasets []DatasetResponse `json:"datasets"`
+}
+
+// ListSessionsResponse enumerates live sessions, id order.
+type ListSessionsResponse struct {
+	Sessions []SessionResponse `json:"sessions"`
+}
+
+// ListStreamsResponse enumerates live streams, id order.
+type ListStreamsResponse struct {
+	Streams []StreamResponse `json:"streams"`
+}
+
+// EventWire is one streamed mutation. Op is "append" (Row required),
+// "upsert" (ID + Row) or "delete" (ID). Tuple ids are dataset indexes;
+// deletes recycle the last id into the removed slot (Dataset.Remove swap
+// semantics).
+type EventWire struct {
+	Op  string `json:"op"`
+	ID  int    `json:"id,omitempty"`
+	Row []int  `json:"row,omitempty"`
+}
+
+// EventsRequest submits a batch of events to a dataset's event log. The
+// same endpoint accepts NDJSON (Content-Type application/x-ndjson): one
+// EventWire object per line, no envelope.
+type EventsRequest struct {
+	Events []EventWire `json:"events"`
+	// Wait, when true, blocks the response until every submitted event has
+	// been applied (or rejected) by the writer — the read-your-writes mode
+	// tests and walkthroughs use.
+	Wait bool `json:"wait,omitempty"`
+}
+
+// EventsResponse acknowledges a batch: sequence numbers assigned, plus the
+// ingestor's cursor and rejection counters at response time.
+type EventsResponse struct {
+	Accepted     int    `json:"accepted"`
+	FirstSeq     uint64 `json:"first_seq,omitempty"`
+	LastSeq      uint64 `json:"last_seq,omitempty"`
+	ProcessedSeq uint64 `json:"processed_seq"`
+	Rejected     uint64 `json:"rejected"`
+	LastError    string `json:"last_error,omitempty"`
+}
+
+// EpochSpec is a stream's per-epoch epsilon schedule and cadence.
+type EpochSpec struct {
+	// Epsilon is the per-epoch, per-kind ε (epoch e costs
+	// epsilon·decay^e·|kinds| of the budget).
+	Epsilon float64 `json:"epsilon"`
+	// Decay multiplies the epsilon each epoch; 0 means 1 (constant).
+	Decay float64 `json:"decay,omitempty"`
+	// Epsilons overrides the schedule for the first len(epsilons) epochs.
+	Epsilons []float64 `json:"epsilons,omitempty"`
+	// IntervalMS, when positive, closes epochs automatically every this
+	// many milliseconds; 0 means epochs close only via POST .../epochs.
+	IntervalMS int `json:"interval_ms,omitempty"`
+}
+
+// WindowSpec selects the stream's window semantics.
+type WindowSpec struct {
+	// Kind is "cumulative" (default), "tumbling" or "sliding".
+	Kind string `json:"kind,omitempty"`
+	// Epochs is the sliding-window width (required for kind "sliding").
+	Epochs int `json:"epochs,omitempty"`
+}
+
+// CreateStreamRequest binds a dataset and a policy into a continual-release
+// stream with a total ε budget.
+type CreateStreamRequest struct {
+	PolicyID  string  `json:"policy_id"`
+	DatasetID string  `json:"dataset_id"`
+	Budget    float64 `json:"budget"`
+	// Seed optionally pins the stream's noise to a single reproducible
+	// shard (same semantics as session seeds).
+	Seed   *int64     `json:"seed,omitempty"`
+	Epoch  EpochSpec  `json:"epoch"`
+	Window WindowSpec `json:"window,omitempty"`
+	// Kinds defaults to ["histogram"]; also "cumulative" and "range".
+	Kinds []string `json:"kinds,omitempty"`
+	// Fanout is the range-release hierarchy branching factor; default 16.
+	Fanout int `json:"fanout,omitempty"`
+	// RangeQueries are answered by each "range" release.
+	RangeQueries []RangeQuery `json:"range_queries,omitempty"`
+	// MaxReleases bounds the buffered releases (older ones are evicted);
+	// default 1024.
+	MaxReleases int `json:"max_releases,omitempty"`
+}
+
+// StreamResponse describes a stream and its progress.
+type StreamResponse struct {
+	ID        string   `json:"id"`
+	PolicyID  string   `json:"policy_id"`
+	DatasetID string   `json:"dataset_id"`
+	Budget    float64  `json:"budget"`
+	Spent     float64  `json:"spent"`
+	Remaining float64  `json:"remaining"`
+	Window    string   `json:"window"`
+	Kinds     []string `json:"kinds"`
+	// Epoch is the next epoch to close (== epochs closed so far).
+	Epoch       int     `json:"epoch"`
+	NextEpsilon float64 `json:"next_epsilon"`
+	Exhausted   bool    `json:"exhausted"`
+	// FirstSeq/LastSeq bound the buffered release cursors (0 when empty).
+	FirstSeq uint64 `json:"first_seq"`
+	LastSeq  uint64 `json:"last_seq"`
+	// Rows is the dataset cardinality now; Events the mutations applied.
+	Rows   int    `json:"rows"`
+	Events uint64 `json:"events"`
+}
+
+// EpochReleaseWire is one published epoch release.
+type EpochReleaseWire struct {
+	Seq                uint64    `json:"seq"`
+	Epoch              int       `json:"epoch"`
+	Events             uint64    `json:"events"`
+	Rows               int       `json:"rows"`
+	Epsilon            float64   `json:"epsilon"`
+	Remaining          float64   `json:"remaining"`
+	Histogram          []float64 `json:"histogram,omitempty"`
+	CumulativeRaw      []float64 `json:"cumulative_raw,omitempty"`
+	CumulativeInferred []float64 `json:"cumulative_inferred,omitempty"`
+	RangeAnswers       []float64 `json:"range_answers,omitempty"`
+}
+
+// StreamReleasesResponse answers a releases poll: everything buffered past
+// the `since` cursor, and the cursor to resume from.
+type StreamReleasesResponse struct {
+	Releases []EpochReleaseWire `json:"releases"`
+	// NextSince is the cursor for the next poll (the last seq returned, or
+	// the request's since when nothing new arrived).
+	NextSince uint64 `json:"next_since"`
+}

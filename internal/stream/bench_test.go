@@ -1,0 +1,211 @@
+// Benchmarks for the streaming subsystem at the BENCH_stream.json workload:
+// n = 200k tuples over |T| ≈ 4k, the adult capital-loss shape used by the
+// engine benchmarks. BenchmarkStreamIngest measures sustained ingestion
+// (one op = one event, wire row → encoded → batched → applied through the
+// index under the amortized lock); BenchmarkEpochRelease measures epoch
+// close latency over the 200k-row index while event producers and release
+// pollers run concurrently. Results are recorded in BENCH_stream.json.
+package stream
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"blowfish/internal/composition"
+	"blowfish/internal/domain"
+	"blowfish/internal/engine"
+	"blowfish/internal/noise"
+	"blowfish/internal/policy"
+	"blowfish/internal/secgraph"
+)
+
+const (
+	benchDomainSize = 4357
+	benchTuples     = 200_000
+	benchEps        = 1e-6
+	benchBudget     = 1e9
+)
+
+// benchWorld builds the engine, table and ingestor over the benchmark
+// policy, with preload tuples already indexed.
+func benchWorld(b *testing.B, preload int) (*engine.Engine, *Table, *Ingestor) {
+	b.Helper()
+	d, err := domain.Line("v", benchDomainSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := secgraph.NewDistanceThreshold(d, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := engine.Compile(policy.New(g))
+	if err != nil {
+		b.Fatal(err)
+	}
+	acct, err := composition.NewAccountant(benchBudget)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := engine.New(plan, acct, noise.NewSource(1), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := domain.NewDataset(d)
+	src := noise.NewSource(2)
+	for i := 0; i < preload; i++ {
+		ds.MustAdd(domain.Point(src.Int63n(benchDomainSize)))
+	}
+	tbl, err := NewTable(ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := eng.Index(ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl.BindIndex(idx)
+	// Prime the count vectors so the first measured op is steady-state.
+	if _, err := idx.Histogram(); err != nil {
+		b.Fatal(err)
+	}
+	ing, err := NewIngestor(tbl, IngestConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(ing.Close)
+	return eng, tbl, ing
+}
+
+// benchEvents pre-builds wire events cycling through the domain.
+func benchEvents(n int) []Event {
+	evs := make([]Event, n)
+	for i := range evs {
+		evs[i] = Event{Op: "append", Row: []int{(i * 31) % benchDomainSize}}
+	}
+	return evs
+}
+
+// BenchmarkStreamIngest measures sustained event throughput: one op is one
+// appended event, submitted in 1024-event batches and applied by the single
+// writer through the lock-amortized index path. events/sec = 1e9 / ns_per_op.
+func BenchmarkStreamIngest(b *testing.B) {
+	_, _, ing := benchWorld(b, 0)
+	const chunk = 1024
+	evs := benchEvents(chunk)
+	b.ResetTimer()
+	for done := 0; done < b.N; done += chunk {
+		n := min(chunk, b.N-done)
+		if _, _, err := ing.Submit(evs[:n]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := ing.Flush(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkStreamIngestParallel is the same workload submitted from
+// GOMAXPROCS goroutines: contention on the queue plus batching by the one
+// writer.
+func BenchmarkStreamIngestParallel(b *testing.B) {
+	_, _, ing := benchWorld(b, 0)
+	const chunk = 256
+	evs := benchEvents(chunk)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for {
+			n := 0
+			for n < chunk && pb.Next() {
+				n++
+			}
+			if n == 0 {
+				return
+			}
+			if _, _, err := ing.Submit(evs[:n]); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	if err := ing.Flush(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEpochRelease measures epoch-close latency (histogram kind) over
+// a 200k-row dataset while a producer keeps appending events and a poller
+// keeps draining the release cursor — the continual-observation steady
+// state. ns_per_op approximates p50 release latency.
+func BenchmarkEpochRelease(b *testing.B) {
+	eng, tbl, ing := benchWorld(b, benchTuples)
+	st, err := New(eng, tbl, Config{Epsilon: benchEps})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Stop()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // concurrent producer
+		defer wg.Done()
+		evs := benchEvents(256)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, _, err := ing.Submit(evs); err != nil {
+				return
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	go func() { // concurrent poller
+		defer wg.Done()
+		var since uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, rel := range st.Releases(since) {
+				since = rel.Seq
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.CloseEpoch(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+}
+
+// BenchmarkEpochReleaseAllKinds closes epochs publishing all three release
+// kinds per close (histogram + cumulative + range) over the 200k-row index.
+func BenchmarkEpochReleaseAllKinds(b *testing.B) {
+	eng, tbl, _ := benchWorld(b, benchTuples)
+	st, err := New(eng, tbl, Config{
+		Epsilon:      benchEps,
+		Kinds:        []ReleaseKind{KindHistogram, KindCumulative, KindRange},
+		RangeQueries: []RangeQuery{{Lo: 100, Hi: 2500}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Stop()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.CloseEpoch(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

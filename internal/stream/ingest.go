@@ -1,0 +1,353 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"blowfish/internal/domain"
+	"blowfish/internal/engine"
+)
+
+// Event is one wire-level mutation of a streamed dataset.
+type Event struct {
+	// Op is "append", "upsert" or "delete".
+	Op string
+	// ID is the tuple identifier for upsert and delete (Dataset index;
+	// Remove recycles the last identifier into the removed slot).
+	ID int
+	// Row holds the attribute values for append and upsert.
+	Row []int
+}
+
+// ErrIngestClosed is returned by Submit after Close.
+var ErrIngestClosed = errors.New("stream: ingestor closed")
+
+// IngestConfig tunes an Ingestor. The zero value is usable.
+type IngestConfig struct {
+	// BatchSize is the largest mutation batch applied under one lock
+	// acquisition; defaults to 256.
+	BatchSize int
+	// FlushInterval bounds how long a non-full batch waits for more events
+	// before applying; defaults to 2ms.
+	FlushInterval time.Duration
+	// QueueDepth is the channel buffer between Submit and the writer;
+	// Submit blocks (backpressure) when it is full. Defaults to 4096.
+	QueueDepth int
+}
+
+func (c *IngestConfig) fill() {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 256
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 2 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4096
+	}
+}
+
+// IngestStats is a snapshot of an ingestor's counters.
+type IngestStats struct {
+	// Submitted is the highest sequence number assigned.
+	Submitted uint64
+	// Processed is the highest sequence number the writer has finished with
+	// (applied or rejected); the cursor WaitApplied waits on.
+	Processed uint64
+	// Rejected counts events that failed at apply time (bad tuple ids).
+	Rejected uint64
+	// LastError describes the most recent apply-time rejection, "" if none.
+	LastError string
+	// Queued is the number of events waiting in the channel.
+	Queued int
+}
+
+// seqMut is one queued mutation with its assigned sequence number.
+type seqMut struct {
+	seq uint64
+	mut engine.Mutation
+}
+
+// Ingestor is the single-writer event log over a Table: Submit validates
+// and enqueues events, a dedicated goroutine applies them in batches so the
+// per-event cost of the index lock is amortized across the batch. One
+// ingestor per dataset; Submit is safe for concurrent use.
+type Ingestor struct {
+	tbl *Table
+	cfg IngestConfig
+
+	mu      sync.Mutex // orders seq assignment with channel sends
+	nextSeq uint64
+	closed  bool
+
+	ch   chan seqMut
+	quit chan struct{}
+	done chan struct{}
+
+	stateMu   sync.Mutex // guards the applied cursor + notify channel
+	processed uint64
+	rejected  uint64
+	lastErr   string
+	notify    chan struct{}
+
+	closeOnce sync.Once
+}
+
+// NewIngestor starts the writer goroutine for tbl. Close it to stop.
+func NewIngestor(tbl *Table, cfg IngestConfig) (*Ingestor, error) {
+	if tbl == nil {
+		return nil, errors.New("stream: nil table")
+	}
+	cfg.fill()
+	in := &Ingestor{
+		tbl:    tbl,
+		cfg:    cfg,
+		ch:     make(chan seqMut, cfg.QueueDepth),
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+		notify: make(chan struct{}),
+	}
+	go in.run()
+	return in, nil
+}
+
+// EncodeEvents validates events against dom and lowers them to mutations.
+// Row values are encoded eagerly so the submitter learns about malformed
+// rows synchronously; tuple-id range errors can only surface at apply time
+// (the dataset length changes under the queue) and are counted as
+// rejections instead.
+func EncodeEvents(dom *domain.Domain, events []Event) ([]engine.Mutation, error) {
+	muts := make([]engine.Mutation, len(events))
+	for i, ev := range events {
+		switch ev.Op {
+		case "append":
+			p, err := dom.Encode(ev.Row...)
+			if err != nil {
+				return nil, fmt.Errorf("event %d: %w", i, err)
+			}
+			muts[i] = engine.Mutation{Op: engine.MutAdd, P: p}
+		case "upsert":
+			p, err := dom.Encode(ev.Row...)
+			if err != nil {
+				return nil, fmt.Errorf("event %d: %w", i, err)
+			}
+			if ev.ID < 0 {
+				return nil, fmt.Errorf("event %d: negative tuple id %d", i, ev.ID)
+			}
+			muts[i] = engine.Mutation{Op: engine.MutSet, Index: ev.ID, P: p}
+		case "delete":
+			if ev.ID < 0 {
+				return nil, fmt.Errorf("event %d: negative tuple id %d", i, ev.ID)
+			}
+			muts[i] = engine.Mutation{Op: engine.MutRemove, Index: ev.ID}
+		default:
+			return nil, fmt.Errorf("event %d: unknown op %q (want append, upsert or delete)", i, ev.Op)
+		}
+	}
+	return muts, nil
+}
+
+// Submit validates events and enqueues them, returning the sequence numbers
+// assigned to the first and last event. It blocks when the queue is full
+// (backpressure) and fails fast with ErrIngestClosed after Close. A
+// validation error enqueues nothing. When Close lands mid-batch, the
+// already-sent prefix still applies (the writer drains the queue before
+// exiting); the error then reports the partially enqueued range — first
+// and last cover what actually landed — so callers can tell their clients
+// the truth instead of claiming total failure.
+func (in *Ingestor) Submit(events []Event) (first, last uint64, err error) {
+	muts, err := EncodeEvents(in.tbl.Dataset().Domain(), events)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(muts) == 0 {
+		return 0, 0, nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return 0, 0, ErrIngestClosed
+	}
+	first = in.nextSeq + 1
+	for i, m := range muts {
+		in.nextSeq++
+		select {
+		case in.ch <- seqMut{seq: in.nextSeq, mut: m}:
+		case <-in.quit:
+			in.nextSeq--
+			if i == 0 {
+				return 0, 0, ErrIngestClosed
+			}
+			return first, in.nextSeq, fmt.Errorf(
+				"stream: %d of %d events enqueued (seqs %d-%d) before close: %w",
+				i, len(muts), first, in.nextSeq, ErrIngestClosed)
+		}
+	}
+	return first, in.nextSeq, nil
+}
+
+// SubmittedSeq returns the highest assigned sequence number.
+func (in *Ingestor) SubmittedSeq() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.nextSeq
+}
+
+// ProcessedSeq returns the highest sequence number the writer has finished
+// with.
+func (in *Ingestor) ProcessedSeq() uint64 {
+	in.stateMu.Lock()
+	defer in.stateMu.Unlock()
+	return in.processed
+}
+
+// Stats returns a snapshot of the ingestor's counters.
+func (in *Ingestor) Stats() IngestStats {
+	in.mu.Lock()
+	submitted := in.nextSeq
+	in.mu.Unlock()
+	in.stateMu.Lock()
+	defer in.stateMu.Unlock()
+	return IngestStats{
+		Submitted: submitted,
+		Processed: in.processed,
+		Rejected:  in.rejected,
+		LastError: in.lastErr,
+		Queued:    len(in.ch),
+	}
+}
+
+// WaitProcessed blocks until the writer has processed every event up to and
+// including seq, the context is done, or the ingestor is closed with seq
+// still unprocessed.
+func (in *Ingestor) WaitProcessed(ctx context.Context, seq uint64) error {
+	for {
+		in.stateMu.Lock()
+		cur, ch := in.processed, in.notify
+		in.stateMu.Unlock()
+		if cur >= seq {
+			return nil
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-in.done:
+			in.stateMu.Lock()
+			cur = in.processed
+			in.stateMu.Unlock()
+			if cur >= seq {
+				return nil
+			}
+			return ErrIngestClosed
+		}
+	}
+}
+
+// Flush blocks until everything submitted so far has been applied.
+func (in *Ingestor) Flush(ctx context.Context) error {
+	return in.WaitProcessed(ctx, in.SubmittedSeq())
+}
+
+// Close stops accepting events, drains and applies the queue, and stops the
+// writer goroutine. It is idempotent and returns once the writer has
+// exited.
+func (in *Ingestor) Close() {
+	in.closeOnce.Do(func() {
+		in.mu.Lock()
+		in.closed = true
+		in.mu.Unlock()
+		close(in.quit)
+	})
+	<-in.done
+}
+
+// run is the single writer: it collects events into batches bounded by
+// BatchSize and FlushInterval and applies each batch under one table lock
+// acquisition.
+func (in *Ingestor) run() {
+	defer close(in.done)
+	batch := make([]seqMut, 0, in.cfg.BatchSize)
+	for {
+		select {
+		case m := <-in.ch:
+			batch = append(batch[:0], m)
+			in.fill(&batch)
+			in.apply(batch)
+		case <-in.quit:
+			for {
+				select {
+				case m := <-in.ch:
+					batch = append(batch[:0], m)
+					in.fill(&batch)
+					in.apply(batch)
+					continue
+				default:
+				}
+				return
+			}
+		}
+	}
+}
+
+// fill tops the batch up to BatchSize, waiting at most FlushInterval for
+// stragglers so light traffic is not delayed and heavy traffic amortizes.
+func (in *Ingestor) fill(batch *[]seqMut) {
+	if len(*batch) >= in.cfg.BatchSize {
+		return
+	}
+	timer := time.NewTimer(in.cfg.FlushInterval)
+	defer timer.Stop()
+	for len(*batch) < in.cfg.BatchSize {
+		select {
+		case m := <-in.ch:
+			*batch = append(*batch, m)
+		case <-timer.C:
+			return
+		case <-in.quit:
+			// Drain without waiting: Close flushes what was submitted.
+			for len(*batch) < in.cfg.BatchSize {
+				select {
+				case m := <-in.ch:
+					*batch = append(*batch, m)
+				default:
+					return
+				}
+			}
+			return
+		}
+	}
+}
+
+// apply pushes one batch through the table, skipping over individually
+// rejected mutations (bad tuple ids) so one poison event cannot wedge the
+// stream, then advances the processed cursor and wakes waiters.
+func (in *Ingestor) apply(batch []seqMut) {
+	muts := make([]engine.Mutation, len(batch))
+	for i, m := range batch {
+		muts[i] = m.mut
+	}
+	var rejected uint64
+	var lastErr string
+	for len(muts) > 0 {
+		n, err := in.tbl.ApplyBatch(muts)
+		if err == nil {
+			break
+		}
+		rejected++
+		lastErr = err.Error()
+		muts = muts[n+1:]
+	}
+	in.stateMu.Lock()
+	in.processed = batch[len(batch)-1].seq
+	in.rejected += rejected
+	if lastErr != "" {
+		in.lastErr = lastErr
+	}
+	close(in.notify)
+	in.notify = make(chan struct{})
+	in.stateMu.Unlock()
+}

@@ -1,0 +1,241 @@
+// Package stream is the streaming ingestion and continual-release
+// subsystem: an append/upsert/delete event log applied onto the release
+// engine's incremental DatasetIndex by a single batching writer, and an
+// epoch scheduler that publishes noisy releases from the compiled plan on a
+// per-epoch epsilon schedule until the stream's privacy budget is spent.
+//
+// The paper makes continual observation affordable in exactly two ways this
+// package operationalizes: policy-calibrated sensitivities (Sec. 6, Lemma
+// 6.1) keep each epoch's noise small, and sequential composition (Theorem
+// 3.6 / 4.1) turns a total ε budget into a schedule of per-epoch charges
+// through composition.Accountant. The subsystem is three pieces:
+//
+//   - Table wraps one Dataset behind a readers-writer lock: ingestion and
+//     window expiry take the write side, releases the read side, so the
+//     engine's unsynchronized Dataset contract holds under full server
+//     concurrency no matter how many plans index the dataset.
+//   - Ingestor is the event log: it assigns sequence numbers, batches
+//     events, and applies them from a single writer goroutine through
+//     DatasetIndex.ApplyBatch, amortizing the index lock over whole batches
+//     instead of paying it per tuple.
+//   - Stream closes epochs: tumbling, sliding or cumulative windows, one
+//     noisy release set per epoch close, published to a cursor-addressed
+//     buffer that readers long-poll.
+package stream
+
+import (
+	"errors"
+	"sync"
+
+	"blowfish/internal/domain"
+	"blowfish/internal/engine"
+)
+
+// Table is the synchronization point for one streamed dataset. The engine's
+// DatasetIndex only locks its own caches — the Dataset underneath is
+// unsynchronized — so every mutation path (ingest batches, window expiry,
+// direct Mutate) takes the table's write lock and every release path takes
+// the read lock. Any number of plans may index the dataset; they all read
+// under the same lock.
+type Table struct {
+	mu sync.RWMutex
+	ds *domain.Dataset
+	// idx, when bound, keeps one plan's count vectors incremental under
+	// ingestion; other plans' indexes rebuild via the generation counter.
+	idx *engine.DatasetIndex
+	// applied counts mutations applied through the table since creation.
+	applied uint64
+	// epochOf mirrors the dataset's tuple order with the epoch each tuple
+	// was ingested in (swap semantics mirrored from Dataset.Remove); nil
+	// until TrackEpochs. curEpoch is the epoch new tuples are tagged with.
+	epochOf  []int32
+	curEpoch int32
+	tracking bool
+}
+
+// NewTable wraps ds. The dataset must not be mutated except through the
+// table (or under Mutate) once streaming begins.
+func NewTable(ds *domain.Dataset) (*Table, error) {
+	if ds == nil {
+		return nil, errors.New("stream: nil dataset")
+	}
+	return &Table{ds: ds}, nil
+}
+
+// Dataset returns the wrapped dataset. Read it only under RLock; mutate it
+// only through Mutate.
+func (t *Table) Dataset() *domain.Dataset { return t.ds }
+
+// RLock takes the table's read lock. Every release over the dataset —
+// through any session or engine — must run between RLock and RUnlock so it
+// cannot observe a torn mutation batch.
+func (t *Table) RLock() { t.mu.RLock() }
+
+// RUnlock releases the read lock.
+func (t *Table) RUnlock() { t.mu.RUnlock() }
+
+// BindIndex routes subsequent batches through idx, keeping that plan's
+// count vectors incremental instead of rebuilt per release. Binding a new
+// index (a second stream over another policy) is allowed: the previous
+// plan's index falls back to generation-triggered rebuilds.
+func (t *Table) BindIndex(idx *engine.DatasetIndex) {
+	t.mu.Lock()
+	t.idx = idx
+	t.mu.Unlock()
+}
+
+// Unbind drops the bound index if it is still idx, so batches stop
+// maintaining count vectors for a stream that no longer exists. A no-op
+// when another stream has since bound its own index.
+func (t *Table) Unbind(idx *engine.DatasetIndex) {
+	t.mu.Lock()
+	if t.idx == idx {
+		t.idx = nil
+	}
+	t.mu.Unlock()
+}
+
+// TrackEpochs starts tagging ingested tuples with the current epoch, the
+// bookkeeping sliding windows expire against. Tuples already present are
+// tagged with the current epoch.
+func (t *Table) TrackEpochs() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.tracking {
+		return
+	}
+	t.tracking = true
+	t.epochOf = make([]int32, t.ds.Len())
+	for i := range t.epochOf {
+		t.epochOf[i] = t.curEpoch
+	}
+}
+
+// Len returns the dataset cardinality under the read lock.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.ds.Len()
+}
+
+// Applied returns the number of mutations applied through the table.
+func (t *Table) Applied() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.applied
+}
+
+// ApplyBatch applies mutations in order under one write-lock acquisition,
+// through the bound index when present (one index-lock acquisition per
+// batch) and directly onto the dataset otherwise. On the first failing
+// mutation it stops, returning how many applied and the error; the applied
+// prefix stays applied.
+func (t *Table) ApplyBatch(muts []engine.Mutation) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.applyLocked(muts)
+}
+
+func (t *Table) applyLocked(muts []engine.Mutation) (int, error) {
+	var n int
+	var err error
+	if t.idx != nil {
+		n, err = t.idx.ApplyBatch(muts)
+	} else {
+		for _, m := range muts {
+			switch m.Op {
+			case engine.MutAdd:
+				err = t.ds.Add(m.P)
+			case engine.MutSet:
+				err = t.ds.Set(m.Index, m.P)
+			case engine.MutRemove:
+				err = t.ds.Remove(m.Index)
+			default:
+				err = errors.New("stream: unknown mutation op")
+			}
+			if err != nil {
+				break
+			}
+			n++
+		}
+	}
+	if t.tracking {
+		for _, m := range muts[:n] {
+			switch m.Op {
+			case engine.MutAdd:
+				t.epochOf = append(t.epochOf, t.curEpoch)
+			case engine.MutRemove:
+				last := len(t.epochOf) - 1
+				t.epochOf[m.Index] = t.epochOf[last]
+				t.epochOf = t.epochOf[:last]
+			}
+		}
+	}
+	t.applied += uint64(n)
+	return n, err
+}
+
+// Mutate runs f with exclusive access to the dataset — the escape hatch for
+// direct Dataset mutation (tests, repairs). Mutations made by f advance the
+// dataset's generation counter, so bound indexes rebuild on next read. With
+// epoch tracking on, any mutation by f re-tags every tuple with the current
+// epoch: the table cannot see which slots f's Removes swapped, and a stale
+// tag on a swapped-in tuple would expire live data early, so the repair is
+// uniformly conservative — sliding windows age the whole dataset from now.
+func (t *Table) Mutate(f func(ds *domain.Dataset) error) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	gen := t.ds.Generation()
+	err := f(t.ds)
+	if t.tracking && t.ds.Generation() != gen {
+		if cap(t.epochOf) < t.ds.Len() {
+			t.epochOf = make([]int32, t.ds.Len())
+		}
+		t.epochOf = t.epochOf[:t.ds.Len()]
+		for i := range t.epochOf {
+			t.epochOf[i] = t.curEpoch
+		}
+	}
+	return err
+}
+
+// AdvanceEpoch moves the table to the next ingestion epoch and returns it.
+func (t *Table) AdvanceEpoch() int32 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.curEpoch++
+	return t.curEpoch
+}
+
+// ExpireBefore removes every tuple ingested in an epoch before cutoff,
+// returning how many were removed. It requires TrackEpochs. The backward
+// scan cooperates with Dataset.Remove's swap semantics: slots above the
+// cursor are already settled, so each removal swaps in a tuple that keeps
+// its (already examined) tag.
+func (t *Table) ExpireBefore(cutoff int32) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.tracking {
+		return 0, errors.New("stream: epoch tracking is not enabled")
+	}
+	var muts []engine.Mutation
+	for i := len(t.epochOf) - 1; i >= 0; i-- {
+		if t.epochOf[i] < cutoff {
+			muts = append(muts, engine.Mutation{Op: engine.MutRemove, Index: i})
+		}
+	}
+	return t.applyLocked(muts)
+}
+
+// Reset removes every tuple — the tumbling-window close. The removals go
+// through the normal batch path so bound indexes stay incremental.
+func (t *Table) Reset() (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.ds.Len()
+	muts := make([]engine.Mutation, n)
+	for i := range muts {
+		muts[i] = engine.Mutation{Op: engine.MutRemove, Index: n - 1 - i}
+	}
+	return t.applyLocked(muts)
+}

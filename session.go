@@ -9,6 +9,7 @@ import (
 	"blowfish/internal/domain"
 	"blowfish/internal/engine"
 	"blowfish/internal/mechanism"
+	"blowfish/internal/stream"
 )
 
 // Session ties a policy, a privacy-budget accountant and a noise source
@@ -295,6 +296,19 @@ func (s *Session) NewRangeReleaser(ds *Dataset, fanout int, eps float64) (*Range
 		return nil, err
 	}
 	return rel, nil
+}
+
+// NewStream binds a continual-release stream to the session: epoch closes
+// draw noise from the session's engine and charge its accountant, so a
+// stream and ad-hoc releases from the same session spend one shared ε
+// budget by sequential composition. The table's dataset is indexed through
+// the session's compiled plan, keeping its count vectors incremental under
+// ingestion. Constrained policies (legacy release path) do not stream.
+func (s *Session) NewStream(tbl *StreamTable, cfg StreamConfig) (*Stream, error) {
+	if s.eng == nil {
+		return nil, errors.New("blowfish: streaming requires an unconstrained (engine-compiled) policy")
+	}
+	return stream.New(s.eng, tbl, cfg)
 }
 
 // ReadDatasetCSV parses a dataset from the library's CSV interchange format

@@ -1,0 +1,77 @@
+package blowfish
+
+import (
+	"blowfish/internal/stream"
+)
+
+// Streaming ingestion and continual release (internal/stream): a dataset
+// becomes a StreamTable, events flow through a StreamIngestor (sequence
+// numbers, single-writer batched application onto the release engine's
+// incremental index), and a Stream bound to a Session publishes noisy
+// releases at each epoch close, charging a per-epoch epsilon schedule
+// against the session's budget by sequential composition (Theorem 3.6 /
+// 4.1) until it is exhausted:
+//
+//	tbl, _ := blowfish.NewStreamTable(blowfish.NewDataset(dom))
+//	ing, _ := blowfish.NewStreamIngestor(tbl, blowfish.StreamIngestConfig{})
+//	st, _  := sess.NewStream(tbl, blowfish.StreamConfig{Epsilon: 0.1})
+//	ing.Submit([]blowfish.StreamEvent{{Op: "append", Row: []int{42}}})
+//	rel, _ := st.CloseEpoch() // noisy histogram over everything so far
+
+// Streaming re-exports.
+type (
+	// StreamTable is the synchronization point for one streamed dataset:
+	// ingestion and window expiry write-lock it, releases read-lock it.
+	StreamTable = stream.Table
+	// StreamEvent is one append/upsert/delete mutation.
+	StreamEvent = stream.Event
+	// StreamIngestor is the sequence-numbered, single-writer batching event
+	// log over a table.
+	StreamIngestor = stream.Ingestor
+	// StreamIngestConfig tunes batching and backpressure.
+	StreamIngestConfig = stream.IngestConfig
+	// StreamIngestStats is a snapshot of an ingestor's counters.
+	StreamIngestStats = stream.IngestStats
+	// Stream is the continual-release epoch scheduler.
+	Stream = stream.Stream
+	// StreamConfig binds a stream's window, epsilon schedule and releases.
+	StreamConfig = stream.Config
+	// StreamStatus is a snapshot of a stream's progress.
+	StreamStatus = stream.Status
+	// EpochRelease is the published output of one epoch close.
+	EpochRelease = stream.EpochRelease
+	// StreamWindow selects cumulative, tumbling or sliding windows.
+	StreamWindow = stream.Window
+	// StreamReleaseKind names a release published per epoch.
+	StreamReleaseKind = stream.ReleaseKind
+	// StreamRangeQuery is one inclusive range count for range-kind epochs.
+	StreamRangeQuery = stream.RangeQuery
+)
+
+// Window kinds.
+const (
+	WindowCumulative = stream.WindowCumulative
+	WindowTumbling   = stream.WindowTumbling
+	WindowSliding    = stream.WindowSliding
+)
+
+// Per-epoch release kinds.
+const (
+	StreamHistogram  = stream.KindHistogram
+	StreamCumulative = stream.KindCumulative
+	StreamRange      = stream.KindRange
+)
+
+// ErrIngestClosed is returned by StreamIngestor.Submit after Close.
+var ErrIngestClosed = stream.ErrIngestClosed
+
+// NewStreamTable wraps a dataset for streaming. Once streaming begins, the
+// dataset must only be mutated through the table (the ingestor, or
+// Table.Mutate).
+func NewStreamTable(ds *Dataset) (*StreamTable, error) { return stream.NewTable(ds) }
+
+// NewStreamIngestor starts the single-writer event log for tbl. Close it to
+// stop the writer goroutine.
+func NewStreamIngestor(tbl *StreamTable, cfg StreamIngestConfig) (*StreamIngestor, error) {
+	return stream.NewIngestor(tbl, cfg)
+}

@@ -1,0 +1,99 @@
+package blowfish_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"blowfish"
+)
+
+// TestSessionStreamFacade drives the streaming flow end to end through the
+// public facade: table → ingestor → session-bound stream → epoch close,
+// with the epoch charge landing on the session's shared budget.
+func TestSessionStreamFacade(t *testing.T) {
+	dom, err := blowfish.LineDomain("v", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := blowfish.DistanceThreshold(dom, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := blowfish.NewSession(blowfish.NewPolicy(g), 1.0, blowfish.NewSource(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := blowfish.NewStreamTable(blowfish.NewDataset(dom))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing, err := blowfish.NewStreamIngestor(tbl, blowfish.StreamIngestConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ing.Close()
+	st, err := sess.NewStream(tbl, blowfish.StreamConfig{Epsilon: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	if _, _, err := ing.Submit([]blowfish.StreamEvent{
+		{Op: "append", Row: []int{4}},
+		{Op: "append", Row: []int{9}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := st.CloseEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.N != 2 || len(rel.Histogram) != 32 {
+		t.Fatalf("release = %+v", rel)
+	}
+	// The epoch charge shares the session's budget: an ad-hoc release that
+	// no longer fits is refused.
+	if got := sess.Remaining(); got != 0.75 {
+		t.Fatalf("Remaining = %v, want 0.75", got)
+	}
+	if _, err := sess.ReleaseHistogram(tbl.Dataset(), 0.8); !errors.Is(err, blowfish.ErrBudgetExceeded) {
+		t.Fatalf("over-budget session release = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+// TestConstrainedPolicyRefusesStreaming pins the facade error: constrained
+// policies stay on the legacy per-release path and cannot stream.
+func TestConstrainedPolicyRefusesStreaming(t *testing.T) {
+	dom, err := blowfish.LineDomain("v", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := blowfish.DistanceThreshold(dom, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := blowfish.NewDataset(dom)
+	if err := ds.Add(3); err != nil {
+		t.Fatal(err)
+	}
+	set, err := blowfish.ConstraintsFromDataset([]blowfish.CountQuery{
+		{Name: "low", Pred: func(p blowfish.Point) bool { return p < 4 }},
+	}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := blowfish.NewSession(blowfish.NewConstrainedPolicy(g, set), 1.0, blowfish.NewSource(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := blowfish.NewStreamTable(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.NewStream(tbl, blowfish.StreamConfig{Epsilon: 0.1}); err == nil {
+		t.Fatal("constrained policy accepted a stream")
+	}
+}
