@@ -60,6 +60,10 @@ type (
 	Source = noise.Source
 	// Accountant tracks cumulative privacy budget.
 	Accountant = composition.Accountant
+	// AccountantState is a serializable ledger snapshot (durable restarts).
+	AccountantState = composition.AccountantState
+	// BudgetRelease is one entry of an accountant's release log.
+	BudgetRelease = composition.Release
 	// CountQuery is a count query usable as a public constraint.
 	CountQuery = constraints.CountQuery
 	// ConstraintSet is publicly known auxiliary knowledge Q with answers.

@@ -1,0 +1,134 @@
+// Command benchgate is the CI perf-regression gate: it parses two `go test
+// -bench` output files (a cached baseline from main and the current run),
+// compares the median ns/op of selected benchmarks, and exits non-zero
+// when any of them slowed down past the threshold.
+//
+// Usage:
+//
+//	benchgate -old baseline.txt -new current.txt \
+//	    -bench 'BenchmarkEngineRepeatedHistogram,BenchmarkStreamIngest,BenchmarkEpochRelease' \
+//	    -threshold 1.25
+//
+// Benchmarks are matched by name prefix up to the -procs suffix, so
+// `BenchmarkStreamIngest` matches `BenchmarkStreamIngest-8` but not
+// `BenchmarkStreamIngestParallel-8`. A gated benchmark missing from either
+// file fails the gate (a silently vanished benchmark is itself a
+// regression); run with -count >= 3 so the median damps scheduler noise.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		oldPath   = flag.String("old", "", "baseline benchmark output")
+		newPath   = flag.String("new", "", "current benchmark output")
+		benches   = flag.String("bench", "", "comma-separated benchmark names to gate")
+		threshold = flag.Float64("threshold", 1.25, "fail when new/old median ns/op exceeds this ratio")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" || *benches == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -old, -new and -bench are required")
+		os.Exit(2)
+	}
+	oldRuns, err := parseBench(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	newRuns, err := parseBench(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	failed := false
+	for _, name := range strings.Split(*benches, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		oldNs, oldN := median(oldRuns[name]), len(oldRuns[name])
+		newNs, newN := median(newRuns[name]), len(newRuns[name])
+		if oldN == 0 || newN == 0 {
+			fmt.Printf("FAIL  %-40s missing (%d baseline runs, %d current runs)\n", name, oldN, newN)
+			failed = true
+			continue
+		}
+		ratio := newNs / oldNs
+		verdict := "ok  "
+		if ratio > *threshold {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s  %-40s %12.0f ns/op -> %12.0f ns/op  (%.2fx, threshold %.2fx)\n",
+			verdict, name, oldNs, newNs, ratio, *threshold)
+	}
+	if failed {
+		fmt.Println("benchgate: performance regression gate FAILED")
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: all gated benchmarks within threshold")
+}
+
+// parseBench extracts ns/op samples per benchmark name (the -procs suffix
+// stripped) from `go test -bench` output.
+func parseBench(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	runs := make(map[string][]float64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// BenchmarkName-8  1234  5678 ns/op ...
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		idx := -1
+		for i := 2; i < len(fields); i++ {
+			if fields[i] == "ns/op" {
+				idx = i - 1
+				break
+			}
+		}
+		if idx < 0 {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[idx], 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		runs[name] = append(runs[name], ns)
+	}
+	return runs, sc.Err()
+}
+
+// median of a non-empty sample set; 0 for empty.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}

@@ -9,11 +9,22 @@
 //
 //	blowfish-serve -addr :8080 -seed 1 -session-ttl 30m
 //
+// With -data-dir the server is durable: every acknowledged operation —
+// registry changes, budget charges, ingest batches, epoch closes — is
+// written to a CRC-checked write-ahead log before the response is sent
+// (-fsync controls when records hit stable storage), and snapshots bound
+// recovery time (-snapshot-every, plus one at graceful shutdown and on
+// POST /v1/admin/checkpoint). On restart the server loads the latest
+// snapshot, replays the log tail, and refuses exactly the releases the
+// pre-crash server would have refused: privacy budgets are monotone
+// across crashes, stream cursors resume where clients left off.
+//
 // On SIGINT/SIGTERM the server shuts down in order: stop accepting
 // connections and drain in-flight requests (http.Server.Shutdown with a
 // deadline), stop the session-TTL reaper, then stop every stream epoch
-// scheduler and per-dataset ingest writer (flushing queued events), so no
-// goroutine outlives main.
+// scheduler and per-dataset ingest writer (flushing queued events) and —
+// when durable — take the final checkpoint, so no goroutine outlives main
+// and no acknowledged event is lost.
 package main
 
 import (
@@ -32,15 +43,34 @@ import (
 
 func main() {
 	var (
-		addr  = flag.String("addr", ":8080", "listen address")
-		seed  = flag.Int64("seed", 1, "base seed for per-session noise sources")
-		ttl   = flag.Duration("session-ttl", 30*time.Minute, "idle session lifetime (0 = never expire)")
-		sweep = flag.Duration("sweep", time.Minute, "session expiry sweep interval")
-		drain = flag.Duration("drain", 5*time.Second, "shutdown deadline for in-flight requests")
+		addr      = flag.String("addr", ":8080", "listen address")
+		seed      = flag.Int64("seed", 1, "base seed for per-session noise sources")
+		ttl       = flag.Duration("session-ttl", 30*time.Minute, "idle session lifetime (0 = never expire)")
+		sweep     = flag.Duration("sweep", time.Minute, "session expiry sweep interval")
+		drain     = flag.Duration("drain", 5*time.Second, "shutdown deadline for in-flight requests")
+		dataDir   = flag.String("data-dir", "", "durable state directory (empty = in-memory)")
+		fsync     = flag.String("fsync", "always", "WAL fsync policy: always, interval or never")
+		fsyncIvl  = flag.Duration("fsync-interval", 100*time.Millisecond, "sync period for -fsync=interval")
+		snapEvery = flag.Int("snapshot-every", 50000, "WAL records between automatic snapshots (0 = only shutdown/manual)")
 	)
 	flag.Parse()
 
-	srv := server.New(server.Config{Seed: *seed, SessionTTL: *ttl})
+	srv, err := server.Open(server.Config{
+		Seed:       *seed,
+		SessionTTL: *ttl,
+		Durability: server.DurabilityConfig{
+			Dir:           *dataDir,
+			Fsync:         *fsync,
+			FsyncInterval: *fsyncIvl,
+			SnapshotEvery: *snapEvery,
+		},
+	})
+	if err != nil {
+		log.Fatalf("blowfish-serve: recovering %s: %v", *dataDir, err)
+	}
+	if *dataDir != "" {
+		log.Printf("durable state in %s (fsync=%s, snapshot-every=%d)", *dataDir, *fsync, *snapEvery)
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

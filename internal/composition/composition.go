@@ -68,6 +68,49 @@ func (a *Accountant) Releases() []Release {
 	return append([]Release(nil), a.releases...)
 }
 
+// AccountantState is a serializable snapshot of an accountant's ledger,
+// used by the durable server to persist budget accounting across restarts.
+// Persisting the ledger is a privacy requirement, not bookkeeping: the
+// Blowfish guarantee is cumulative (Theorem 4.1), so a restarted server
+// must refuse exactly the releases the pre-crash server would have.
+type AccountantState struct {
+	Budget   float64   `json:"budget"`
+	Spent    float64   `json:"spent"`
+	Releases []Release `json:"releases,omitempty"`
+}
+
+// State captures the accountant's ledger.
+func (a *Accountant) State() AccountantState {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AccountantState{
+		Budget:   a.budget,
+		Spent:    a.spent,
+		Releases: append([]Release(nil), a.releases...),
+	}
+}
+
+// Restore overwrites the ledger with a persisted state. Restoration is
+// monotone: the restored spend may never be lower than what this accountant
+// has already charged, and the budget must match — a mismatch means the
+// state belongs to a different accountant and is refused.
+func (a *Accountant) Restore(st AccountantState) error {
+	if st.Budget != a.budget {
+		return fmt.Errorf("composition: restoring budget %v onto accountant with budget %v", st.Budget, a.budget)
+	}
+	if st.Spent < 0 || math.IsNaN(st.Spent) || st.Spent > st.Budget+1e-12 {
+		return fmt.Errorf("composition: invalid restored spend %v (budget %v)", st.Spent, st.Budget)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if st.Spent < a.spent {
+		return fmt.Errorf("composition: restored spend %v is below the already-charged %v (budget accounting must be monotone)", st.Spent, a.spent)
+	}
+	a.spent = st.Spent
+	a.releases = append([]Release(nil), st.Releases...)
+	return nil
+}
+
 // Spend charges a sequential release of the given ε. It fails without
 // charging when the budget would be exceeded.
 func (a *Accountant) Spend(label string, eps float64) error {

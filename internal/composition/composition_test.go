@@ -176,3 +176,49 @@ func TestCriticalPairsDirect(t *testing.T) {
 		t.Fatalf("critical pairs = %v, want [(2,3)]", crit)
 	}
 }
+
+func TestAccountantStateRestoreRoundTrip(t *testing.T) {
+	a, _ := NewAccountant(2.0)
+	a.Spend("h1", 0.5)
+	a.Spend("h2", 0.25)
+	st := a.State()
+
+	b, _ := NewAccountant(2.0)
+	if err := b.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	if b.Spent() != a.Spent() {
+		t.Fatalf("restored spent %v != %v", b.Spent(), a.Spent())
+	}
+	rels := b.Releases()
+	if len(rels) != 2 || rels[0].Label != "h1" || rels[1].Epsilon != 0.25 {
+		t.Fatalf("restored ledger %+v", rels)
+	}
+	// The restored accountant enforces the same remaining budget.
+	if err := b.Spend("big", 1.5); err == nil {
+		t.Fatal("restored accountant allowed overspend")
+	}
+	if err := b.Spend("fits", 1.25); err != nil {
+		t.Fatalf("restored accountant refused a fitting charge: %v", err)
+	}
+}
+
+func TestAccountantRestoreValidation(t *testing.T) {
+	a, _ := NewAccountant(1.0)
+	if err := a.Restore(AccountantState{Budget: 2.0, Spent: 0}); err == nil {
+		t.Fatal("budget mismatch accepted")
+	}
+	if err := a.Restore(AccountantState{Budget: 1.0, Spent: 1.5}); err == nil {
+		t.Fatal("overspent state accepted")
+	}
+	if err := a.Restore(AccountantState{Budget: 1.0, Spent: -0.1}); err == nil {
+		t.Fatal("negative spend accepted")
+	}
+	a.Spend("x", 0.5)
+	if err := a.Restore(AccountantState{Budget: 1.0, Spent: 0.25}); err == nil {
+		t.Fatal("non-monotone restore accepted: spend would shrink")
+	}
+	if err := a.Restore(AccountantState{Budget: 1.0, Spent: 0.75}); err != nil {
+		t.Fatalf("monotone restore refused: %v", err)
+	}
+}

@@ -73,6 +73,52 @@ func (e *Engine) Shards() int { return len(e.shards) }
 // Index returns the shared dataset index for ds (see Plan.Index).
 func (e *Engine) Index(ds *domain.Dataset) (*DatasetIndex, error) { return e.plan.Index(ds) }
 
+// NoiseState is a serializable snapshot of the engine's noise pool: the
+// rotation counter plus every shard's marshaled generator state. Restoring
+// it resumes each noise stream bit-for-bit where the snapshot left off, so
+// a recovered server's future releases draw exactly the noise the pre-crash
+// server would have drawn.
+type NoiseState struct {
+	Ctr    uint64   `json:"ctr"`
+	Shards [][]byte `json:"shards"`
+}
+
+// ExportNoise captures the noise pool's state. Each shard is locked for the
+// marshal, so the capture of one shard is atomic against concurrent draws;
+// callers that need the pool as a whole to be quiescent (checkpointing)
+// must serialize releases externally.
+func (e *Engine) ExportNoise() (NoiseState, error) {
+	st := NoiseState{Ctr: e.ctr.Load(), Shards: make([][]byte, len(e.shards))}
+	for i, sh := range e.shards {
+		sh.mu.Lock()
+		b, err := sh.src.MarshalBinary()
+		sh.mu.Unlock()
+		if err != nil {
+			return NoiseState{}, fmt.Errorf("engine: marshaling noise shard %d: %w", i, err)
+		}
+		st.Shards[i] = b
+	}
+	return st, nil
+}
+
+// RestoreNoise overwrites the noise pool with a state captured by
+// ExportNoise. The shard count must match the engine's.
+func (e *Engine) RestoreNoise(st NoiseState) error {
+	if len(st.Shards) != len(e.shards) {
+		return fmt.Errorf("engine: restoring %d noise shards onto an engine with %d", len(st.Shards), len(e.shards))
+	}
+	for i, sh := range e.shards {
+		sh.mu.Lock()
+		err := sh.src.UnmarshalBinary(st.Shards[i])
+		sh.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("engine: restoring noise shard %d: %w", i, err)
+		}
+	}
+	e.ctr.Store(st.Ctr)
+	return nil
+}
+
 // withSource runs f holding one shard of the noise pool, rotating shards
 // round-robin so concurrent releases spread across independent streams.
 func (e *Engine) withSource(f func(*noise.Source) error) error {

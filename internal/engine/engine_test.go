@@ -362,3 +362,60 @@ func TestEngineSingleShardUsesCallerSource(t *testing.T) {
 		}
 	}
 }
+
+func TestEngineNoiseExportRestore(t *testing.T) {
+	pol := policy.New(secgraph.NewComplete(domain.MustLine("v", 32)))
+	plan, err := Compile(pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() *Engine {
+		acct, _ := composition.NewAccountant(100)
+		e, err := New(plan, acct, noise.NewSource(7), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	a, b := mk(), mk()
+	ds := domain.NewDataset(pol.Domain())
+	for i := 0; i < 50; i++ {
+		ds.MustAdd(domain.Point(i % int(pol.Domain().Size())))
+	}
+	idxA, _ := a.Index(ds)
+	// Advance a's noise pool, then export/restore into b.
+	for i := 0; i < 5; i++ {
+		if _, err := a.ReleaseHistogram(idxA, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := a.ExportNoise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RestoreNoise(st); err != nil {
+		t.Fatal(err)
+	}
+	idxB, _ := b.Index(ds)
+	for i := 0; i < 8; i++ {
+		ra, err := a.ReleaseHistogram(idxA, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := b.ReleaseHistogram(idxB, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range ra {
+			if ra[j] != rb[j] {
+				t.Fatalf("release %d diverged at bin %d: %v vs %v", i, j, ra[j], rb[j])
+			}
+		}
+	}
+	// Shard-count mismatch is refused.
+	acct, _ := composition.NewAccountant(1)
+	c, _ := New(plan, acct, noise.NewSource(1), 2)
+	if err := c.RestoreNoise(st); err == nil {
+		t.Fatal("restore accepted a mismatched shard count")
+	}
+}

@@ -20,6 +20,7 @@ const (
 	CodeBudgetExhausted = "budget_exhausted"
 	CodePolicyInUse     = "policy_in_use"
 	CodeDatasetInUse    = "dataset_in_use"
+	CodeDurability      = "durability_error"
 )
 
 // APIError is the structured error body: {"error": {"code", "message"}}.
@@ -43,6 +44,8 @@ func httpStatus(code string) int {
 		return http.StatusConflict
 	case CodeDomainMismatch:
 		return http.StatusUnprocessableEntity
+	case CodeDurability:
+		return http.StatusInternalServerError
 	default:
 		return http.StatusBadRequest
 	}

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"runtime"
 
 	"blowfish"
 )
@@ -65,36 +64,18 @@ func (s *Server) handleCreatePolicy(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	dom, err := buildDomain(req.Domain)
+	e, err := buildPolicyEntry(req.Domain, req.Graph)
 	if err != nil {
 		writeError(w, CodeBadRequest, err.Error())
 		return
-	}
-	g, part, err := buildGraph(dom, req.Graph)
-	if err != nil {
-		writeError(w, CodeBadRequest, err.Error())
-		return
-	}
-	pol := blowfish.NewPolicy(g)
-	cp, err := blowfish.Compile(pol)
-	if err != nil {
-		writeError(w, CodeBadRequest, err.Error())
-		return
-	}
-	sens, err := cp.HistogramSensitivity()
-	if err != nil {
-		writeError(w, CodeBadRequest, err.Error())
-		return
-	}
-	e := &policyEntry{
-		pol:      pol,
-		cp:       cp,
-		attrs:    append([]AttrSpec(nil), req.Domain...),
-		part:     part,
-		histSens: sens,
 	}
 	s.mu.Lock()
 	e.id = s.newID(0, "pol")
+	if err := s.journal(recPolicyPut, walPolicyPut{ID: e.id, Domain: e.attrs, Graph: e.graph}); err != nil {
+		s.mu.Unlock()
+		writeError(w, CodeDurability, err.Error())
+		return
+	}
 	s.policies[e.id] = e
 	s.mu.Unlock()
 	writeJSON(w, http.StatusCreated, policyResponse(e))
@@ -146,6 +127,11 @@ func (s *Server) handleDeletePolicy(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if err := s.journalDelete(nsPolicy, id); err != nil {
+		s.mu.Unlock()
+		writeError(w, CodeDurability, err.Error())
+		return
+	}
 	delete(s.policies, id)
 	s.mu.Unlock()
 	w.WriteHeader(http.StatusNoContent)
@@ -166,6 +152,13 @@ func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	e, ok := s.datasets[id]
+	if ok {
+		if err := s.journalDelete(nsDataset, id); err != nil {
+			s.mu.Unlock()
+			writeError(w, CodeDurability, err.Error())
+			return
+		}
+	}
 	delete(s.datasets, id)
 	// Snapshot the compiled policies under the registry lock but run
 	// Forget after releasing it: Forget takes each plan's own mutex, which
@@ -220,24 +213,20 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 		writeError(w, CodeBadRequest, err.Error())
 		return
 	}
-	ds := blowfish.NewDataset(dom)
+	pts := make([]blowfish.Point, len(req.Rows))
 	for i, row := range req.Rows {
 		p, err := dom.Encode(row...)
 		if err != nil {
 			writeError(w, CodeBadRequest, fmt.Sprintf("row %d: %v", i, err))
 			return
 		}
-		if err := ds.Add(p); err != nil {
-			writeError(w, CodeBadRequest, fmt.Sprintf("row %d: %v", i, err))
-			return
-		}
+		pts[i] = p
 	}
-	tbl, err := blowfish.NewStreamTable(ds)
+	e, err := s.buildDatasetEntry(attrs, pts)
 	if err != nil {
 		writeError(w, CodeBadRequest, err.Error())
 		return
 	}
-	e := &datasetEntry{ds: ds, attrs: append([]AttrSpec(nil), attrs...), tbl: tbl, ingCfg: s.cfg.Ingest}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -245,9 +234,17 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	e.id = s.newID(1, "ds")
+	if err := s.journal(recDatasetPut, walDatasetPut{ID: e.id, Domain: e.attrs, Points: pts}); err != nil {
+		s.mu.Unlock()
+		writeError(w, CodeDurability, err.Error())
+		return
+	}
+	if s.persist != nil {
+		e.tbl.SetJournal(s.eventJournal(e.id))
+	}
 	s.datasets[e.id] = e
 	s.mu.Unlock()
-	writeJSON(w, http.StatusCreated, DatasetResponse{ID: e.id, Rows: ds.Len(), Domain: e.attrs})
+	writeJSON(w, http.StatusCreated, DatasetResponse{ID: e.id, Rows: e.ds.Len(), Domain: e.attrs})
 }
 
 func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
@@ -273,24 +270,17 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, CodeUnknownPolicy, fmt.Sprintf("no policy %q", req.PolicyID))
 		return
 	}
-	seed := s.nextSeed.Add(1)
 	// Sessions run on the policy's compiled plan with one noise shard per
 	// CPU, so parallel release requests draw noise concurrently. An
 	// explicitly seeded session instead pins a single shard: its noise
 	// stream must reproduce across hosts, so it cannot depend on core
 	// count.
-	shards := runtime.GOMAXPROCS(0)
-	if req.Seed != nil {
-		seed = *req.Seed
-		shards = 1
-	}
-	sess, err := pe.cp.NewSessionShards(req.Budget, blowfish.NewSource(seed), shards)
+	seed, shards := s.resolveSeed(req.Seed)
+	e, err := buildSessionEntry(pe, req.Budget, seed, shards, s.cfg.Now)
 	if err != nil {
 		writeError(w, CodeBadRequest, err.Error())
 		return
 	}
-	e := &sessionEntry{policyID: pe.id, pol: pe, sess: sess}
-	e.lastUsed.Store(s.cfg.Now().UnixNano())
 	s.mu.Lock()
 	// Re-check under the write lock that inserts the session: a concurrent
 	// policy deletion in the lookup window must not leave a session
@@ -301,6 +291,14 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	e.id = s.newID(2, "sess")
+	if err := s.journal(recSessionPut, walSessionPut{
+		ID: e.id, PolicyID: pe.id, Budget: req.Budget,
+		Seed: seed, Shards: shards, NextSeed: s.nextSeed.Load(),
+	}); err != nil {
+		s.mu.Unlock()
+		writeError(w, CodeDurability, err.Error())
+		return
+	}
 	s.sessions[e.id] = e
 	s.mu.Unlock()
 	writeJSON(w, http.StatusCreated, sessionResponse(e, false))
@@ -346,6 +344,13 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
 	_, ok := s.sessions[id]
+	if ok {
+		if err := s.journalDelete(nsSession, id); err != nil {
+			s.mu.Unlock()
+			writeError(w, CodeDurability, err.Error())
+			return
+		}
+	}
 	delete(s.sessions, id)
 	s.mu.Unlock()
 	if !ok {
@@ -378,6 +383,11 @@ func (s *Server) handleHistogram(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	// On the durable path the release and its WAL record form one critical
+	// section (see sessionEntry.relMu).
+	if unlock := s.lockForRelease(e); unlock != nil {
+		defer unlock()
+	}
 	var counts []float64
 	var err error
 	// The table read lock orders the release against streaming ingestion:
@@ -393,6 +403,10 @@ func (s *Server) handleHistogram(w http.ResponseWriter, r *http.Request) {
 	de.tbl.RUnlock()
 	if err != nil {
 		writeLibError(w, err)
+		return
+	}
+	if err := s.journalRelease(e, "histogram", req.DatasetID, req.Epsilon, 0); err != nil {
+		writeError(w, CodeDurability, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, HistogramResponse{Counts: counts, Remaining: e.sess.Remaining()})
@@ -411,11 +425,18 @@ func (s *Server) handleCumulative(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if unlock := s.lockForRelease(e); unlock != nil {
+		defer unlock()
+	}
 	de.tbl.RLock()
 	rel, err := e.sess.ReleaseCumulativeHistogram(de.ds, req.Epsilon)
 	de.tbl.RUnlock()
 	if err != nil {
 		writeLibError(w, err)
+		return
+	}
+	if err := s.journalRelease(e, "cumulative", req.DatasetID, req.Epsilon, 0); err != nil {
+		writeError(w, CodeDurability, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, CumulativeResponse{
@@ -457,6 +478,9 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	if fanout == 0 {
 		fanout = defaultFanout
 	}
+	if unlock := s.lockForRelease(e); unlock != nil {
+		defer unlock()
+	}
 	// The released structure is a snapshot; only its construction needs to
 	// be ordered against streaming ingestion.
 	de.tbl.RLock()
@@ -464,6 +488,10 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	de.tbl.RUnlock()
 	if err != nil {
 		writeLibError(w, err)
+		return
+	}
+	if err := s.journalRelease(e, "range", req.DatasetID, req.Epsilon, fanout); err != nil {
+		writeError(w, CodeDurability, err.Error())
 		return
 	}
 	answers := make([]float64, len(req.Queries))

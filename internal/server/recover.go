@@ -1,0 +1,539 @@
+package server
+
+// Recovery: boot a durable server from its data directory. The latest
+// valid snapshot is loaded first (registries, budget ledgers, noise-stream
+// positions, ingest cursors, release buffers), then the WAL tail is
+// replayed in LSN order. Replay re-executes operations through the same
+// library paths the live server used — an ingest batch goes through the
+// table, an epoch close through Stream.CloseEpoch, an ad-hoc release
+// through the session — so the recomputed noisy releases and charges are
+// bit-for-bit what the pre-crash server produced (given its deterministic,
+// single-shard seeded mode) and the accountants end up refusing exactly
+// the releases the pre-crash server would have refused.
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"blowfish"
+	"blowfish/internal/wal"
+)
+
+// Open creates a Server, recovering durable state from
+// Config.Durability.Dir when one is configured. With an empty Dir it is
+// exactly New: the zero-config in-memory server.
+func Open(cfg Config) (*Server, error) {
+	s := New(cfg)
+	d := cfg.Durability
+	if d.Dir == "" {
+		return s, nil
+	}
+	if d.Fsync == "" {
+		d.Fsync = "always"
+	}
+	fsync, err := wal.ParseFsyncPolicy(d.Fsync)
+	if err != nil {
+		return nil, err
+	}
+	log, err := wal.Open(d.Dir, wal.Options{Fsync: fsync, FsyncInterval: d.FsyncInterval})
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*Server, error) {
+		log.Close()
+		return nil, err
+	}
+	snapLSN, payload, err := wal.LatestSnapshot(d.Dir)
+	if err != nil {
+		return fail(err)
+	}
+	if payload != nil {
+		if err := s.loadSnapshot(payload); err != nil {
+			return fail(fmt.Errorf("server: loading snapshot: %w", err))
+		}
+	}
+	if err := log.Replay(snapLSN, s.replayRecord); err != nil {
+		return fail(fmt.Errorf("server: replaying wal: %w", err))
+	}
+	s.persist = newPersistence(log, d)
+	s.finishRecovery()
+	go s.autoCheckpointLoop()
+	return s, nil
+}
+
+// finishRecovery attaches the write-ahead hooks to every recovered entry
+// and starts the stream tickers. It runs after replay so replayed
+// operations never re-journal themselves.
+func (s *Server) finishRecovery() {
+	for _, e := range s.datasets {
+		e.tbl.SetJournal(s.eventJournal(e.id))
+		e.ingCfg.StartSeq = e.tbl.LastSeq()
+	}
+	for _, e := range s.streams {
+		e.st.SetJournal(s.epochJournal(e.id))
+	}
+	for _, e := range s.streams {
+		e.st.Start()
+	}
+}
+
+// loadSnapshot rebuilds the registries from a checkpoint payload.
+func (s *Server) loadSnapshot(payload []byte) error {
+	snap, err := decodeSnapshot(payload)
+	if err != nil {
+		return err
+	}
+	s.nextID = snap.NextID
+	s.nextSeed.Store(snap.NextSeed)
+	for _, p := range snap.Policies {
+		pe, err := buildPolicyEntry(p.Domain, p.Graph)
+		if err != nil {
+			return fmt.Errorf("policy %s: %w", p.ID, err)
+		}
+		pe.id = p.ID
+		s.policies[pe.id] = pe
+	}
+	for _, d := range snap.Datasets {
+		de, err := s.buildDatasetEntry(d.Domain, d.Points)
+		if err != nil {
+			return fmt.Errorf("dataset %s: %w", d.ID, err)
+		}
+		de.id = d.ID
+		if err := de.tbl.RestoreState(d.Table); err != nil {
+			return fmt.Errorf("dataset %s: %w", d.ID, err)
+		}
+		s.datasets[de.id] = de
+	}
+	for _, sn := range snap.Sessions {
+		pe, ok := s.policies[sn.PolicyID]
+		if !ok {
+			return fmt.Errorf("session %s references unknown policy %s", sn.ID, sn.PolicyID)
+		}
+		se, err := buildSessionEntry(pe, sn.Budget, sn.Seed, sn.Shards, s.cfg.Now)
+		if err != nil {
+			return fmt.Errorf("session %s: %w", sn.ID, err)
+		}
+		se.id = sn.ID
+		se.ordinal = sn.Ordinal
+		if err := se.sess.RestoreState(sn.State); err != nil {
+			return fmt.Errorf("session %s: %w", sn.ID, err)
+		}
+		s.sessions[se.id] = se
+	}
+	for _, sn := range snap.Streams {
+		e, err := s.buildStreamEntryLocked(sn.Req, sn.Seed, sn.Shards)
+		if err != nil {
+			return fmt.Errorf("stream %s: %w", sn.ID, err)
+		}
+		e.id = sn.ID
+		if err := e.st.RestoreState(sn.State); err != nil {
+			return fmt.Errorf("stream %s: %w", sn.ID, err)
+		}
+		if err := e.sess.RestoreState(sn.Session); err != nil {
+			return fmt.Errorf("stream %s: %w", sn.ID, err)
+		}
+		s.streams[e.id] = e
+	}
+	return nil
+}
+
+// replayRecord applies one WAL record. Every record carries a replay
+// cursor (id, sequence number, epoch or ordinal) compared against the
+// recovered state, so records the snapshot already reflects apply exactly
+// zero times.
+func (s *Server) replayRecord(rec wal.Record) error {
+	wrap := func(err error) error {
+		if err != nil {
+			return fmt.Errorf("lsn %d: %w", rec.LSN, err)
+		}
+		return nil
+	}
+	switch rec.Kind {
+	case recPolicyPut:
+		var r walPolicyPut
+		if err := decodeRecord(rec.Data, &r); err != nil {
+			return wrap(err)
+		}
+		bumpCounter(&s.nextID[0], r.ID)
+		if _, ok := s.policies[r.ID]; ok {
+			return nil // already in the snapshot
+		}
+		pe, err := buildPolicyEntry(r.Domain, r.Graph)
+		if err != nil {
+			return wrap(err)
+		}
+		pe.id = r.ID
+		s.policies[pe.id] = pe
+	case recDatasetPut:
+		var r walDatasetPut
+		if err := decodeRecord(rec.Data, &r); err != nil {
+			return wrap(err)
+		}
+		bumpCounter(&s.nextID[1], r.ID)
+		if _, ok := s.datasets[r.ID]; ok {
+			return nil
+		}
+		de, err := s.buildDatasetEntry(r.Domain, r.Points)
+		if err != nil {
+			return wrap(err)
+		}
+		de.id = r.ID
+		s.datasets[de.id] = de
+	case recSessionPut:
+		var r walSessionPut
+		if err := decodeRecord(rec.Data, &r); err != nil {
+			return wrap(err)
+		}
+		bumpCounter(&s.nextID[2], r.ID)
+		s.raiseSeed(r.NextSeed)
+		if _, ok := s.sessions[r.ID]; ok {
+			return nil
+		}
+		pe, ok := s.policies[r.PolicyID]
+		if !ok {
+			return wrap(fmt.Errorf("session %s references unknown policy %s", r.ID, r.PolicyID))
+		}
+		se, err := buildSessionEntry(pe, r.Budget, r.Seed, r.Shards, s.cfg.Now)
+		if err != nil {
+			return wrap(err)
+		}
+		se.id = r.ID
+		s.sessions[se.id] = se
+	case recStreamPut:
+		var r walStreamPut
+		if err := decodeRecord(rec.Data, &r); err != nil {
+			return wrap(err)
+		}
+		bumpCounter(&s.nextID[3], r.ID)
+		s.raiseSeed(r.NextSeed)
+		if _, ok := s.streams[r.ID]; ok {
+			return nil
+		}
+		e, err := s.buildStreamEntryLocked(r.Req, r.Seed, r.Shards)
+		if err != nil {
+			return wrap(err)
+		}
+		e.id = r.ID
+		s.streams[e.id] = e
+	case recDelete:
+		var r walDelete
+		if err := decodeRecord(rec.Data, &r); err != nil {
+			return wrap(err)
+		}
+		s.replayDelete(r)
+	case recEvents:
+		var r walEvents
+		if err := decodeRecord(rec.Data, &r); err != nil {
+			return wrap(err)
+		}
+		return wrap(s.replayEvents(r))
+	case recRelease:
+		var r walRelease
+		if err := decodeRecord(rec.Data, &r); err != nil {
+			return wrap(err)
+		}
+		return wrap(s.replayRelease(r))
+	case recEpoch:
+		var r walEpoch
+		if err := decodeRecord(rec.Data, &r); err != nil {
+			return wrap(err)
+		}
+		return wrap(s.replayEpoch(r))
+	default:
+		return wrap(fmt.Errorf("unknown wal record kind %d", rec.Kind))
+	}
+	return nil
+}
+
+func (s *Server) replayDelete(r walDelete) {
+	switch r.NS {
+	case nsPolicy:
+		delete(s.policies, r.ID)
+	case nsDataset:
+		e, ok := s.datasets[r.ID]
+		delete(s.datasets, r.ID)
+		if ok {
+			e.closeIngestor()
+			for _, pe := range s.policies {
+				pe.cp.Forget(e.ds)
+			}
+		}
+	case nsSession:
+		delete(s.sessions, r.ID)
+	case nsStream:
+		e, ok := s.streams[r.ID]
+		delete(s.streams, r.ID)
+		if ok {
+			e.st.Stop()
+			e.st.Unbind()
+		}
+	}
+}
+
+// replayEvents re-applies an ingest batch, skipping the prefix the
+// snapshot's sequence cursor already covers. A batch for a dataset that
+// is gone is dropped: a concurrent delete raced the ingest drain, so the
+// delete record landed first — the end state has no dataset either way.
+func (s *Server) replayEvents(r walEvents) error {
+	e, ok := s.datasets[r.DatasetID]
+	if !ok {
+		return nil
+	}
+	last := r.First + uint64(len(r.Muts)) - 1
+	cursor := e.tbl.LastSeq()
+	if last <= cursor {
+		return nil // fully covered by the snapshot
+	}
+	muts := r.Muts
+	first := r.First
+	if first <= cursor {
+		muts = muts[cursor-first+1:]
+		first = cursor + 1
+	}
+	batch := make([]blowfish.StreamMutation, len(muts))
+	for i, m := range muts {
+		batch[i] = blowfish.StreamMutation{Op: blowfish.StreamMutOp(m.O), Index: m.I, P: m.P}
+	}
+	// Rejections replay identically (the dataset is in the same state the
+	// live writer saw), so a poison event is skipped now as it was then.
+	_, _, _ = e.tbl.ApplyLogged(first, batch)
+	return nil
+}
+
+// replayRelease re-executes an ad-hoc session release: same mechanism,
+// same dataset state (WAL order), same noise stream position, so the
+// accountant charge and the noise consumption land exactly as they did
+// pre-crash. Records at or below the snapshot's ordinal are skipped.
+func (s *Server) replayRelease(r walRelease) error {
+	e, ok := s.sessions[r.SessionID]
+	if !ok {
+		return nil // session since deleted (delete record raced the release)
+	}
+	if r.Ordinal <= e.ordinal {
+		return nil
+	}
+	ds, ephemeral := (*blowfish.Dataset)(nil), false
+	if de, ok := s.datasets[r.DatasetID]; ok {
+		ds = de.ds
+	} else {
+		// The dataset's delete record raced ahead of this release in the
+		// log. The charge and the noise consumption must still be
+		// reconstructed — both depend only on the policy domain (the
+		// noise vector length is |T|, never n) — so re-execute against an
+		// empty stand-in over the same domain. The values are discarded;
+		// the accountant and the noise stream land exactly where the
+		// pre-crash server left them.
+		ds = blowfish.NewDataset(e.pol.pol.Domain())
+		ephemeral = true
+	}
+	var err error
+	switch r.Kind {
+	case "histogram":
+		if e.pol.part != nil {
+			_, err = e.sess.ReleasePartitionHistogram(ds, e.pol.part, r.Epsilon)
+		} else {
+			_, err = e.sess.ReleaseHistogram(ds, r.Epsilon)
+		}
+	case "cumulative":
+		_, err = e.sess.ReleaseCumulativeHistogram(ds, r.Epsilon)
+	case "range":
+		_, err = e.sess.NewRangeReleaser(ds, r.Fanout, r.Epsilon)
+	default:
+		return fmt.Errorf("unknown release kind %q", r.Kind)
+	}
+	if ephemeral {
+		e.sess.Forget(ds)
+	}
+	if err != nil {
+		return fmt.Errorf("re-executing %s release on session %s: %w", r.Kind, r.SessionID, err)
+	}
+	e.ordinal = r.Ordinal
+	return nil
+}
+
+// replayEpoch re-executes a stream's epoch close. Closes the snapshot
+// already reflects are skipped; a gap means the directory is inconsistent
+// and recovery fails loudly rather than silently diverging.
+func (s *Server) replayEpoch(r walEpoch) error {
+	e, ok := s.streams[r.StreamID]
+	if !ok {
+		// The stream's delete record raced ahead of this close. Its
+		// accountant died with it (streams have dedicated sessions), so
+		// there is no surviving state to reconstruct.
+		return nil
+	}
+	cur := e.st.ExportState().Epoch
+	if r.Epoch < cur {
+		return nil
+	}
+	if r.Epoch > cur {
+		return fmt.Errorf("stream %s: wal closes epoch %d but recovered state is at epoch %d", r.StreamID, r.Epoch, cur)
+	}
+	if _, err := e.st.CloseEpoch(); err != nil {
+		return fmt.Errorf("re-executing epoch %d close on stream %s: %w", r.Epoch, r.StreamID, err)
+	}
+	return nil
+}
+
+// --- shared entry builders -------------------------------------------------
+//
+// The HTTP create handlers and the recovery paths construct entries
+// through the same builders, so a replayed create can never diverge from
+// the original.
+
+// buildPolicyEntry compiles a policy from its wire-level declaration.
+func buildPolicyEntry(attrs []AttrSpec, graph GraphSpec) (*policyEntry, error) {
+	dom, err := buildDomain(attrs)
+	if err != nil {
+		return nil, err
+	}
+	g, part, err := buildGraph(dom, graph)
+	if err != nil {
+		return nil, err
+	}
+	pol := blowfish.NewPolicy(g)
+	cp, err := blowfish.Compile(pol)
+	if err != nil {
+		return nil, err
+	}
+	sens, err := cp.HistogramSensitivity()
+	if err != nil {
+		return nil, err
+	}
+	return &policyEntry{
+		pol:      pol,
+		cp:       cp,
+		attrs:    append([]AttrSpec(nil), attrs...),
+		graph:    graph,
+		part:     part,
+		histSens: sens,
+	}, nil
+}
+
+// buildDatasetEntry constructs a dataset entry from encoded points.
+func (s *Server) buildDatasetEntry(attrs []AttrSpec, pts []blowfish.Point) (*datasetEntry, error) {
+	dom, err := buildDomain(attrs)
+	if err != nil {
+		return nil, err
+	}
+	ds := blowfish.NewDataset(dom)
+	for i, p := range pts {
+		if err := ds.Add(p); err != nil {
+			return nil, fmt.Errorf("point %d: %w", i, err)
+		}
+	}
+	tbl, err := blowfish.NewStreamTable(ds)
+	if err != nil {
+		return nil, err
+	}
+	return &datasetEntry{ds: ds, attrs: append([]AttrSpec(nil), attrs...), tbl: tbl, ingCfg: s.cfg.Ingest}, nil
+}
+
+// buildSessionEntry mints a session over a registered policy with a pinned
+// noise seed and shard count.
+func buildSessionEntry(pe *policyEntry, budget float64, seed int64, shards int, now func() time.Time) (*sessionEntry, error) {
+	sess, err := pe.cp.NewSessionShards(budget, blowfish.NewSource(seed), shards)
+	if err != nil {
+		return nil, err
+	}
+	e := &sessionEntry{policyID: pe.id, pol: pe, sess: sess, seed: seed, shards: shards}
+	e.lastUsed.Store(now().UnixNano())
+	return e, nil
+}
+
+// resolveSeed pins the noise construction for a create request: explicit
+// client seeds run on a single shard (host-independent determinism),
+// server-derived seeds shard per CPU for parallel release throughput.
+func (s *Server) resolveSeed(reqSeed *int64) (seed int64, shards int) {
+	seed = s.nextSeed.Add(1)
+	shards = runtime.GOMAXPROCS(0)
+	if reqSeed != nil {
+		seed = *reqSeed
+		shards = 1
+	}
+	return seed, shards
+}
+
+// streamConfigFromRequest lowers the wire-level stream spec.
+func streamConfigFromRequest(req CreateStreamRequest) blowfish.StreamConfig {
+	kinds := make([]blowfish.StreamReleaseKind, len(req.Kinds))
+	for i, k := range req.Kinds {
+		kinds[i] = blowfish.StreamReleaseKind(k)
+	}
+	queries := make([]blowfish.StreamRangeQuery, len(req.RangeQueries))
+	for i, q := range req.RangeQueries {
+		queries[i] = blowfish.StreamRangeQuery{Lo: q.Lo, Hi: q.Hi}
+	}
+	return blowfish.StreamConfig{
+		Window:       blowfish.StreamWindow(req.Window.Kind),
+		WindowEpochs: req.Window.Epochs,
+		Interval:     time.Duration(req.Epoch.IntervalMS) * time.Millisecond,
+		Epsilon:      req.Epoch.Epsilon,
+		Decay:        req.Epoch.Decay,
+		Epsilons:     req.Epoch.Epsilons,
+		Kinds:        kinds,
+		Fanout:       req.Fanout,
+		RangeQueries: queries,
+		MaxReleases:  req.MaxReleases,
+	}
+}
+
+// buildStreamEntryLocked constructs a stream entry from its creation
+// request, resolving the policy and dataset from the registries without
+// taking the server lock — recovery (single-threaded) owns the maps, and
+// the HTTP path resolves entries itself before calling the shared core.
+func (s *Server) buildStreamEntryLocked(req CreateStreamRequest, seed int64, shards int) (*streamEntry, error) {
+	pe, ok := s.policies[req.PolicyID]
+	if !ok {
+		return nil, fmt.Errorf("unknown policy %s", req.PolicyID)
+	}
+	de, ok := s.datasets[req.DatasetID]
+	if !ok {
+		return nil, fmt.Errorf("unknown dataset %s", req.DatasetID)
+	}
+	return buildStreamEntry(pe, de, req, seed, shards)
+}
+
+// buildStreamEntry binds a policy and dataset into a stream with a pinned
+// seed; the stream is NOT started (callers start it after registration —
+// recovery only after the whole replay).
+func buildStreamEntry(pe *policyEntry, de *datasetEntry, req CreateStreamRequest, seed int64, shards int) (*streamEntry, error) {
+	sess, err := pe.cp.NewSessionShards(req.Budget, blowfish.NewSource(seed), shards)
+	if err != nil {
+		return nil, err
+	}
+	st, err := sess.NewStream(de.tbl, streamConfigFromRequest(req))
+	if err != nil {
+		return nil, err
+	}
+	return &streamEntry{
+		policyID:  pe.id,
+		datasetID: de.id,
+		pol:       pe,
+		de:        de,
+		sess:      sess,
+		st:        st,
+		req:       req,
+		seed:      seed,
+		shards:    shards,
+	}, nil
+}
+
+// decodeRecord unmarshals a WAL payload.
+func decodeRecord(data []byte, v any) error {
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("decoding wal payload: %w", err)
+	}
+	return nil
+}
+
+// decodeSnapshot unmarshals a checkpoint payload.
+func decodeSnapshot(payload []byte) (*snapServer, error) {
+	var snap snapServer
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}

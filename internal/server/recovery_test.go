@@ -1,0 +1,764 @@
+package server
+
+// Crash-recovery tests. The deterministic contract under test: with
+// fsync=always, every operation the server acknowledged survives kill -9 —
+// budget spend is monotone (never lower than any acked charge), no acked
+// ingest event is lost, and a seeded single-shard stream's post-recovery
+// releases are bit-for-bit what a never-crashed server would have
+// produced.
+//
+// TestCrashRecovery re-executes this test binary as a child process (see
+// TestMain) running a real durable HTTP server, drives it over HTTP,
+// SIGKILLs it mid-ingest, and recovers the data directory in-process.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"syscall"
+	"testing"
+	"time"
+
+	"blowfish/internal/wal"
+)
+
+const crashChildEnv = "BLOWFISH_CRASH_CHILD_DIR"
+
+// TestMain turns the test binary into a durable server when re-executed as
+// the crash child: it serves until killed, never returning.
+func TestMain(m *testing.M) {
+	if dir := os.Getenv(crashChildEnv); dir != "" {
+		runCrashChild(dir)
+		return // unreachable: runCrashChild blocks until killed
+	}
+	os.Exit(m.Run())
+}
+
+// runCrashChild serves a durable server on a random port, writing the
+// address to <dir>/../addr for the parent, with the WAL in <dir>.
+func runCrashChild(dir string) {
+	srv, err := Open(Config{Durability: DurabilityConfig{Dir: dir, Fsync: "always"}})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crash child: %v\n", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crash child: %v\n", err)
+		os.Exit(1)
+	}
+	addrFile := filepath.Join(filepath.Dir(dir), "addr")
+	if err := os.WriteFile(addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "crash child: %v\n", err)
+		os.Exit(1)
+	}
+	_ = http.Serve(ln, srv)
+	select {} // hold until SIGKILL
+}
+
+// httpJSON posts (or gets) JSON against the child server.
+func httpJSON(t *testing.T, method, url string, body, out any) int {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func i64(v int64) *int64 { return &v }
+
+// abandon tears down a durable server the way a test stands in for a
+// crash: background machinery stops, but no final checkpoint is taken and
+// the registries are left as they are.
+func abandon(s *Server) {
+	if s.persist != nil {
+		s.persist.stopAutoCheckpoint()
+		_ = s.persist.log.Close()
+	}
+}
+
+// appendRows submits one wait=true events batch of the given rows.
+func appendRows(t *testing.T, s *Server, dsID string, rows [][]int) EventsResponse {
+	t.Helper()
+	evs := make([]EventWire, len(rows))
+	for i, r := range rows {
+		evs[i] = EventWire{Op: "append", Row: r}
+	}
+	w := do(t, s, "POST", "/v1/datasets/"+dsID+"/events", EventsRequest{Events: evs, Wait: true})
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("events: %d %s", w.Code, w.Body.String())
+	}
+	return decode[EventsResponse](t, w)
+}
+
+// TestCrashRecovery is the kill -9 harness (the CI `recovery` job runs it
+// with -race): a child process serves durably, the parent ingests acked
+// batches and closes epochs, then SIGKILLs the child mid-ingest and
+// recovers the directory in-process.
+func TestCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a child process")
+	}
+	root := t.TempDir()
+	dir := filepath.Join(root, "data")
+
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), crashChildEnv+"="+dir)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	killed := false
+	defer func() {
+		if !killed {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		}
+	}()
+
+	// Wait for the child to publish its address.
+	addrFile := filepath.Join(root, "addr")
+	var base string
+	for i := 0; i < 200; i++ {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			base = "http://" + string(b)
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if base == "" {
+		t.Fatal("crash child never published an address")
+	}
+
+	// --- drive the child over HTTP -----------------------------------
+	var pol PolicyResponse
+	httpJSON(t, "POST", base+"/v1/policies", CreatePolicyRequest{
+		Domain: []AttrSpec{{Name: "v", Size: 16}},
+		Graph:  GraphSpec{Kind: "full"},
+	}, &pol)
+
+	var dsA, dsB DatasetResponse
+	httpJSON(t, "POST", base+"/v1/datasets", CreateDatasetRequest{PolicyID: pol.ID}, &dsA)
+	httpJSON(t, "POST", base+"/v1/datasets", CreateDatasetRequest{PolicyID: pol.ID}, &dsB)
+
+	// Two seeded single-shard streams: A takes the mid-ingest kill, B is
+	// quiesced before the kill and carries the bit-for-bit assertion.
+	var stA, stB StreamResponse
+	httpJSON(t, "POST", base+"/v1/streams", CreateStreamRequest{
+		PolicyID: pol.ID, DatasetID: dsA.ID, Budget: 3.0, Seed: i64(7),
+		Epoch: EpochSpec{Epsilon: 0.5},
+	}, &stA)
+	httpJSON(t, "POST", base+"/v1/streams", CreateStreamRequest{
+		PolicyID: pol.ID, DatasetID: dsB.ID, Budget: 3.0, Seed: i64(11),
+		Epoch: EpochSpec{Epsilon: 0.5},
+	}, &stB)
+
+	ingest := func(dsID string, vals []int) EventsResponse {
+		evs := make([]EventWire, len(vals))
+		for i, v := range vals {
+			evs[i] = EventWire{Op: "append", Row: []int{v}}
+		}
+		var out EventsResponse
+		code := httpJSON(t, "POST", base+"/v1/datasets/"+dsID+"/events",
+			EventsRequest{Events: evs, Wait: true}, &out)
+		if code != http.StatusAccepted {
+			t.Fatalf("ingest on %s: status %d", dsID, code)
+		}
+		return out
+	}
+	valsA1 := []int{1, 2, 3, 4, 5, 5, 5}
+	valsB1 := []int{8, 9, 9, 10}
+	ingest(dsA.ID, valsA1)
+	ackB := ingest(dsB.ID, valsB1)
+
+	closeEpoch := func(stID string) EpochReleaseWire {
+		var rel EpochReleaseWire
+		code := httpJSON(t, "POST", base+"/v1/streams/"+stID+"/epochs", nil, &rel)
+		if code != http.StatusOK {
+			t.Fatalf("epoch close on %s: status %d", stID, code)
+		}
+		return rel
+	}
+	ackedA1 := closeEpoch(stA.ID)
+	ackedA2 := closeEpoch(stA.ID)
+	ackedB1 := closeEpoch(stB.ID)
+
+	// --- kill -9 mid-ingest ------------------------------------------
+	// Hammer unacked batches at dataset A and kill while they are in
+	// flight: everything above is acked and must survive; the storm may
+	// survive partially (durable-but-unacked), never torn.
+	stop := make(chan struct{})
+	stormDone := make(chan struct{})
+	go func() {
+		defer close(stormDone)
+		cl := &http.Client{Timeout: 2 * time.Second}
+		n := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			evs := make([]EventWire, 20)
+			for i := range evs {
+				evs[i] = EventWire{Op: "append", Row: []int{(n + i) % 16}}
+			}
+			n++
+			b, _ := json.Marshal(EventsRequest{Events: evs})
+			resp, err := cl.Post(base+"/v1/datasets/"+dsA.ID+"/events", "application/json", bytes.NewReader(b))
+			if err != nil {
+				return // child died mid-request: expected
+			}
+			resp.Body.Close()
+		}
+	}()
+	time.Sleep(60 * time.Millisecond) // let the storm land mid-flight
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	killed = true
+	_, _ = cmd.Process.Wait()
+	close(stop)
+	<-stormDone
+
+	// --- recover in-process ------------------------------------------
+	rec, err := Open(Config{Durability: DurabilityConfig{Dir: dir, Fsync: "always"}})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer abandon(rec)
+
+	// Budget spend is monotone: exactly the acked charges for both
+	// streams (no close was in flight at the kill).
+	entA, entB := rec.streams[stA.ID], rec.streams[stB.ID]
+	if entA == nil || entB == nil {
+		t.Fatalf("streams not recovered: %v", rec.streams)
+	}
+	if got := entA.sess.Accountant().Spent(); got != 1.0 {
+		t.Fatalf("stream A spent = %v after recovery, want 1.0 (two acked 0.5 closes)", got)
+	}
+	if got := entB.sess.Accountant().Spent(); got != 0.5 {
+		t.Fatalf("stream B spent = %v after recovery, want 0.5", got)
+	}
+
+	// No acked ingest event is lost.
+	if got := rec.datasets[dsB.ID].tbl.LastSeq(); got < ackB.LastSeq {
+		t.Fatalf("dataset B recovered seq %d < acked %d", got, ackB.LastSeq)
+	}
+	if got := rec.datasets[dsB.ID].ds.Len(); got != len(valsB1) {
+		t.Fatalf("dataset B recovered %d rows, want %d", got, len(valsB1))
+	}
+	if got := rec.datasets[dsA.ID].ds.Len(); got < len(valsA1) {
+		t.Fatalf("dataset A recovered %d rows, want >= %d acked", got, len(valsA1))
+	}
+
+	// Acked pre-crash releases are in the recovered buffers bit-for-bit.
+	for _, tc := range []struct {
+		ent   *streamEntry
+		want  []EpochReleaseWire
+		label string
+	}{
+		{entA, []EpochReleaseWire{ackedA1, ackedA2}, "A"},
+		{entB, []EpochReleaseWire{ackedB1}, "B"},
+	} {
+		got := tc.ent.st.ExportState().Releases
+		if len(got) != len(tc.want) {
+			t.Fatalf("stream %s recovered %d releases, want %d", tc.label, len(got), len(tc.want))
+		}
+		for i, w := range tc.want {
+			if got[i].Seq != w.Seq || got[i].Epoch != w.Epoch || !reflect.DeepEqual(got[i].Histogram, w.Histogram) {
+				t.Fatalf("stream %s release %d diverges:\nrecovered %+v\nacked     %+v", tc.label, i, got[i], w)
+			}
+		}
+	}
+
+	// Bit-for-bit vs the no-crash run: replay the acked operation
+	// sequence for stream B on an in-memory control server and compare
+	// the post-recovery epoch close.
+	ctl := New(Config{})
+	polID := mustCreatePolicy(t, ctl, CreatePolicyRequest{
+		Domain: []AttrSpec{{Name: "v", Size: 16}},
+		Graph:  GraphSpec{Kind: "full"},
+	})
+	ctlDS := mustCreateDataset(t, ctl, CreateDatasetRequest{PolicyID: polID})
+	w := do(t, ctl, "POST", "/v1/streams", CreateStreamRequest{
+		PolicyID: polID, DatasetID: ctlDS, Budget: 3.0, Seed: i64(11),
+		Epoch: EpochSpec{Epsilon: 0.5},
+	})
+	ctlStream := decode[StreamResponse](t, w)
+	rowsB := make([][]int, len(valsB1))
+	for i, v := range valsB1 {
+		rowsB[i] = []int{v}
+	}
+	appendRows(t, ctl, ctlDS, rowsB)
+	ctlRel1 := decode[EpochReleaseWire](t, do(t, ctl, "POST", "/v1/streams/"+ctlStream.ID+"/epochs", nil))
+	if !reflect.DeepEqual(ctlRel1.Histogram, ackedB1.Histogram) {
+		t.Fatalf("control epoch 1 diverges from the acked pre-crash release:\n%v\n%v", ctlRel1.Histogram, ackedB1.Histogram)
+	}
+	ctlRel2 := decode[EpochReleaseWire](t, do(t, ctl, "POST", "/v1/streams/"+ctlStream.ID+"/epochs", nil))
+	recRel2, err := entB.st.CloseEpoch()
+	if err != nil {
+		t.Fatalf("post-recovery close: %v", err)
+	}
+	if !reflect.DeepEqual(recRel2.Histogram, ctlRel2.Histogram) {
+		t.Fatalf("post-recovery release diverges from the no-crash run:\nrecovered %v\ncontrol   %v", recRel2.Histogram, ctlRel2.Histogram)
+	}
+	if recRel2.Seq != ctlRel2.Seq || recRel2.Epoch != ctlRel2.Epoch {
+		t.Fatalf("post-recovery cursor diverges: %+v vs %+v", recRel2, ctlRel2)
+	}
+	ctl.Close()
+}
+
+// TestGracefulShutdownPreservesAckedEvents pins the Close ordering: the
+// ingest queue is flushed (drained and journaled) before the final
+// snapshot, so events acked only as "enqueued" (no wait) survive a
+// graceful restart.
+func TestGracefulShutdownPreservesAckedEvents(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Durability: DurabilityConfig{Dir: dir, Fsync: "never"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	polID := mustCreatePolicy(t, s, CreatePolicyRequest{
+		Domain: []AttrSpec{{Name: "v", Size: 8}},
+		Graph:  GraphSpec{Kind: "full"},
+	})
+	dsID := mustCreateDataset(t, s, CreateDatasetRequest{PolicyID: polID})
+	// Submit without wait: the 202 acks enqueueing only.
+	evs := make([]EventWire, 500)
+	for i := range evs {
+		evs[i] = EventWire{Op: "append", Row: []int{i % 8}}
+	}
+	w := do(t, s, "POST", "/v1/datasets/"+dsID+"/events", EventsRequest{Events: evs})
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("events: %d %s", w.Code, w.Body.String())
+	}
+	ack := decode[EventsResponse](t, w)
+	if ack.Accepted != 500 {
+		t.Fatalf("accepted %d", ack.Accepted)
+	}
+	// Close immediately: the queue is most likely not yet applied. Close
+	// must drain it before the final snapshot.
+	s.Close()
+
+	r, err := Open(Config{Durability: DurabilityConfig{Dir: dir, Fsync: "never"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer abandon(r)
+	de := r.datasets[dsID]
+	if de == nil {
+		t.Fatal("dataset not recovered")
+	}
+	if got := de.ds.Len(); got != 500 {
+		t.Fatalf("recovered %d rows, want all 500 acked events", got)
+	}
+	if got := de.tbl.LastSeq(); got != ack.LastSeq {
+		t.Fatalf("recovered seq cursor %d, want %d", got, ack.LastSeq)
+	}
+	// A graceful shutdown checkpointed: recovery must not have needed a
+	// WAL tail, and the next ingestor resumes numbering after the cursor.
+	if got := de.ingCfg.StartSeq; got != ack.LastSeq {
+		t.Fatalf("recovered ingest StartSeq = %d, want %d", got, ack.LastSeq)
+	}
+}
+
+// TestRecoveryPropertyInterleavings is the seeded property test: for
+// random interleavings of ingest batches, ad-hoc releases, epoch closes
+// and checkpoints, the recovered server is bit-for-bit the live server —
+// index counts, accountant spend, stream cursors and buffers.
+func TestRecoveryPropertyInterleavings(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 4, 5} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewPCG(seed, 99))
+			dir := t.TempDir()
+			live, err := Open(Config{Durability: DurabilityConfig{Dir: dir, Fsync: "never"}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			polID := mustCreatePolicy(t, live, CreatePolicyRequest{
+				Domain: []AttrSpec{{Name: "v", Size: 12}},
+				Graph:  GraphSpec{Kind: "l1", Theta: 2},
+			})
+			dsID := mustCreateDataset(t, live, CreateDatasetRequest{
+				PolicyID: polID, Rows: lineRows(30, 12),
+			})
+			sessID := mustCreateSession(t, live, CreateSessionRequest{
+				PolicyID: polID, Budget: 1000, Seed: i64(int64(seed) * 17),
+			})
+			w := do(t, live, "POST", "/v1/streams", CreateStreamRequest{
+				PolicyID: polID, DatasetID: dsID, Budget: 1000, Seed: i64(int64(seed) * 31),
+				Epoch: EpochSpec{Epsilon: 0.25},
+				Kinds: []string{"histogram", "cumulative"},
+			})
+			if w.Code != http.StatusCreated {
+				t.Fatalf("stream: %d %s", w.Code, w.Body.String())
+			}
+			stID := decode[StreamResponse](t, w).ID
+
+			for op := 0; op < 120; op++ {
+				switch rng.IntN(10) {
+				case 0, 1, 2, 3: // ingest batch (acked)
+					n := 1 + rng.IntN(30)
+					rows := make([][]int, n)
+					for i := range rows {
+						rows[i] = []int{rng.IntN(12)}
+					}
+					appendRows(t, live, dsID, rows)
+				case 4, 5: // ad-hoc release
+					kind := []string{"histogram", "cumulative", "range"}[rng.IntN(3)]
+					var body any
+					switch kind {
+					case "range":
+						body = RangeRequest{DatasetID: dsID, Epsilon: 0.1, Queries: []RangeQuery{{Lo: 0, Hi: 5}}}
+					case "cumulative":
+						body = CumulativeRequest{DatasetID: dsID, Epsilon: 0.1}
+					default:
+						body = HistogramRequest{DatasetID: dsID, Epsilon: 0.1}
+					}
+					w := do(t, live, "POST", "/v1/sessions/"+sessID+"/releases/"+kind, body)
+					if w.Code != http.StatusOK {
+						t.Fatalf("op %d %s release: %d %s", op, kind, w.Code, w.Body.String())
+					}
+				case 6, 7: // epoch close
+					w := do(t, live, "POST", "/v1/streams/"+stID+"/epochs", nil)
+					if w.Code != http.StatusOK {
+						t.Fatalf("op %d epoch: %d %s", op, w.Code, w.Body.String())
+					}
+				case 8: // delete + recreate nothing: checkpoint instead
+					if _, err := live.Checkpoint(); err != nil {
+						t.Fatalf("op %d checkpoint: %v", op, err)
+					}
+				case 9: // direct library-path epoch close via admin checkpoint + release
+					if _, err := live.Checkpoint(); err != nil {
+						t.Fatalf("op %d checkpoint: %v", op, err)
+					}
+					w := do(t, live, "POST", "/v1/sessions/"+sessID+"/releases/histogram",
+						HistogramRequest{DatasetID: dsID, Epsilon: 0.05})
+					if w.Code != http.StatusOK {
+						t.Fatalf("op %d release: %d %s", op, w.Code, w.Body.String())
+					}
+				}
+			}
+			// Quiesce ingestion so live state is fully applied, then
+			// recover the directory while the live server still holds it
+			// (read-only replay) and compare bit-for-bit.
+			if ing := live.datasets[dsID].startedIngestor(); ing != nil {
+				if err := ing.Flush(context.Background()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			rec, err := Open(Config{Durability: DurabilityConfig{Dir: dir, Fsync: "never"}})
+			if err != nil {
+				t.Fatalf("recovery: %v", err)
+			}
+			defer abandon(rec)
+
+			// Datasets: identical tuples and cursors.
+			lp, lst := live.datasets[dsID].tbl.Snapshot()
+			rp, rst := rec.datasets[dsID].tbl.Snapshot()
+			if !reflect.DeepEqual(lp, rp) {
+				t.Fatalf("recovered points diverge (%d vs %d tuples)", len(rp), len(lp))
+			}
+			if lst.LastSeq != rst.LastSeq || lst.Applied != rst.Applied {
+				t.Fatalf("recovered table state %+v, live %+v", rst, lst)
+			}
+			// Sessions: identical ledgers and noise positions.
+			ls, err := live.sessions[sessID].sess.ExportState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rs, err := rec.sessions[sessID].sess.ExportState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ls, rs) {
+				t.Fatalf("recovered session state diverges:\nlive %+v\nrec  %+v", ls, rs)
+			}
+			// Streams: identical cursors, buffers, ledgers, noise.
+			lss := live.streams[stID].st.ExportState()
+			rss := rec.streams[stID].st.ExportState()
+			if !reflect.DeepEqual(lss, rss) {
+				t.Fatalf("recovered stream state diverges:\nlive %+v\nrec  %+v", lss, rss)
+			}
+			lsess, _ := live.streams[stID].sess.ExportState()
+			rsess, _ := rec.streams[stID].sess.ExportState()
+			if !reflect.DeepEqual(lsess, rsess) {
+				t.Fatalf("recovered stream session diverges")
+			}
+			abandon(live)
+		})
+	}
+}
+
+// TestRecoveryRoundTripRegistries pins registry-level recovery: creates,
+// deletes and counters survive, and ids minted after recovery never
+// collide with pre-crash ones.
+func TestRecoveryRoundTripRegistries(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Durability: DurabilityConfig{Dir: dir, Fsync: "never"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := mustCreatePolicy(t, s, CreatePolicyRequest{
+		Domain: []AttrSpec{{Name: "v", Size: 8}}, Graph: GraphSpec{Kind: "full"},
+	})
+	p2 := mustCreatePolicy(t, s, CreatePolicyRequest{
+		Domain: []AttrSpec{{Name: "x", Size: 4}, {Name: "y", Size: 4}},
+		Graph:  GraphSpec{Kind: "partition", Blocks: 4},
+	})
+	d1 := mustCreateDataset(t, s, CreateDatasetRequest{PolicyID: p1, Rows: lineRows(10, 8)})
+	sess := mustCreateSession(t, s, CreateSessionRequest{PolicyID: p2, Budget: 5})
+	if w := do(t, s, "DELETE", "/v1/sessions/"+sess, nil); w.Code != http.StatusNoContent {
+		t.Fatalf("delete session: %d", w.Code)
+	}
+	if w := do(t, s, "DELETE", "/v1/policies/"+p2, nil); w.Code != http.StatusNoContent {
+		t.Fatalf("delete policy: %d", w.Code)
+	}
+	abandon(s)
+
+	r, err := Open(Config{Durability: DurabilityConfig{Dir: dir, Fsync: "never"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer abandon(r)
+	if _, ok := r.policies[p1]; !ok {
+		t.Fatalf("policy %s lost", p1)
+	}
+	if _, ok := r.policies[p2]; ok {
+		t.Fatalf("deleted policy %s resurrected", p2)
+	}
+	if _, ok := r.sessions[sess]; ok {
+		t.Fatalf("deleted session %s resurrected", sess)
+	}
+	if _, ok := r.datasets[d1]; !ok {
+		t.Fatalf("dataset %s lost", d1)
+	}
+	// Fresh ids continue past the recovered counters.
+	p3 := mustCreatePolicy(t, r, CreatePolicyRequest{
+		Domain: []AttrSpec{{Name: "v", Size: 8}}, Graph: GraphSpec{Kind: "full"},
+	})
+	if p3 == p1 || p3 == p2 {
+		t.Fatalf("recovered server reused id %s", p3)
+	}
+}
+
+// BenchmarkRecovery measures cold-boot recovery: Open on a directory
+// holding a snapshot plus a WAL tail of ingest batches and epoch closes
+// (the numbers in BENCH_wal.json come from longer runs of this benchmark).
+func BenchmarkRecovery(b *testing.B) {
+	for _, tail := range []int{0, 20000} {
+		b.Run(fmt.Sprintf("tailEvents=%d", tail), func(b *testing.B) {
+			dir := b.TempDir()
+			s, err := Open(Config{Durability: DurabilityConfig{Dir: dir, Fsync: "never"}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			post := func(path string, body, out any) {
+				buf, err := json.Marshal(body)
+				if err != nil {
+					b.Fatal(err)
+				}
+				req := httptest.NewRequest("POST", path, bytes.NewReader(buf))
+				rec := httptest.NewRecorder()
+				s.ServeHTTP(rec, req)
+				if rec.Code >= 300 {
+					b.Fatalf("POST %s: %d %s", path, rec.Code, rec.Body.String())
+				}
+				if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var pol PolicyResponse
+			post("/v1/policies", CreatePolicyRequest{
+				Domain: []AttrSpec{{Name: "v", Size: 64}}, Graph: GraphSpec{Kind: "full"},
+			}, &pol)
+			var ds DatasetResponse
+			post("/v1/datasets", CreateDatasetRequest{PolicyID: pol.ID, Rows: lineRows(50000, 64)}, &ds)
+			var st StreamResponse
+			post("/v1/streams", CreateStreamRequest{
+				PolicyID: pol.ID, DatasetID: ds.ID, Budget: 10000, Seed: i64(3),
+				Epoch: EpochSpec{Epsilon: 0.1},
+			}, &st)
+			// Snapshot covers the upload; the tail is ingest + closes.
+			if _, err := s.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+			for done := 0; done < tail; {
+				n := 500
+				if tail-done < n {
+					n = tail - done
+				}
+				evs := make([]EventWire, n)
+				for i := range evs {
+					evs[i] = EventWire{Op: "append", Row: []int{(done + i) % 64}}
+				}
+				body, _ := json.Marshal(EventsRequest{Events: evs, Wait: true})
+				req := httptest.NewRequest("POST", "/v1/datasets/"+ds.ID+"/events", bytes.NewReader(body))
+				rec := httptest.NewRecorder()
+				s.ServeHTTP(rec, req)
+				if rec.Code != http.StatusAccepted {
+					b.Fatalf("events: %d %s", rec.Code, rec.Body.String())
+				}
+				done += n
+				if done%5000 == 0 {
+					req := httptest.NewRequest("POST", "/v1/streams/"+st.ID+"/epochs", bytes.NewReader(nil))
+					rec := httptest.NewRecorder()
+					s.ServeHTTP(rec, req)
+					if rec.Code != http.StatusOK {
+						b.Fatalf("epoch: %d %s", rec.Code, rec.Body.String())
+					}
+				}
+			}
+			abandon(s)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := Open(Config{Durability: DurabilityConfig{Dir: dir, Fsync: "never"}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				abandon(r)
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// TestCheckpointEndpointAndAutoSnapshot covers the two snapshot triggers
+// beyond graceful shutdown: POST /v1/admin/checkpoint and the
+// SnapshotEvery record-count loop.
+func TestCheckpointEndpointAndAutoSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Durability: DurabilityConfig{Dir: dir, Fsync: "never", SnapshotEvery: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer abandon(s)
+	polID := mustCreatePolicy(t, s, CreatePolicyRequest{
+		Domain: []AttrSpec{{Name: "v", Size: 8}}, Graph: GraphSpec{Kind: "full"},
+	})
+	dsID := mustCreateDataset(t, s, CreateDatasetRequest{PolicyID: polID, Rows: lineRows(5, 8)})
+
+	w := do(t, s, "POST", "/v1/admin/checkpoint", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("checkpoint: %d %s", w.Code, w.Body.String())
+	}
+	stats := decode[CheckpointStats](t, w)
+	if stats.LSN == 0 || stats.Bytes == 0 {
+		t.Fatalf("checkpoint stats %+v", stats)
+	}
+	if _, err := os.Stat(stats.Path); err != nil {
+		t.Fatalf("snapshot file: %v", err)
+	}
+
+	// Push past SnapshotEvery and wait for the auto loop to advance the
+	// snapshot boundary.
+	for i := 0; i < 8; i++ {
+		appendRows(t, s, dsID, [][]int{{i % 8}})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if lsn, _, err := walLatestSnapshotLSN(dir); err == nil && lsn > stats.LSN {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("auto checkpoint never advanced the snapshot boundary")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// A non-durable server refuses the endpoint.
+	mem := New(Config{})
+	w = do(t, mem, "POST", "/v1/admin/checkpoint", nil)
+	wantError(t, w, http.StatusBadRequest, CodeBadRequest)
+}
+
+// walLatestSnapshotLSN reports the newest snapshot boundary in dir.
+func walLatestSnapshotLSN(dir string) (uint64, []byte, error) {
+	return wal.LatestSnapshot(dir)
+}
+
+// TestMultiGenerationRestarts is the server-level regression test for the
+// post-checkpoint LSN-continuity bug: charges made *after* a clean
+// restart (whose boot found only an empty, fully-checkpointed WAL) must
+// survive the restart after that.
+func TestMultiGenerationRestarts(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *Server {
+		s, err := Open(Config{Durability: DurabilityConfig{Dir: dir, Fsync: "never"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	// Generation 1: create everything, charge one epoch, clean shutdown.
+	s1 := open()
+	polID := mustCreatePolicy(t, s1, CreatePolicyRequest{
+		Domain: []AttrSpec{{Name: "v", Size: 8}}, Graph: GraphSpec{Kind: "full"},
+	})
+	dsID := mustCreateDataset(t, s1, CreateDatasetRequest{PolicyID: polID, Rows: lineRows(5, 8)})
+	w := do(t, s1, "POST", "/v1/streams", CreateStreamRequest{
+		PolicyID: polID, DatasetID: dsID, Budget: 1.0, Seed: i64(3),
+		Epoch: EpochSpec{Epsilon: 0.25},
+	})
+	stID := decode[StreamResponse](t, w).ID
+	if w := do(t, s1, "POST", "/v1/streams/"+stID+"/epochs", nil); w.Code != http.StatusOK {
+		t.Fatalf("gen1 epoch: %d %s", w.Code, w.Body.String())
+	}
+	s1.Close() // final checkpoint retires the whole WAL
+
+	// Generation 2: boot from the snapshot (empty WAL), charge two more
+	// epochs, crash without a checkpoint.
+	s2 := open()
+	for i := 0; i < 2; i++ {
+		if w := do(t, s2, "POST", "/v1/streams/"+stID+"/epochs", nil); w.Code != http.StatusOK {
+			t.Fatalf("gen2 epoch %d: %d %s", i, w.Code, w.Body.String())
+		}
+	}
+	if got := s2.streams[stID].sess.Accountant().Spent(); got != 0.75 {
+		t.Fatalf("gen2 spent = %v, want 0.75", got)
+	}
+	abandon(s2)
+
+	// Generation 3: the gen2 charges were only in the WAL tail — they
+	// must all be there.
+	s3 := open()
+	defer abandon(s3)
+	if got := s3.streams[stID].sess.Accountant().Spent(); got != 0.75 {
+		t.Fatalf("gen3 recovered spent = %v, want 0.75 (gen2 charges lost)", got)
+	}
+	if got := s3.streams[stID].st.ExportState().Epoch; got != 3 {
+		t.Fatalf("gen3 recovered epoch = %d, want 3", got)
+	}
+}

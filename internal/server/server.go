@@ -51,6 +51,10 @@ type Config struct {
 	// MaxLongPollWait caps the wait_ms long-poll parameter of the stream
 	// releases endpoint; defaults to 30s.
 	MaxLongPollWait time.Duration
+	// Durability enables the write-ahead log and snapshots. The zero value
+	// (empty Dir) keeps the server fully in-memory — the zero-config
+	// default every test and benchmark runs on.
+	Durability DurabilityConfig
 }
 
 const (
@@ -75,12 +79,22 @@ type Server struct {
 	closed   bool
 
 	nextSeed atomic.Int64
+
+	// persist is nil for in-memory servers; when set, every state-changing
+	// operation is journaled to the write-ahead log before it is
+	// acknowledged, and Checkpoint snapshots the registries. See persist.go
+	// and recover.go.
+	persist *persistence
 }
 
 type policyEntry struct {
 	id    string
 	pol   *blowfish.Policy
 	attrs []AttrSpec
+	// graph is the wire-level secret-graph spec the policy was registered
+	// with, kept so snapshots and WAL replay can rebuild the compiled plan
+	// from the client's own declaration.
+	graph GraphSpec
 	// cp is the policy compiled into the release engine's plan at
 	// registration: every session minted from it shares the precomputed
 	// sensitivities, tree layouts and dataset indexes.
@@ -153,6 +167,11 @@ type streamEntry struct {
 	// its accountant is what epoch closes charge.
 	sess *blowfish.Session
 	st   *blowfish.Stream
+	// req is the creation request with the noise seed/shard resolution
+	// pinned, so snapshots and WAL replay rebuild an identical stream.
+	req    CreateStreamRequest
+	seed   int64
+	shards int
 }
 
 type sessionEntry struct {
@@ -167,6 +186,18 @@ type sessionEntry struct {
 	// lastUsed is the unix-nano timestamp of the latest access, advanced
 	// atomically so reads can stay under the server's read lock.
 	lastUsed atomic.Int64
+	// seed and shards pin the noise construction for snapshots and replay.
+	seed   int64
+	shards int
+	// relMu serializes this session's releases on the durable path: a
+	// release and its WAL record form one critical section, so a
+	// checkpoint (which takes the same lock to export the ledger, the
+	// noise state and the ordinal together) can never observe one without
+	// the other. In-memory servers never take it.
+	relMu sync.Mutex
+	// ordinal counts journaled releases; guarded by relMu. WAL replay
+	// skips release records with ordinal <= the snapshot's.
+	ordinal uint64
 }
 
 // New creates a Server.
@@ -220,6 +251,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /v1/streams/{id}", s.handleDeleteStream)
 	s.mux.HandleFunc("POST /v1/streams/{id}/epochs", s.handleCloseEpoch)
 	s.mux.HandleFunc("GET /v1/streams/{id}/releases", s.handleStreamReleases)
+	s.mux.HandleFunc("POST /v1/admin/checkpoint", s.handleCheckpoint)
 }
 
 // ServeHTTP implements http.Handler.
@@ -249,6 +281,13 @@ func (s *Server) ExpireSessions() int {
 	n := 0
 	for id, e := range s.sessions {
 		if e.lastUsed.Load() < cutoff {
+			// Best-effort journal: if the WAL is down (failures are
+			// sticky), expire in memory anyway — holding every idle
+			// session forever would leak without bound. A restart may
+			// resurrect the session from the snapshot, where the next
+			// sweep expires it again; its ledger survives either way, so
+			// budget accounting is unaffected.
+			_ = s.journalDelete(nsSession, id)
 			delete(s.sessions, id)
 			n++
 		}
@@ -271,9 +310,15 @@ func (s *Server) StreamCount() int {
 }
 
 // Close stops every background goroutine the server owns: stream epoch
-// tickers and per-dataset event-log writers (flushing their queues). It is
-// idempotent; stream and dataset creation after Close is refused. In-flight
-// HTTP requests are the caller's to drain (http.Server.Shutdown does).
+// tickers and per-dataset event-log writers (flushing their queues). On a
+// durable server the shutdown then checkpoints: the ingest queues are fully
+// drained *before* the final snapshot is taken, so every acknowledged event
+// is in it — a graceful shutdown loses nothing, and the next boot recovers
+// from the snapshot alone with no WAL tail to replay. A failed final
+// snapshot is safe (the WAL still holds every record; recovery just
+// replays more). It is idempotent; stream and dataset creation after Close
+// is refused. In-flight HTTP requests are the caller's to drain
+// (http.Server.Shutdown does).
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -294,8 +339,15 @@ func (s *Server) Close() {
 	for _, e := range streams {
 		e.st.Stop()
 	}
+	// Drain every event queue: Ingestor.Close applies (and therefore
+	// journals) everything submitted before returning.
 	for _, e := range datasets {
 		e.closeIngestor()
+	}
+	if s.persist != nil {
+		s.persist.stopAutoCheckpoint()
+		_, _ = s.Checkpoint() // best-effort: the WAL remains authoritative
+		_ = s.persist.log.Close()
 	}
 }
 

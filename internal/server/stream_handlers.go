@@ -8,7 +8,6 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -135,45 +134,15 @@ func (s *Server) handleCreateStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, CodeUnknownDataset, fmt.Sprintf("no dataset %q", req.DatasetID))
 		return
 	}
-	kinds := make([]blowfish.StreamReleaseKind, len(req.Kinds))
-	for i, k := range req.Kinds {
-		kinds[i] = blowfish.StreamReleaseKind(k)
-	}
-	queries := make([]blowfish.StreamRangeQuery, len(req.RangeQueries))
-	for i, q := range req.RangeQueries {
-		queries[i] = blowfish.StreamRangeQuery{Lo: q.Lo, Hi: q.Hi}
-	}
-	cfg := blowfish.StreamConfig{
-		Window:       blowfish.StreamWindow(req.Window.Kind),
-		WindowEpochs: req.Window.Epochs,
-		Interval:     time.Duration(req.Epoch.IntervalMS) * time.Millisecond,
-		Epsilon:      req.Epoch.Epsilon,
-		Decay:        req.Epoch.Decay,
-		Epsilons:     req.Epoch.Epsilons,
-		Kinds:        kinds,
-		Fanout:       req.Fanout,
-		RangeQueries: queries,
-		MaxReleases:  req.MaxReleases,
-	}
 	// Same seeding contract as sessions: explicit seeds pin one noise shard
 	// so the stream replays identically on any host.
-	seed := s.nextSeed.Add(1)
-	shards := runtime.GOMAXPROCS(0)
-	if req.Seed != nil {
-		seed = *req.Seed
-		shards = 1
-	}
-	sess, err := pe.cp.NewSessionShards(req.Budget, blowfish.NewSource(seed), shards)
-	if err != nil {
-		writeError(w, CodeBadRequest, err.Error())
-		return
-	}
-	st, err := sess.NewStream(de.tbl, cfg)
+	seed, shards := s.resolveSeed(req.Seed)
+	e, err := buildStreamEntry(pe, de, req, seed, shards)
 	if err != nil {
 		writeLibError(w, err)
 		return
 	}
-	e := &streamEntry{policyID: pe.id, datasetID: de.id, pol: pe, de: de, sess: sess, st: st}
+	st := e.st
 	// rollback undoes the side effects New applied to the shared table when
 	// the registration below is refused.
 	rollback := func() {
@@ -221,6 +190,20 @@ func (s *Server) handleCreateStream(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	e.id = s.newID(3, "stream")
+	if err := s.journal(recStreamPut, walStreamPut{
+		ID: e.id, Req: req, Seed: seed, Shards: shards, NextSeed: s.nextSeed.Load(),
+	}); err != nil {
+		s.mu.Unlock()
+		rollback()
+		writeError(w, CodeDurability, err.Error())
+		return
+	}
+	if s.persist != nil {
+		// Install the epoch journal before the stream is reachable (and
+		// before Start), so no close can ever precede its stream's own
+		// creation record in the log.
+		st.SetJournal(s.epochJournal(e.id))
+	}
 	s.streams[e.id] = e
 	s.mu.Unlock()
 	st.Start()
@@ -277,6 +260,13 @@ func (s *Server) handleDeleteStream(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
 	e, ok := s.streams[id]
+	if ok {
+		if err := s.journalDelete(nsStream, id); err != nil {
+			s.mu.Unlock()
+			writeError(w, CodeDurability, err.Error())
+			return
+		}
+	}
 	delete(s.streams, id)
 	s.mu.Unlock()
 	if !ok {

@@ -36,6 +36,11 @@ type IngestConfig struct {
 	// QueueDepth is the channel buffer between Submit and the writer;
 	// Submit blocks (backpressure) when it is full. Defaults to 4096.
 	QueueDepth int
+	// StartSeq resumes sequence numbering after a recovery: the first
+	// submitted event is assigned StartSeq+1 and the processed cursor
+	// starts at StartSeq, so clients polling processed_seq keep a monotone
+	// view across restarts. Zero (the default) starts a fresh log at 1.
+	StartSeq uint64
 }
 
 func (c *IngestConfig) fill() {
@@ -103,12 +108,14 @@ func NewIngestor(tbl *Table, cfg IngestConfig) (*Ingestor, error) {
 	}
 	cfg.fill()
 	in := &Ingestor{
-		tbl:    tbl,
-		cfg:    cfg,
-		ch:     make(chan seqMut, cfg.QueueDepth),
-		quit:   make(chan struct{}),
-		done:   make(chan struct{}),
-		notify: make(chan struct{}),
+		tbl:       tbl,
+		cfg:       cfg,
+		nextSeq:   cfg.StartSeq,
+		processed: cfg.StartSeq,
+		ch:        make(chan seqMut, cfg.QueueDepth),
+		quit:      make(chan struct{}),
+		done:      make(chan struct{}),
+		notify:    make(chan struct{}),
 	}
 	go in.run()
 	return in, nil
@@ -322,28 +329,34 @@ func (in *Ingestor) fill(batch *[]seqMut) {
 	}
 }
 
-// apply pushes one batch through the table, skipping over individually
+// apply pushes one batch through the table via ApplyLogged, which journals
+// it write-ahead (durable servers), applies it skipping over individually
 // rejected mutations (bad tuple ids) so one poison event cannot wedge the
-// stream, then advances the processed cursor and wakes waiters.
+// stream, and records the sequence cursor — one lock acquisition for all
+// three. Then the processed cursor advances and waiters wake.
 func (in *Ingestor) apply(batch []seqMut) {
 	muts := make([]engine.Mutation, len(batch))
 	for i, m := range batch {
 		muts[i] = m.mut
 	}
-	var rejected uint64
+	_, rej, err := in.tbl.ApplyLogged(batch[0].seq, muts)
+	if errors.Is(err, ErrJournalFailed) {
+		// The write-ahead append failed: nothing was applied and nothing
+		// is durable, so the processed cursor must NOT advance — a wait=1
+		// client blocks (and times out with an error) instead of
+		// receiving a false ack for events that would vanish on restart.
+		in.stateMu.Lock()
+		in.lastErr = err.Error()
+		in.stateMu.Unlock()
+		return
+	}
 	var lastErr string
-	for len(muts) > 0 {
-		n, err := in.tbl.ApplyBatch(muts)
-		if err == nil {
-			break
-		}
-		rejected++
+	if err != nil {
 		lastErr = err.Error()
-		muts = muts[n+1:]
 	}
 	in.stateMu.Lock()
 	in.processed = batch[len(batch)-1].seq
-	in.rejected += rejected
+	in.rejected += uint64(rej)
 	if lastErr != "" {
 		in.lastErr = lastErr
 	}

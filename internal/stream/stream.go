@@ -147,6 +147,12 @@ type Stream struct {
 	dropped   uint64 // releases evicted from the front of the buffer
 	nextSeq   uint64
 	notify    chan struct{}
+	// journal, when set, is called under mu after an epoch's releases are
+	// computed and charged but before the epoch advances and publishes: a
+	// journal error aborts the close (the charge stands — privacy loss is
+	// never under-counted — but nothing is published and the epoch may be
+	// retried once durability recovers).
+	journal func(epoch int) error
 
 	startOnce sync.Once
 	stopOnce  sync.Once
@@ -302,6 +308,19 @@ func (st *Stream) CloseEpoch() (*EpochRelease, error) {
 	err := st.computeLocked(rel)
 	rel.Events = st.tbl.applied
 	rel.N = st.tbl.ds.Len()
+	if err == nil && st.journal != nil {
+		// The epoch record must be appended while the table read lock is
+		// still held: an ingest batch journaling in the gap would order
+		// itself before this record, and replay would then re-execute the
+		// close over the mutated table — with the noise stream restored
+		// bit-for-bit, republishing a *different* value under the same
+		// release cursor (subtracting the two fetches would cancel the
+		// noise and expose the raw count delta). Under the lock, the WAL
+		// order is exactly the table-state order the close observed.
+		if jerr := st.journal(st.epoch); jerr != nil {
+			err = fmt.Errorf("stream: journaling epoch %d close: %w: %w", st.epoch, ErrJournalFailed, jerr)
+		}
+	}
 	st.tbl.RUnlock()
 	if err != nil {
 		st.exhausted = st.exhausted || errors.Is(err, composition.ErrBudgetExceeded)
@@ -427,6 +446,92 @@ func (st *Stream) WaitReleases(ctx context.Context, since uint64) ([]*EpochRelea
 	}
 }
 
+// SetJournal installs the write-ahead hook CloseEpoch calls once an
+// epoch's releases are computed and charged, before they publish. Install
+// it before Start and before the first close; the hook runs under the
+// stream's epoch lock, so it must not call back into the stream.
+func (st *Stream) SetJournal(fn func(epoch int) error) {
+	st.mu.Lock()
+	st.journal = fn
+	st.mu.Unlock()
+}
+
+// State is the serializable progress of a stream: the epoch cursor and the
+// published-release buffer. Together with the backing session's
+// SessionState (budget ledger + noise streams) and the table's TableState
+// it is everything a recovery needs to resume the stream where the
+// snapshot left it — cursors intact, future releases bit-for-bit.
+type State struct {
+	Epoch     int             `json:"epoch"`
+	Exhausted bool            `json:"exhausted,omitempty"`
+	NextSeq   uint64          `json:"next_seq"`
+	Dropped   uint64          `json:"dropped,omitempty"`
+	Releases  []*EpochRelease `json:"releases,omitempty"`
+}
+
+// ExportState captures the stream's progress. The release pointers are
+// shared — published releases are immutable — so the export is cheap.
+func (st *Stream) ExportState() State {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.exportLocked()
+}
+
+func (st *Stream) exportLocked() State {
+	return State{
+		Epoch:     st.epoch,
+		Exhausted: st.exhausted,
+		NextSeq:   st.nextSeq,
+		Dropped:   st.dropped,
+		Releases:  append([]*EpochRelease(nil), st.releases...),
+	}
+}
+
+// Snapshot captures the stream's progress and runs f under the same epoch
+// lock, so no close can land between the two: recovery checkpoints use f
+// to export the backing session's ledger and noise state atomically with
+// the epoch cursor.
+func (st *Stream) Snapshot(f func() error) (State, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s := st.exportLocked()
+	if f != nil {
+		if err := f(); err != nil {
+			return State{}, err
+		}
+	}
+	return s, nil
+}
+
+// RestoreState overwrites the stream's progress with an exported state.
+// Only a fresh stream (no closes yet) may be restored, and the release
+// buffer must be dense: releases[i].Seq == dropped+i+1, the invariant the
+// cursor arithmetic of Releases depends on.
+func (st *Stream) RestoreState(s State) error {
+	if s.Epoch < 0 || s.NextSeq < s.Dropped {
+		return errors.New("stream: invalid restored state")
+	}
+	for i, rel := range s.Releases {
+		if rel == nil || rel.Seq != s.Dropped+uint64(i)+1 {
+			return errors.New("stream: restored release buffer is not cursor-dense")
+		}
+	}
+	if len(s.Releases) > 0 && s.Releases[len(s.Releases)-1].Seq != s.NextSeq {
+		return errors.New("stream: restored release buffer does not end at the cursor")
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.epoch != 0 || st.nextSeq != 0 || len(st.releases) != 0 {
+		return errors.New("stream: state restore requires a fresh stream")
+	}
+	st.epoch = s.Epoch
+	st.exhausted = s.Exhausted
+	st.nextSeq = s.NextSeq
+	st.dropped = s.Dropped
+	st.releases = append([]*EpochRelease(nil), s.Releases...)
+	return nil
+}
+
 // Status is a snapshot of a stream's progress.
 type Status struct {
 	// Epoch is the next epoch to close (== closes so far).
@@ -486,7 +591,17 @@ func (st *Stream) Start() {
 				case <-st.quit:
 					return
 				case <-t.C:
-					if _, err := st.CloseEpoch(); errors.Is(err, composition.ErrBudgetExceeded) {
+					_, err := st.CloseEpoch()
+					if errors.Is(err, composition.ErrBudgetExceeded) {
+						return
+					}
+					if errors.Is(err, ErrJournalFailed) {
+						// The durable backend is down (journal failures
+						// are sticky). Each automatic retry would charge
+						// the epoch's ε again and publish nothing —
+						// draining the whole budget unseen — so the
+						// ticker stops; manual closes still surface the
+						// error to the operator.
 						return
 					}
 				}

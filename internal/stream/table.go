@@ -25,11 +25,19 @@ package stream
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 
 	"blowfish/internal/domain"
 	"blowfish/internal/engine"
 )
+
+// ErrJournalFailed marks a batch or epoch close refused because its
+// write-ahead record could not be appended: the operation was NOT applied
+// and must not be acknowledged. Journal failures are sticky at the log
+// layer (the on-disk tail may be torn), so callers treat this as the
+// durable backend being down, not a per-item rejection.
+var ErrJournalFailed = errors.New("stream: write-ahead journal append failed")
 
 // Table is the synchronization point for one streamed dataset. The engine's
 // DatasetIndex only locks its own caches — the Dataset underneath is
@@ -51,6 +59,16 @@ type Table struct {
 	epochOf  []int32
 	curEpoch int32
 	tracking bool
+	// lastSeq is the highest event sequence number whose batch has been
+	// applied through ApplyLogged — the recovery cursor: a snapshot taken
+	// under the table lock pairs the tuples with exactly this seq, so WAL
+	// replay knows which event batches the snapshot already reflects.
+	lastSeq uint64
+	// journal, when set, is called write-ahead: under the same lock
+	// acquisition that applies the batch, before any mutation lands. A
+	// journal error rejects the whole batch, so no event is ever applied
+	// without being durable first.
+	journal func(firstSeq uint64, muts []engine.Mutation) error
 }
 
 // NewTable wraps ds. The dataset must not be mutated except through the
@@ -173,6 +191,108 @@ func (t *Table) applyLocked(muts []engine.Mutation) (int, error) {
 	}
 	t.applied += uint64(n)
 	return n, err
+}
+
+// SetJournal installs the write-ahead hook ApplyLogged calls before
+// applying a batch. Install it before ingestion starts (or while the
+// writer is quiescent); the hook runs under the table's write lock, so it
+// must not take the table lock itself.
+func (t *Table) SetJournal(fn func(firstSeq uint64, muts []engine.Mutation) error) {
+	t.mu.Lock()
+	t.journal = fn
+	t.mu.Unlock()
+}
+
+// LastSeq returns the highest event sequence number applied through
+// ApplyLogged.
+func (t *Table) LastSeq() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.lastSeq
+}
+
+// ApplyLogged is the ingestion path for sequence-numbered batches: it
+// journals the batch write-ahead (when a journal is installed), applies the
+// mutations skipping individually rejected ones (bad tuple ids must not
+// wedge the stream), and records the batch's last sequence number — all
+// under one write-lock acquisition, so a concurrent snapshot can never
+// observe the tuples without the cursor or vice versa. A journal error
+// rejects the whole batch unapplied.
+func (t *Table) ApplyLogged(firstSeq uint64, muts []engine.Mutation) (applied, rejected int, lastErr error) {
+	if len(muts) == 0 {
+		return 0, 0, nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.journal != nil {
+		if err := t.journal(firstSeq, muts); err != nil {
+			return 0, len(muts), fmt.Errorf("%w: %w", ErrJournalFailed, err)
+		}
+	}
+	rest := muts
+	for len(rest) > 0 {
+		n, err := t.applyLocked(rest)
+		applied += n
+		if err == nil {
+			break
+		}
+		rejected++
+		lastErr = err
+		rest = rest[n+1:]
+	}
+	t.lastSeq = firstSeq + uint64(len(muts)) - 1
+	return applied, rejected, lastErr
+}
+
+// TableState is the serializable streaming state of a table, captured
+// together with the tuples by Snapshot.
+type TableState struct {
+	Applied  uint64  `json:"applied"`
+	LastSeq  uint64  `json:"last_seq"`
+	CurEpoch int32   `json:"cur_epoch"`
+	Tracking bool    `json:"tracking,omitempty"`
+	EpochOf  []int32 `json:"epoch_of,omitempty"`
+}
+
+// Snapshot captures the tuples and the streaming state under one read-lock
+// acquisition: because ApplyLogged journals, applies and advances the
+// cursor under the corresponding write lock, the returned pair is
+// consistent — the points reflect exactly the batches up to LastSeq.
+func (t *Table) Snapshot() ([]domain.Point, TableState) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	st := TableState{
+		Applied:  t.applied,
+		LastSeq:  t.lastSeq,
+		CurEpoch: t.curEpoch,
+		Tracking: t.tracking,
+	}
+	if t.tracking {
+		st.EpochOf = append([]int32(nil), t.epochOf...)
+	}
+	return t.ds.Points(), st
+}
+
+// RestoreState overwrites the streaming bookkeeping with a snapshot's
+// state. The dataset must already hold the snapshot's tuples (recovery
+// rebuilds it before calling); with tracking on, the tag vector must cover
+// them exactly.
+func (t *Table) RestoreState(st TableState) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if st.Tracking && len(st.EpochOf) != t.ds.Len() {
+		return errors.New("stream: restored epoch tags do not cover the dataset")
+	}
+	t.applied = st.Applied
+	t.lastSeq = st.LastSeq
+	t.curEpoch = st.CurEpoch
+	t.tracking = st.Tracking
+	if st.Tracking {
+		t.epochOf = append([]int32(nil), st.EpochOf...)
+	} else {
+		t.epochOf = nil
+	}
+	return nil
 }
 
 // Mutate runs f with exclusive access to the dataset — the escape hatch for

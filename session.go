@@ -97,6 +97,43 @@ func newSession(pol *Policy, plan *engine.Plan, budget float64, src *Source, sha
 // Policy returns the session's policy.
 func (s *Session) Policy() *Policy { return s.pol }
 
+// SessionState is a serializable snapshot of a session's replay-relevant
+// state: the budget ledger and the exact position of every noise stream.
+// The durable server checkpoints it so a restarted session refuses exactly
+// the releases the pre-crash session would have, and (for single-shard
+// seeded sessions) continues the identical noise stream.
+type SessionState struct {
+	Accountant AccountantState   `json:"accountant"`
+	Noise      engine.NoiseState `json:"noise"`
+}
+
+// ExportState captures the session's state. Only engine-backed
+// (unconstrained-policy) sessions support export; the legacy constrained
+// path has no serializable noise pool.
+func (s *Session) ExportState() (SessionState, error) {
+	if s.eng == nil {
+		return SessionState{}, errors.New("blowfish: state export requires an unconstrained (engine-compiled) policy")
+	}
+	noise, err := s.eng.ExportNoise()
+	if err != nil {
+		return SessionState{}, err
+	}
+	return SessionState{Accountant: s.acct.State(), Noise: noise}, nil
+}
+
+// RestoreState overwrites the session's ledger and noise streams with a
+// state captured by ExportState. The session must have been created with
+// the same budget and shard count; restoration is monotone in spend.
+func (s *Session) RestoreState(st SessionState) error {
+	if s.eng == nil {
+		return errors.New("blowfish: state restore requires an unconstrained (engine-compiled) policy")
+	}
+	if err := s.acct.Restore(st.Accountant); err != nil {
+		return err
+	}
+	return s.eng.RestoreNoise(st.Noise)
+}
+
 // Accountant exposes the budget ledger (remaining budget, release log,
 // parallel spending).
 func (s *Session) Accountant() *Accountant { return s.acct }

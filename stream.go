@@ -1,6 +1,7 @@
 package blowfish
 
 import (
+	"blowfish/internal/engine"
 	"blowfish/internal/stream"
 )
 
@@ -46,7 +47,29 @@ type (
 	StreamReleaseKind = stream.ReleaseKind
 	// StreamRangeQuery is one inclusive range count for range-kind epochs.
 	StreamRangeQuery = stream.RangeQuery
+	// StreamState is a stream's serializable progress (durable restarts).
+	StreamState = stream.State
+	// StreamTableState is a table's serializable streaming bookkeeping.
+	StreamTableState = stream.TableState
+	// StreamMutation is one encoded dataset mutation, the unit the table's
+	// write-ahead journal hook receives.
+	StreamMutation = engine.Mutation
+	// StreamMutOp selects the kind of a StreamMutation.
+	StreamMutOp = engine.MutOp
 )
+
+// Mutation op kinds.
+const (
+	StreamMutAdd    = engine.MutAdd
+	StreamMutSet    = engine.MutSet
+	StreamMutRemove = engine.MutRemove
+)
+
+// EncodeStreamEvents validates events against dom and lowers them to the
+// mutations an ingest journal records and a recovery replays.
+func EncodeStreamEvents(dom *Domain, events []StreamEvent) ([]StreamMutation, error) {
+	return stream.EncodeEvents(dom, events)
+}
 
 // Window kinds.
 const (
