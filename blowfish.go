@@ -124,6 +124,65 @@ func DistanceThreshold(d *Domain, theta float64) (SecretGraph, error) {
 // one-dimensional ordered domain (the ordered mechanism's policy).
 func LineGraph(d *Domain) (SecretGraph, error) { return secgraph.NewLine(d) }
 
+// ExplicitGraph is an arbitrary secret graph given by adjacency lists —
+// the fully custom end of the policy spectrum. Build one edge by edge with
+// NewExplicitGraph, or declaratively through a GraphSpec.
+type ExplicitGraph = secgraph.Explicit
+
+// GraphSpec is a serializable secret-graph specification: the paper's
+// standard kinds by name, arbitrary edge lists (kind "explicit"), and
+// composition operators (kind "compose" with op "union", "intersect" or
+// "product"). Specs are plain JSON, so policies defined by clients can be
+// stored, journaled and rebuilt deterministically.
+type GraphSpec = secgraph.Spec
+
+// BuildGraph constructs the secret graph spec declares over d. For kind
+// "partition" the underlying partition is returned alongside (nil
+// otherwise).
+func BuildGraph(d *Domain, spec GraphSpec) (SecretGraph, Partition, error) {
+	return spec.Build(d)
+}
+
+// NewExplicitGraph creates an empty explicit secret graph over d; add
+// secret pairs with AddEdge. It fails for domains too large to hold
+// per-vertex state.
+func NewExplicitGraph(d *Domain, name string) (*ExplicitGraph, error) {
+	return secgraph.NewExplicit(d, name)
+}
+
+// UnionGraphs materializes the edge union of the operand graphs into an
+// explicit graph over d: a pair is a secret when any operand declares it.
+func UnionGraphs(d *Domain, name string, ops ...SecretGraph) (*ExplicitGraph, error) {
+	return secgraph.Union(d, name, ops...)
+}
+
+// IntersectGraphs materializes the edge intersection of the operand graphs
+// into an explicit graph over d: a pair is a secret only when every operand
+// declares it.
+func IntersectGraphs(d *Domain, name string, ops ...SecretGraph) (*ExplicitGraph, error) {
+	return secgraph.Intersect(d, name, ops...)
+}
+
+// ProductGraph composes one 1-D secret graph per attribute of d into the
+// implicit Cartesian-product graph: values are adjacent when exactly one
+// attribute differs and that attribute's factor declares the projected pair
+// a secret. It generalizes AttributeSecrets (the product of complete
+// factors) and scales to domains far too large to materialize.
+func ProductGraph(d *Domain, name string, factors []SecretGraph) (SecretGraph, error) {
+	return secgraph.NewProduct(d, name, factors)
+}
+
+// GraphStats reports the edge and connected-component counts of an
+// explicit (adjacency-list) secret graph; ok is false for implicit kinds,
+// whose structure is analytic rather than enumerated.
+func GraphStats(g SecretGraph) (edges, components int, ok bool) {
+	e, isExplicit := g.(*secgraph.Explicit)
+	if !isExplicit {
+		return 0, 0, false
+	}
+	return e.NumEdges(), e.Components(), true
+}
+
 // NewPolicy creates an unconstrained policy (T, G, I_n).
 func NewPolicy(g SecretGraph) *Policy { return policy.New(g) }
 
@@ -400,6 +459,26 @@ func (cp *CompiledPolicy) HistogramSensitivity() (float64, error) {
 		return cp.plan.HistogramSensitivity()
 	}
 	return HistogramSensitivity(cp.pol)
+}
+
+// ExplicitStats reports the compiled edge and connected-component counts
+// when the policy's secret graph is explicit; ok is false for implicit
+// kinds and constrained (legacy-path) policies.
+func (cp *CompiledPolicy) ExplicitStats() (edges, components int, ok bool) {
+	if cp.plan == nil {
+		return 0, 0, false
+	}
+	return cp.plan.ExplicitStats()
+}
+
+// HopDistance returns d_G(x, y) for the compiled policy's graph. Explicit
+// graphs answer from the plan's precomputed all-pairs table (no BFS);
+// implicit kinds use their analytic formulas.
+func (cp *CompiledPolicy) HopDistance(x, y Point) float64 {
+	if cp.plan != nil {
+		return cp.plan.HopDistance(x, y)
+	}
+	return cp.pol.Graph().HopDistance(x, y)
 }
 
 // NewSession creates a session over the compiled plan with a total ε budget

@@ -32,6 +32,7 @@ func main() {
 		newPath   = flag.String("new", "", "current benchmark output")
 		benches   = flag.String("bench", "", "comma-separated benchmark names to gate")
 		threshold = flag.Float64("threshold", 1.25, "fail when new/old median ns/op exceeds this ratio")
+		allowNew  = flag.Bool("allow-new", false, "pass gated benchmarks absent from the baseline (freshly added; the next main build baselines them). Absence from the current run still fails")
 	)
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" || *benches == "" {
@@ -56,6 +57,10 @@ func main() {
 		}
 		oldNs, oldN := median(oldRuns[name]), len(oldRuns[name])
 		newNs, newN := median(newRuns[name]), len(newRuns[name])
+		if oldN == 0 && newN > 0 && *allowNew {
+			fmt.Printf("new   %-40s %31s %12.0f ns/op  (no baseline yet)\n", name, "", newNs)
+			continue
+		}
 		if oldN == 0 || newN == 0 {
 			fmt.Printf("FAIL  %-40s missing (%d baseline runs, %d current runs)\n", name, oldN, newN)
 			failed = true

@@ -10,11 +10,22 @@
 //	blowfish-policy -domain x:400,y:300 -graph partition -blocks 100
 //	blowfish-policy -domain x:400,y:300 -graph linf -theta 5
 //	blowfish-policy -domain age:100 -graph l1 -theta 5 -bottom
+//
+// Subcommands work on policy spec files — the same JSON body POST
+// /v1/policies accepts ({"domain": [...], "graph": {...}}), including the
+// custom kinds "explicit" and "compose":
+//
+//	blowfish-policy lint spec.json      # validate; exit non-zero on errors
+//	blowfish-policy compile spec.json   # validate, compile the release plan,
+//	                                    # and report sensitivities and structure
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -23,6 +34,110 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "lint":
+			runSpec(os.Args[2:], false)
+			return
+		case "compile":
+			runSpec(os.Args[2:], true)
+			return
+		}
+	}
+	runFlags()
+}
+
+// policyFile mirrors the server's CreatePolicyRequest wire shape, so a
+// file that lints here uploads unchanged with curl.
+type policyFile struct {
+	Domain []attrSpec         `json:"domain"`
+	Graph  blowfish.GraphSpec `json:"graph"`
+}
+
+type attrSpec struct {
+	Name string `json:"name"`
+	Size int    `json:"size"`
+}
+
+// runSpec implements the lint and compile subcommands.
+func runSpec(args []string, compile bool) {
+	fs := flag.NewFlagSet("spec", flag.ExitOnError)
+	eps := fs.Float64("epsilon", 1.0, "privacy budget for the noise-scale report")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		fail(fmt.Errorf("want exactly one spec file, got %d arguments", fs.NArg()))
+	}
+	path := fs.Arg(0)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	var file policyFile
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&file); err != nil {
+		fail(fmt.Errorf("%s: %v", path, err))
+	}
+	// A lint that passes must mean the whole file is the spec: trailing
+	// content (a second object, merge droppings) is an error, not ignored.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		fail(fmt.Errorf("%s: trailing content after the policy spec", path))
+	}
+	if len(file.Domain) == 0 {
+		fail(fmt.Errorf("%s: spec declares no domain attributes", path))
+	}
+	attrs := make([]blowfish.Attribute, len(file.Domain))
+	for i, a := range file.Domain {
+		attrs[i] = blowfish.Attribute{Name: a.Name, Size: a.Size}
+	}
+	dom, err := blowfish.NewDomain(attrs...)
+	if err != nil {
+		fail(fmt.Errorf("%s: %v", path, err))
+	}
+	g, _, err := blowfish.BuildGraph(dom, file.Graph)
+	if err != nil {
+		fail(fmt.Errorf("%s: %v", path, err))
+	}
+	if !compile {
+		fmt.Printf("%s: ok — graph %s over %v\n", path, g.Name(), dom)
+		if edges, comps, ok := blowfish.GraphStats(g); ok {
+			fmt.Printf("  %d edges, %d connected components\n", edges, comps)
+		}
+		return
+	}
+
+	pol := blowfish.NewPolicy(g)
+	cp, err := blowfish.Compile(pol)
+	if err != nil {
+		fail(fmt.Errorf("%s: compiling plan: %v", path, err))
+	}
+	fmt.Printf("policy %s over %v\n", pol.Name(), dom)
+	if edges, comps, ok := cp.ExplicitStats(); ok {
+		fmt.Printf("compiled explicit graph: %d edges, %d connected components\n", edges, comps)
+	}
+	fmt.Println()
+	hist, err := cp.HistogramSensitivity()
+	if err != nil {
+		fail(err)
+	}
+	report("complete histogram h", hist, *eps)
+	sum, err := pol.SumSensitivity()
+	if err != nil {
+		fail(err)
+	}
+	report("k-means qsum (Lemma 6.1)", sum, *eps)
+	if dom.NumAttrs() == 1 {
+		cum, err := pol.CumulativeHistogramSensitivity()
+		if err != nil {
+			fail(err)
+		}
+		report("cumulative histogram S_T", cum, *eps)
+	}
+	fmt.Printf("\ndomain diameter d(T) = %g; graph max edge length = %g\n",
+		dom.Diameter(), g.MaxEdgeDistance())
+}
+
+func runFlags() {
 	var (
 		domSpec = flag.String("domain", "v:128", "domain as name:size[,name:size...]")
 		graph   = flag.String("graph", "full", "secret graph: full, attr, l1, linf, line, partition")

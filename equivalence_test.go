@@ -58,6 +58,29 @@ func equivCases(t *testing.T) []equivCase {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Custom graphs: an explicit edge list (ring plus chords) over the line
+	// domain, and a composed per-attribute product over the grid — the two
+	// kinds the server accepts beyond the six built-ins.
+	ringEdges := make([][2][]int, 0, 68)
+	for i := 0; i < 64; i++ {
+		ringEdges = append(ringEdges, [2][]int{{i}, {(i + 1) % 64}})
+	}
+	for _, chord := range [][2]int{{0, 32}, {8, 40}, {16, 56}, {5, 23}} {
+		ringEdges = append(ringEdges, [2][]int{{chord[0]}, {chord[1]}})
+	}
+	explicit, _, err := blowfish.BuildGraph(line, blowfish.GraphSpec{
+		Kind: "explicit", Name: "ring+chords", Edges: ringEdges,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	product, _, err := blowfish.BuildGraph(grid, blowfish.GraphSpec{
+		Kind: "compose", Op: "product",
+		Graphs: []blowfish.GraphSpec{{Kind: "full"}, {Kind: "line"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	return []equivCase{
 		{name: "full", pol: blowfish.DifferentialPrivacy(line), ds: lineData, oneDim: true},
 		{name: "attr", pol: blowfish.NewPolicy(blowfish.AttributeSecrets(grid)), ds: gridData},
@@ -65,6 +88,8 @@ func equivCases(t *testing.T) []equivCase {
 		{name: "l1", pol: blowfish.NewPolicy(l1), ds: lineData, oneDim: true},
 		{name: "linf", pol: blowfish.NewPolicy(linf), ds: gridData},
 		{name: "line", pol: blowfish.NewPolicy(lineGraph), ds: lineData, oneDim: true},
+		{name: "explicit", pol: blowfish.NewPolicy(explicit), ds: lineData, oneDim: true},
+		{name: "product", pol: blowfish.NewPolicy(product), ds: gridData},
 	}
 }
 

@@ -1,0 +1,113 @@
+// Command custom-graph demonstrates user-defined secret graphs — the
+// Blowfish policy knob beyond the paper's named specifications. A hospital
+// publishes a histogram over 64 severity scores. Disclosure of the exact
+// score is sensitive *within* a clinical band (mild 0-15, moderate 16-39,
+// severe 40-63): the bands themselves are considered public context, but
+// which score inside a band a patient has must stay protected, and the
+// band boundaries should blur slightly (one bridge edge between adjacent
+// bands).
+//
+// No named specification says exactly this. A partition policy drops the
+// bridge protection; a distance-threshold policy protects pairs the
+// hospital is happy to reveal. The custom graph declares precisely the
+// intended secrets — and the noise scale follows the declaration, not a
+// worst case.
+//
+// The same spec JSON-serializes and uploads to the HTTP server unchanged:
+// see examples/custom-graph/README.md for the curl walkthrough.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"math"
+
+	"blowfish"
+)
+
+func main() {
+	dom, err := blowfish.LineDomain("severity", 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Declare the graph as a serializable spec: complete subgraphs within
+	// each band, plus explicit bridge edges across the boundaries.
+	spec := blowfish.GraphSpec{
+		Kind: "compose", Op: "union", Name: "severity-bands",
+		Graphs: []blowfish.GraphSpec{
+			bandSpec(0, 15),
+			bandSpec(16, 39),
+			bandSpec(40, 63),
+			{Kind: "explicit", Edges: [][2][]int{{{15}, {16}}, {{39}, {40}}}},
+		},
+	}
+	g, _, err := blowfish.BuildGraph(dom, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	edges, comps, _ := blowfish.GraphStats(g)
+	fmt.Printf("custom graph %q: %d edges, %d connected component(s)\n", g.Name(), edges, comps)
+
+	// The spec round-trips through JSON — this is exactly what the server
+	// journals in its WAL and what recovery rebuilds the plan from.
+	wire, err := json.Marshal(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wire form: %d bytes of JSON\n\n", len(wire))
+
+	// Synthetic severity scores, heavier at the mild end.
+	data := blowfish.NewDataset(dom)
+	for i := 0; i < 5000; i++ {
+		data.MustAdd(blowfish.Point((i * i * 31) % 64 * (i % 3) / 2 % 64))
+	}
+
+	custom := blowfish.NewPolicy(g)
+	full := blowfish.DifferentialPrivacy(dom)
+
+	const eps = 0.5
+	compare := func(name string, pol *blowfish.Policy) {
+		sess, err := blowfish.NewSession(pol, 10, blowfish.NewSource(42))
+		if err != nil {
+			log.Fatal(err)
+		}
+		rel, err := sess.ReleaseCumulativeHistogram(data, eps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cum, err := data.CumulativeHistogram()
+		if err != nil {
+			log.Fatal(err)
+		}
+		var mae float64
+		for i := range cum {
+			mae += math.Abs(rel.Inferred[i] - cum[i])
+		}
+		mae /= float64(len(cum))
+		sens, err := pol.CumulativeHistogramSensitivity()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s cumulative sensitivity %3g, mean abs error %.2f at ε=%g\n", name, sens, mae, eps)
+	}
+	// Under the custom graph the longest secret edge spans one band (23
+	// scores), not the whole domain (63), so every cumulative count takes
+	// ~2.7x less noise than differential privacy — the privacy-utility
+	// dial the policy turns (Section 4 of the paper).
+	compare("custom severity-bands", custom)
+	compare("full domain (DP)", full)
+}
+
+// bandSpec declares the complete graph on [lo, hi] as an explicit edge
+// list: every score pair within the band is a secret.
+func bandSpec(lo, hi int) blowfish.GraphSpec {
+	var edges [][2][]int
+	for x := lo; x <= hi; x++ {
+		for y := x + 1; y <= hi; y++ {
+			edges = append(edges, [2][]int{{x}, {y}})
+		}
+	}
+	return blowfish.GraphSpec{Kind: "explicit", Edges: edges}
+}

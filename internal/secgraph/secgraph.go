@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"blowfish/internal/domain"
 	"blowfish/internal/graph"
@@ -237,6 +238,14 @@ func (g *DistanceThreshold) MaxEdgeDistance() float64 {
 	return math.Floor(g.theta)
 }
 
+// maxMemoBytes caps the total memory the per-source BFS memo of one
+// Explicit graph may hold (each entry is |T| int32s, so the source cap is
+// maxMemoBytes / 4|T| — a byte bound, not a count bound, so huge domains
+// cannot accumulate gigabytes of slices). Beyond the cap an arbitrary
+// entry is evicted; eviction only costs a recomputation, never changes
+// results.
+const maxMemoBytes = 64 << 20
+
 // Explicit is an arbitrary secret graph given by adjacency lists. It
 // materializes per-vertex state and is restricted to small domains; it backs
 // unit tests, the constraint machinery, and custom policies.
@@ -246,6 +255,13 @@ type Explicit struct {
 	name string
 	// maxEdge caches MaxEdgeDistance.
 	maxEdge float64
+
+	// mu guards dist, the memoized per-source hop-distance slices. Without
+	// the memo every HopDistance call runs a fresh single-source BFS, which
+	// turns all-pairs sensitivity loops into O(V²·(V+E)); with it each
+	// source pays BFS once until AddEdge invalidates the cache.
+	mu   sync.RWMutex
+	dist map[int][]int32
 }
 
 // NewExplicit creates an empty explicit graph over d.
@@ -259,7 +275,9 @@ func NewExplicit(d *domain.Domain, name string) (*Explicit, error) {
 	return &Explicit{dom: d, und: graph.NewUndirected(int(d.Size())), name: name}, nil
 }
 
-// AddEdge inserts the secret pair {x, y}.
+// AddEdge inserts the secret pair {x, y}. It invalidates any memoized hop
+// distances: graphs are normally built fully before first use, so the
+// invalidation is free on the common path.
 func (e *Explicit) AddEdge(x, y domain.Point) error {
 	if !e.dom.Contains(x) || !e.dom.Contains(y) {
 		return domain.ErrPointOutOfRange
@@ -270,15 +288,27 @@ func (e *Explicit) AddEdge(x, y domain.Point) error {
 	if d := e.dom.L1(x, y); d > e.maxEdge {
 		e.maxEdge = d
 	}
+	e.mu.Lock()
+	e.dist = nil
+	e.mu.Unlock()
 	return nil
 }
 
+// MaxMaterializeVertices caps the domain size Materialize accepts. The
+// binding cost of materialization is the |T|² pair scan, so the cap is the
+// square root of EdgeLimit — the same bound Edges applies to implicit
+// graphs, and far tighter than NewExplicit's domain.MaxMaterializedSize
+// guard, which only bounds per-vertex state.
+const MaxMaterializeVertices = 1 << 12 // MaxMaterializeVertices² == EdgeLimit
+
 // Materialize copies any Graph into an Explicit graph by enumerating all
-// vertex pairs; it fails for domains above the materialization cap.
+// vertex pairs; it fails for domains above MaxMaterializeVertices, whose
+// |T|² pair scan would exceed EdgeLimit.
 func Materialize(g Graph) (*Explicit, error) {
 	d := g.Domain()
-	if d.Size() > 4096 {
-		return nil, fmt.Errorf("secgraph: refusing to materialize %d² pairs", d.Size())
+	if d.Size() > MaxMaterializeVertices {
+		return nil, fmt.Errorf("secgraph: refusing to materialize %d vertices (%d² pairs exceed the %d pair-scan limit)",
+			d.Size(), d.Size(), int64(EdgeLimit))
 	}
 	e, err := NewExplicit(d, g.Name())
 	if err != nil {
@@ -311,16 +341,68 @@ func (e *Explicit) Adjacent(x, y domain.Point) bool {
 	return e.und.HasEdge(int(x), int(y))
 }
 
-// HopDistance implements Graph via BFS.
+// HopDistance implements Graph via BFS, memoizing one distance slice per
+// source so all-pairs loops pay O(V·(V+E)) instead of O(V²·(V+E)).
 func (e *Explicit) HopDistance(x, y domain.Point) float64 {
 	if x == y {
 		return 0
 	}
-	dist := e.und.BFSDistances(int(x))
+	if !e.dom.Contains(x) || !e.dom.Contains(y) {
+		return math.Inf(1)
+	}
+	dist := e.DistancesFrom(x)
 	if d := dist[int(y)]; d >= 0 {
 		return float64(d)
 	}
 	return math.Inf(1)
+}
+
+// DistancesFrom returns the hop distances from x to every vertex (-1 where
+// unreachable), serving the memoized slice when one exists. The returned
+// slice is shared and must not be modified.
+func (e *Explicit) DistancesFrom(x domain.Point) []int32 {
+	s := int(x)
+	e.mu.RLock()
+	dist, ok := e.dist[s]
+	e.mu.RUnlock()
+	if ok {
+		return dist
+	}
+	dist = e.ComputeDistances(s)
+	maxSources := maxMemoBytes / (4 * len(dist))
+	if maxSources < 1 {
+		maxSources = 1
+	}
+	e.mu.Lock()
+	if e.dist == nil {
+		e.dist = make(map[int][]int32)
+	}
+	if cached, ok := e.dist[s]; ok {
+		dist = cached // a racing computation won; share its slice
+	} else {
+		if len(e.dist) >= maxSources {
+			for k := range e.dist {
+				delete(e.dist, k)
+				break
+			}
+		}
+		e.dist[s] = dist
+	}
+	e.mu.Unlock()
+	return dist
+}
+
+// ComputeDistances runs one single-source BFS and returns a fresh distance
+// slice, bypassing (and never feeding) the memo — bulk precomputations
+// that keep their own table use it so the memo does not retain a second
+// copy of every slice.
+func (e *Explicit) ComputeDistances(s int) []int32 {
+	raw := e.und.BFSDistances(s)
+	dist := make([]int32, len(raw))
+	for i, d := range raw {
+		dist[i] = int32(d)
+	}
+	return dist
 }
 
 // MaxEdgeDistance implements Graph.
@@ -329,11 +411,21 @@ func (e *Explicit) MaxEdgeDistance() float64 { return e.maxEdge }
 // NumEdges returns the number of secret pairs.
 func (e *Explicit) NumEdges() int { return e.und.M() }
 
+// Neighbors returns the adjacency list of x; the slice must not be
+// modified.
+func (e *Explicit) Neighbors(x domain.Point) []int { return e.und.Neighbors(int(x)) }
+
 // Components returns the number of connected components (isolated vertices
 // included); PartitionGraph-like structure emerges when > 1.
 func (e *Explicit) Components() int {
 	_, sizes := e.und.Components()
 	return len(sizes)
+}
+
+// ComponentLabels labels every vertex with its connected-component id in
+// [0, #components) and returns the per-component sizes alongside.
+func (e *Explicit) ComponentLabels() (labels []int, sizes []int) {
+	return e.und.Components()
 }
 
 // EdgeLimit bounds how many vertex pairs Edges will scan for implicit
@@ -393,6 +485,20 @@ func HasAnyEdge(g Graph) (bool, error) {
 		return false, nil
 	case *DistanceThreshold:
 		return t.dom.Size() >= 2 && t.theta >= 1, nil
+	case *Product:
+		// A factor edge (x_i, y_i) lifts to a product edge with every
+		// choice of the remaining attributes, so the product has an edge
+		// iff some factor does.
+		for _, f := range t.factors {
+			has, err := HasAnyEdge(f)
+			if err != nil {
+				return false, err
+			}
+			if has {
+				return true, nil
+			}
+		}
+		return false, nil
 	case *PartitionGraph:
 		// An edge exists iff some block holds two values. With fewer blocks
 		// than values this is forced by pigeonhole; otherwise a positive

@@ -88,6 +88,8 @@ func policyResponse(e *policyEntry) PolicyResponse {
 		Domain:               e.attrs,
 		DomainSize:           e.pol.Domain().Size(),
 		HistogramSensitivity: e.histSens,
+		Edges:                e.edges,
+		Components:           e.components,
 	}
 }
 

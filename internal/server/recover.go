@@ -402,13 +402,16 @@ func buildPolicyEntry(attrs []AttrSpec, graph GraphSpec) (*policyEntry, error) {
 	if err != nil {
 		return nil, err
 	}
+	edges, components, _ := cp.ExplicitStats()
 	return &policyEntry{
-		pol:      pol,
-		cp:       cp,
-		attrs:    append([]AttrSpec(nil), attrs...),
-		graph:    graph,
-		part:     part,
-		histSens: sens,
+		pol:        pol,
+		cp:         cp,
+		attrs:      append([]AttrSpec(nil), attrs...),
+		graph:      graph,
+		part:       part,
+		histSens:   sens,
+		edges:      edges,
+		components: components,
 	}, nil
 }
 

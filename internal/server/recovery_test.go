@@ -97,6 +97,16 @@ func httpJSON(t *testing.T, method, url string, body, out any) int {
 
 func i64(v int64) *int64 { return &v }
 
+// crashGraphSpec drives the kill -9 harness through the custom-graph path:
+// a composed union of the line graph and an explicit wrap edge over v:16.
+// The crash child registers it over HTTP and the control server replays
+// it, so recovery must rebuild the identical compiled plan from the
+// journaled spec for the bit-for-bit assertions below to hold.
+var crashGraphSpec = GraphSpec{Kind: "compose", Op: "union", Graphs: []GraphSpec{
+	{Kind: "line"},
+	{Kind: "explicit", Edges: [][2][]int{{{0}, {15}}}},
+}}
+
 // abandon tears down a durable server the way a test stands in for a
 // crash: background machinery stops, but no final checkpoint is taken and
 // the registries are left as they are.
@@ -164,8 +174,11 @@ func TestCrashRecovery(t *testing.T) {
 	var pol PolicyResponse
 	httpJSON(t, "POST", base+"/v1/policies", CreatePolicyRequest{
 		Domain: []AttrSpec{{Name: "v", Size: 16}},
-		Graph:  GraphSpec{Kind: "full"},
+		Graph:  crashGraphSpec,
 	}, &pol)
+	if pol.Edges != 16 || pol.Components != 1 {
+		t.Fatalf("custom-graph policy = %+v, want 16 edges in 1 component (line + wrap)", pol)
+	}
 
 	var dsA, dsB DatasetResponse
 	httpJSON(t, "POST", base+"/v1/datasets", CreateDatasetRequest{PolicyID: pol.ID}, &dsA)
@@ -308,7 +321,7 @@ func TestCrashRecovery(t *testing.T) {
 	ctl := New(Config{})
 	polID := mustCreatePolicy(t, ctl, CreatePolicyRequest{
 		Domain: []AttrSpec{{Name: "v", Size: 16}},
-		Graph:  GraphSpec{Kind: "full"},
+		Graph:  crashGraphSpec,
 	})
 	ctlDS := mustCreateDataset(t, ctl, CreateDatasetRequest{PolicyID: polID})
 	w := do(t, ctl, "POST", "/v1/streams", CreateStreamRequest{

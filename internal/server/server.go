@@ -104,6 +104,9 @@ type policyEntry struct {
 	part blowfish.Partition
 	// histSens is S(h, P), computed once at registration.
 	histSens float64
+	// edges and components describe the compiled structure of explicit
+	// secret graphs (zero for implicit kinds).
+	edges, components int
 }
 
 type datasetEntry struct {
@@ -433,35 +436,5 @@ func buildDomain(attrs []AttrSpec) (*blowfish.Domain, error) {
 // buildGraph constructs the secret graph named by spec, returning the
 // partition alongside for kind "partition".
 func buildGraph(dom *blowfish.Domain, spec GraphSpec) (blowfish.SecretGraph, blowfish.Partition, error) {
-	switch spec.Kind {
-	case "full":
-		return blowfish.FullDomain(dom), nil, nil
-	case "attr":
-		return blowfish.AttributeSecrets(dom), nil, nil
-	case "line":
-		g, err := blowfish.LineGraph(dom)
-		return g, nil, err
-	case "l1":
-		g, err := blowfish.DistanceThreshold(dom, spec.Theta)
-		return g, nil, err
-	case "linf":
-		g, err := blowfish.LInfDistanceThreshold(dom, spec.Theta)
-		return g, nil, err
-	case "partition":
-		var part blowfish.Partition
-		var err error
-		if len(spec.Widths) > 0 {
-			part, err = blowfish.UniformGridPartition(dom, spec.Widths)
-		} else if spec.Blocks > 0 {
-			part, err = blowfish.UniformPartitionByCount(dom, spec.Blocks)
-		} else {
-			err = fmt.Errorf("partition graph needs blocks or widths")
-		}
-		if err != nil {
-			return nil, nil, err
-		}
-		return blowfish.PartitionedSecrets(part), part, nil
-	default:
-		return nil, nil, fmt.Errorf("unknown graph kind %q (want full, attr, line, l1, linf or partition)", spec.Kind)
-	}
+	return blowfish.BuildGraph(dom, spec)
 }

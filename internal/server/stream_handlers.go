@@ -320,9 +320,10 @@ func releaseWire(rel *blowfish.EpochRelease) EpochReleaseWire {
 
 // handleStreamReleases answers a cursor poll over the stream's published
 // releases. With wait_ms > 0 and nothing past the cursor, the request long-
-// polls until a release arrives, the wait elapses (200 with an empty list),
-// or the stream is exhausted with nothing left to wait for (the structured
-// budget_exhausted error, so pollers know to stop).
+// polls until a release arrives or the wait elapses (200 with an empty
+// list). A poll — waiting or not — that lands past the last release of an
+// exhausted stream gets the structured budget_exhausted error: nothing
+// will ever arrive, so pollers know to stop.
 func (s *Server) handleStreamReleases(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.streamFor(w, r)
 	if !ok {
@@ -367,6 +368,14 @@ func (s *Server) handleStreamReleases(w http.ResponseWriter, r *http.Request) {
 			writeError(w, CodeBadRequest, err.Error())
 			return
 		}
+	}
+	if len(rels) == 0 && e.st.Status().Exhausted {
+		// Past the last release of an exhausted stream nothing will ever
+		// arrive — the terminal budget_exhausted signal must reach plain
+		// polls too, not only the long-poll branch above, or a non-waiting
+		// poller loops on empty 200s forever.
+		writeLibError(w, blowfish.ErrBudgetExceeded)
+		return
 	}
 	resp := StreamReleasesResponse{Releases: make([]EpochReleaseWire, len(rels)), NextSince: since}
 	for i, rel := range rels {

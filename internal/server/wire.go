@@ -4,14 +4,17 @@ package server
 // response that costs privacy budget echoes the session's remaining budget
 // so clients can pace themselves without an extra round trip.
 
+import "blowfish"
+
 // AttrSpec declares one categorical attribute of a domain.
 type AttrSpec struct {
 	Name string `json:"name"`
 	Size int    `json:"size"`
 }
 
-// GraphSpec selects one of the paper's standard secret-graph
-// specifications over the declared domain.
+// GraphSpec declares the secret graph of a policy over the declared
+// domain: one of the paper's standard specifications by name, an arbitrary
+// edge list, or a composition of specs.
 //
 // Kinds:
 //
@@ -21,17 +24,17 @@ type AttrSpec struct {
 //	l1        — S^{d,θ} under the L1 metric; requires Theta
 //	linf      — S^{d,θ} under the L∞ metric; requires Theta
 //	partition — S^P over a uniform grid partition; requires Blocks or Widths
-type GraphSpec struct {
-	Kind string `json:"kind"`
-	// Theta is the distance threshold for kinds l1 and linf.
-	Theta float64 `json:"theta,omitempty"`
-	// Blocks is the approximate block count for kind partition (aspect-ratio
-	// preserving uniform grid).
-	Blocks int `json:"blocks,omitempty"`
-	// Widths gives explicit per-attribute cell widths for kind partition;
-	// it takes precedence over Blocks.
-	Widths []int `json:"widths,omitempty"`
-}
+//	explicit  — arbitrary adjacency given by Edges
+//	compose   — Op ("union", "intersect" or "product") over Graphs
+//
+// The spec is journaled verbatim in the server's write-ahead log and
+// snapshots, and recovery rebuilds the identical compiled plan from it.
+// The wire type IS the library's serializable spec (see blowfish.GraphSpec
+// for the field reference: Theta for l1/linf, Blocks/Widths for partition,
+// Edges — pairs of rows, the dataset row encoding — for explicit,
+// Op/Graphs for compose), so a journaled spec can never drift from what
+// the create request declared.
+type GraphSpec = blowfish.GraphSpec
 
 // CreatePolicyRequest declares a domain and a secret-graph specification.
 type CreatePolicyRequest struct {
@@ -48,6 +51,14 @@ type PolicyResponse struct {
 	// HistogramSensitivity is S(h, P), the noise driver for histogram
 	// releases (Theorem 5.1).
 	HistogramSensitivity float64 `json:"histogram_sensitivity"`
+	// Edges and Components describe the compiled structure of explicit
+	// (edge-list or composed) secret graphs; both are omitted for implicit
+	// kinds, whose structure is analytic. Components is >= 1 for every
+	// explicit graph (a domain has at least one vertex), so its presence is
+	// the reliable explicit-backed marker; Edges may be legitimately absent
+	// at zero (e.g. an empty intersection).
+	Edges      int `json:"edges,omitempty"`
+	Components int `json:"components,omitempty"`
 }
 
 // CreateDatasetRequest uploads a dataset as integer rows, one tuple per
