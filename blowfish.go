@@ -210,6 +210,8 @@ func ConstraintsFromDataset(queries []CountQuery, ds *Dataset) (*ConstraintSet, 
 // policy with noise calibrated to the policy-specific sensitivity
 // (Theorem 5.1); for constrained policies it calibrates to the Theorem 8.2
 // policy-graph bound.
+//
+//lint:allow budgetcharge mechanism-level API: the caller supplies eps and the source; Session.ReleaseHistogram is the accounted entry point and charges before delegating here
 func ReleaseHistogram(p *Policy, ds *Dataset, eps float64, src *Source) ([]float64, error) {
 	if p.Unconstrained() {
 		return mechanism.ReleaseHistogram(p, ds, eps, src)
@@ -235,6 +237,8 @@ func ConsistentWithConstraints(p *Policy, released []float64) ([]float64, error)
 
 // ReleasePartitionHistogram releases the histogram over the blocks of part;
 // it is exact when every secret pair stays within a block.
+//
+//lint:allow budgetcharge mechanism-level API: accounting happens in Session.ReleasePartitionHistogram, which charges only when the partition straddles blocks
 func ReleasePartitionHistogram(p *Policy, ds *Dataset, part Partition, eps float64, src *Source) ([]float64, error) {
 	return mechanism.ReleasePartitionHistogram(p, ds, part, eps, src)
 }
@@ -255,6 +259,8 @@ func HistogramSensitivity(p *Policy) (float64, error) {
 }
 
 // KMeans runs non-private Lloyd clustering (the Figure 1 baseline).
+//
+//lint:allow budgetcharge non-private baseline: the source only seeds centroid initialization deterministically; nothing released claims a privacy guarantee, so there is no ε to charge
 func KMeans(ds *Dataset, k, iterations int, src *Source) (KMeansResult, error) {
 	cfg, err := kmeansConfig(ds, k, iterations)
 	if err != nil {
@@ -266,6 +272,8 @@ func KMeans(ds *Dataset, k, iterations int, src *Source) (KMeansResult, error) {
 // PrivateKMeans runs SuLQ k-means satisfying (ε, P)-Blowfish privacy: the
 // qsize and qsum sensitivities come from the policy (Lemma 6.1), the
 // clamping box from the domain.
+//
+//lint:allow budgetcharge mechanism-level API: Session.PrivateKMeans is the accounted entry point; it spends eps against the ledger before invoking this function
 func PrivateKMeans(p *Policy, ds *Dataset, k, iterations int, eps float64, src *Source) (KMeansResult, error) {
 	if !p.Domain().Equal(ds.Domain()) {
 		return KMeansResult{}, ErrDomainMismatch
@@ -311,6 +319,8 @@ func (c *CumulativeRelease) Range(lo, hi int) (float64, error) {
 // noises every cumulative count with the policy-specific sensitivity (1
 // under the line graph, θ under G^{d,θ}, |T|−1 under differential privacy)
 // and applies constrained inference.
+//
+//lint:allow budgetcharge mechanism-level API: Session.ReleaseCumulativeHistogram charges the ledger before delegating to this function
 func ReleaseCumulativeHistogram(p *Policy, ds *Dataset, eps float64, src *Source) (*CumulativeRelease, error) {
 	if !p.Domain().Equal(ds.Domain()) {
 		return nil, ErrDomainMismatch
@@ -343,6 +353,8 @@ type RangeReleaser struct {
 
 // NewRangeReleaser builds and releases the Ordered Hierarchical structure
 // for the dataset under the policy.
+//
+//lint:allow budgetcharge mechanism-level API: Session.NewRangeReleaser is the accounted entry point and spends eps before building the structure
 func NewRangeReleaser(p *Policy, ds *Dataset, fanout int, eps float64, src *Source) (*RangeReleaser, error) {
 	if !p.Domain().Equal(ds.Domain()) {
 		return nil, ErrDomainMismatch

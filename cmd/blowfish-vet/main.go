@@ -1,0 +1,97 @@
+// Command blowfish-vet runs the repository's custom invariant analyzers
+// (internal/analysis) over a package pattern and exits nonzero if any
+// unsuppressed finding remains. It is the mechanical form of the review
+// checklist that grew around PRs 1–5: every rule it enforces exists
+// because the property it guards — ε-accounting, write-ahead ordering,
+// replay determinism, lock ordering — fails silently and is expensive to
+// rediscover under a fuzzer or a crash hammer.
+//
+// Usage:
+//
+//	go run ./cmd/blowfish-vet ./...
+//	go run ./cmd/blowfish-vet -show-suppressed ./...
+//
+// Findings print as file:line:col: analyzer: message. A finding covered
+// by a //lint:allow <analyzer> <justification> directive is suppressed
+// and does not affect the exit code; -show-suppressed prints those too,
+// with their justifications, so the exception inventory stays auditable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"blowfish/internal/analysis"
+	"blowfish/internal/analysis/budgetcharge"
+	"blowfish/internal/analysis/detorder"
+	"blowfish/internal/analysis/lockdiscipline"
+	"blowfish/internal/analysis/noisesource"
+	"blowfish/internal/analysis/waljournal"
+)
+
+var analyzers = []*analysis.Analyzer{
+	budgetcharge.Default,
+	waljournal.Default,
+	noisesource.Default,
+	detorder.Default,
+	lockdiscipline.Default,
+}
+
+func main() {
+	showSuppressed := flag.Bool("show-suppressed", false, "also print findings silenced by //lint:allow directives, with their justifications")
+	listOnly := flag.Bool("list", false, "list the registered analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: blowfish-vet [flags] [package pattern ...]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-16s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(flag.CommandLine.Output(), "\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listOnly {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blowfish-vet: %v\n", err)
+		os.Exit(2)
+	}
+	prog, err := analysis.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blowfish-vet: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(prog, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blowfish-vet: %v\n", err)
+		os.Exit(2)
+	}
+
+	open, suppressed := 0, 0
+	for _, d := range diags {
+		if d.Suppressed {
+			suppressed++
+			if *showSuppressed {
+				fmt.Printf("%s: %s: %s [suppressed: %s]\n", d.Position, d.Analyzer, d.Message, d.Justification)
+			}
+			continue
+		}
+		open++
+		fmt.Printf("%s: %s: %s\n", d.Position, d.Analyzer, d.Message)
+	}
+	fmt.Fprintf(os.Stderr, "blowfish-vet: %d package(s), %d finding(s), %d suppressed\n", len(prog.Pkgs), open, suppressed)
+	if open > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPathHasSuffix(t *testing.T) {
+	cases := []struct {
+		path string
+		sufs []string
+		want bool
+	}{
+		{"blowfish", []string{"blowfish"}, true},
+		{"blowfish/internal/engine", []string{"internal/engine"}, true},
+		{"blowfish/internal/analysis/budgetcharge/testdata/src/blowfish", []string{"blowfish"}, true},
+		{"blowfish/internal/engineered", []string{"internal/engine"}, false},
+		{"internal/engine", []string{"internal/engine"}, true},
+		{"blowfish/internal/stream", []string{"internal/engine"}, false},
+	}
+	for _, c := range cases {
+		if got := PathHasSuffix(c.path, c.sufs); got != c.want {
+			t.Errorf("PathHasSuffix(%q, %v) = %v, want %v", c.path, c.sufs, got, c.want)
+		}
+	}
+}
+
+func TestParseAllow(t *testing.T) {
+	mk := func(text string) *ast.Comment { return &ast.Comment{Slash: 1, Text: text} }
+
+	if _, ok, bad := parseAllow(mk("// ordinary comment")); ok || bad != nil {
+		t.Errorf("ordinary comment misparsed: ok=%v bad=%v", ok, bad)
+	}
+	d, ok, bad := parseAllow(mk("//lint:allow detorder order does not matter here"))
+	if !ok || bad != nil {
+		t.Fatalf("valid directive rejected: ok=%v bad=%v", ok, bad)
+	}
+	if d.analyzer != "detorder" || d.justification != "order does not matter here" {
+		t.Errorf("parsed %q / %q", d.analyzer, d.justification)
+	}
+	// A justification is mandatory: analyzer name alone is malformed.
+	if _, ok, bad := parseAllow(mk("//lint:allow detorder")); ok || bad == nil {
+		t.Errorf("justification-free directive accepted: ok=%v bad=%v", ok, bad)
+	}
+	if _, ok, bad := parseAllow(mk("//lint:allow")); ok || bad == nil {
+		t.Errorf("bare directive accepted: ok=%v bad=%v", ok, bad)
+	}
+}
+
+func TestFacts(t *testing.T) {
+	f := NewFacts()
+	if f.Has("noisy", "p.F") {
+		t.Error("empty store claims a fact")
+	}
+	f.Set("noisy", "p.F")
+	f.Set("noisy", "p.(T).M")
+	if !f.Has("noisy", "p.F") || !f.Has("noisy", "p.(T).M") {
+		t.Error("set facts not found")
+	}
+	keys := f.Keys("noisy")
+	if len(keys) != 2 || keys[0] != "p.(T).M" || keys[1] != "p.F" {
+		t.Errorf("Keys = %v", keys)
+	}
+}
+
+// TestLoadAndSuppression exercises the loader, the driver, FuncKey on
+// source-checked objects, and line- plus function-scoped suppression over
+// a real on-disk package.
+func TestLoadAndSuppression(t *testing.T) {
+	dir := t.TempDir()
+	// The package must live inside a module for `go list` to resolve it
+	// without network access.
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module suppresstest\n\ngo 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := `package p
+
+// F is flagged: no directive covers it.
+func F() {}
+
+//lint:allow always line-scope suppression demo
+func G() {}
+
+// H carries the function-scoped form.
+//
+//lint:allow always func-scope suppression demo
+func H() {}
+
+//lint:allow always
+func Malformed() {}
+`
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Load(dir, ".")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(prog.Pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(prog.Pkgs))
+	}
+
+	// "always" flags every function declaration at its name.
+	always := &Analyzer{Name: "always", Doc: "test", Run: func(pass *Pass) error {
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					pass.Reportf(fd.Name.Pos(), "func %s", fd.Name.Name)
+				}
+			}
+		}
+		return nil
+	}}
+	diags, err := Run(prog, []*Analyzer{always})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	got := make(map[string]Diagnostic)
+	for _, d := range diags {
+		got[d.Analyzer+":"+lastWord(d.Message)] = d
+	}
+	if d := got["always:F"]; d.Suppressed {
+		t.Error("F suppressed without a directive")
+	}
+	if d := got["always:G"]; !d.Suppressed || d.Justification != "line-scope suppression demo" {
+		t.Errorf("G: suppressed=%v justification=%q", d.Suppressed, d.Justification)
+	}
+	if d := got["always:H"]; !d.Suppressed || d.Justification != "func-scope suppression demo" {
+		t.Errorf("H: suppressed=%v justification=%q", d.Suppressed, d.Justification)
+	}
+	// The justification-free directive above Malformed is itself a
+	// finding and suppresses nothing.
+	if d := got["always:Malformed"]; d.Suppressed {
+		t.Error("malformed directive suppressed a finding")
+	}
+	foundBad := false
+	for _, d := range diags {
+		if d.Analyzer == "allow" && strings.Contains(d.Message, "malformed") {
+			foundBad = true
+		}
+	}
+	if !foundBad {
+		t.Error("malformed directive not reported")
+	}
+
+	// FuncKey on a source-checked package function.
+	var fPos token.Pos
+	for _, file := range prog.Pkgs[0].Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if fd, ok := n.(*ast.FuncDecl); ok && fd.Name.Name == "F" {
+				fPos = fd.Name.Pos()
+			}
+			return true
+		})
+	}
+	if fPos == token.NoPos {
+		t.Fatal("F not found")
+	}
+	for id, obj := range prog.Pkgs[0].TypesInfo.Defs {
+		if id.Pos() != fPos {
+			continue
+		}
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			t.Fatalf("F resolved to %T, want *types.Func", obj)
+		}
+		if key := FuncKey(fn); key != "suppresstest.F" {
+			t.Errorf("FuncKey(F) = %q, want %q", key, "suppresstest.F")
+		}
+	}
+}
+
+func lastWord(s string) string {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return ""
+	}
+	return fields[len(fields)-1]
+}

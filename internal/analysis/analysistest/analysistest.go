@@ -1,0 +1,157 @@
+// Package analysistest runs an analyzer over testdata packages and checks
+// its diagnostics against `// want "regexp"` comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest but built on the
+// repository's own stdlib-only framework.
+//
+// Testdata layout mirrors x/tools: <testdata>/src/<pkg>/... holds real,
+// compiling Go packages (the loader type-checks them with full import
+// resolution — they live inside the module, so `go list` handles them
+// even though ./... wildcards skip testdata directories). A line expecting
+// a finding carries a trailing comment:
+//
+//	for k := range m { // want `map iteration`
+//
+// Multiple expectations on one line list multiple quoted regexps.
+// Suppressed findings (covered by //lint:allow) must NOT be wanted: the
+// harness treats them as absent, which is exactly how the escape hatch is
+// demonstrated in testdata.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"blowfish/internal/analysis"
+)
+
+// wantRe matches one quoted expectation: `re` or "re".
+var wantRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+// Run loads each named package under testdata/src, runs the analyzer, and
+// reports mismatches through t. It returns the (unsuppressed) diagnostics
+// so tests can make extra assertions.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) []analysis.Diagnostic {
+	t.Helper()
+	var out []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		dir, err := filepath.Abs(filepath.Join(testdata, "src", pkg))
+		if err != nil {
+			t.Fatalf("resolving %s: %v", pkg, err)
+		}
+		prog, err := analysis.Load(dir, ".")
+		if err != nil {
+			t.Fatalf("loading %s: %v", dir, err)
+		}
+		diags, err := analysis.Run(prog, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkg, err)
+		}
+		// Expectations come from every file under this testdata package,
+		// helper sub-packages included, matching the diagnostic filter
+		// below.
+		var files []*ast.File
+		for _, p := range prog.Pkgs {
+			files = append(files, p.Files...)
+		}
+		expects := collectExpectations(t, prog.Fset, files)
+		var unsuppressed []analysis.Diagnostic
+		for _, d := range diags {
+			if d.Position.Filename != "" && !strings.HasPrefix(d.Position.Filename, dir+string(filepath.Separator)) {
+				continue
+			}
+			if d.Suppressed {
+				continue
+			}
+			unsuppressed = append(unsuppressed, d)
+		}
+		matchDiagnostics(t, pkg, expects, unsuppressed)
+		out = append(out, unsuppressed...)
+	}
+	return out
+}
+
+func collectExpectations(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") && text != "want" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(text, "want")
+				matches := wantRe.FindAllStringSubmatch(rest, -1)
+				if len(matches) == 0 {
+					t.Errorf("%s: malformed want comment %q", pos, c.Text)
+					continue
+				}
+				for _, m := range matches {
+					raw := m[1]
+					if raw == "" {
+						raw = m[2]
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, raw, err)
+						continue
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func matchDiagnostics(t *testing.T, pkg string, expects []*expectation, diags []analysis.Diagnostic) {
+	t.Helper()
+	for _, d := range diags {
+		matched := false
+		for _, e := range expects {
+			if e.met || e.file != d.Position.Filename || e.line != d.Position.Line {
+				continue
+			}
+			if e.re.MatchString(d.Message) {
+				e.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pkg, d)
+		}
+	}
+	for _, e := range expects {
+		if !e.met {
+			t.Errorf("%s: %s:%d: no diagnostic matching %q", pkg, e.file, e.line, e.raw)
+		}
+	}
+}
+
+// MustFind is a convenience for asserting a diagnostic list contains a
+// message matching pattern.
+func MustFind(t *testing.T, diags []analysis.Diagnostic, pattern string) {
+	t.Helper()
+	re := regexp.MustCompile(pattern)
+	for _, d := range diags {
+		if re.MatchString(d.Message) {
+			return
+		}
+	}
+	t.Errorf("no diagnostic matching %q in %s", pattern, fmt.Sprint(diags))
+}

@@ -1,0 +1,20 @@
+package budgetcharge_test
+
+import (
+	"testing"
+
+	"blowfish/internal/analysis/analysistest"
+	"blowfish/internal/analysis/budgetcharge"
+)
+
+func TestBudgetCharge(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", budgetcharge.Default, "blowfish")
+	// Exactly the two uncharged exported paths: the direct draw and the
+	// helper-hidden draw. MechanismRelease is annotated away and the
+	// charged/exact paths are accepted.
+	if len(diags) != 2 {
+		t.Errorf("want 2 unsuppressed findings, got %d: %v", len(diags), diags)
+	}
+	analysistest.MustFind(t, diags, `ReleaseBad draws noise`)
+	analysistest.MustFind(t, diags, `ReleaseViaHelper draws noise`)
+}

@@ -1,0 +1,76 @@
+// Package blowfish is a stand-in for the repository's facade: the
+// directory suffix matches budgetcharge's audited package list, and the
+// Source/Accountant types match its name-based primitives.
+package blowfish
+
+// Source mimics noise.Source.
+type Source struct{ state uint64 }
+
+// Laplace mimics the sampler the analyzer treats as drawing noise.
+func (s *Source) Laplace(scale float64) float64 {
+	s.state++
+	return scale
+}
+
+// Accountant mimics composition.Accountant.
+type Accountant struct{ spent float64 }
+
+// Spend mimics the ledger charge.
+func (a *Accountant) Spend(eps float64) error {
+	a.spent += eps
+	return nil
+}
+
+// Session bundles the two for release paths.
+type Session struct {
+	acct Accountant
+	src  Source
+}
+
+// ReleaseGood charges before sampling: accepted.
+func (s *Session) ReleaseGood(eps float64) (float64, error) {
+	if err := s.acct.Spend(eps); err != nil {
+		return 0, err
+	}
+	return s.src.Laplace(1 / eps), nil
+}
+
+// ReleaseBad samples without ever touching the ledger.
+func (s *Session) ReleaseBad(eps float64) float64 { // want `ReleaseBad draws noise but no Accountant`
+	return s.src.Laplace(1 / eps)
+}
+
+// ReleaseViaHelper hides the draw one call deep; the package-local
+// fixpoint still sees it.
+func (s *Session) ReleaseViaHelper(eps float64) float64 { // want `ReleaseViaHelper draws noise but no Accountant`
+	return s.noised(eps)
+}
+
+// ReleaseChargedHelper both draws and charges through helpers: accepted.
+func (s *Session) ReleaseChargedHelper(eps float64) float64 {
+	s.charge(eps)
+	return s.noised(eps)
+}
+
+// noised is unexported: never reported itself, but marks callers noisy.
+func (s *Session) noised(eps float64) float64 {
+	return s.src.Laplace(1 / eps)
+}
+
+func (s *Session) charge(eps float64) {
+	_ = s.acct.Spend(eps)
+}
+
+// MechanismRelease is deliberately uncharged — the escape hatch.
+//
+//lint:allow budgetcharge mechanism-level stand-in: the accounted entry point charges before delegating here
+func MechanismRelease(src *Source, eps float64) float64 {
+	return src.Laplace(1 / eps)
+}
+
+// Histogram draws nothing: exact answers need no charge.
+func (s *Session) Histogram(counts []float64) []float64 {
+	out := make([]float64, len(counts))
+	copy(out, counts)
+	return out
+}

@@ -1,0 +1,19 @@
+package detorder_test
+
+import (
+	"testing"
+
+	"blowfish/internal/analysis/analysistest"
+	"blowfish/internal/analysis/detorder"
+)
+
+func TestDetOrder(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", detorder.Default, "blowfish")
+	if len(diags) != 4 {
+		t.Errorf("want 4 unsuppressed findings, got %d: %v", len(diags), diags)
+	}
+	analysistest.MustFind(t, diags, `floating-point accumulation`)
+	analysistest.MustFind(t, diags, `append into "keys"`)
+	analysistest.MustFind(t, diags, `Append called inside a map range`)
+	analysistest.MustFind(t, diags, `channel send inside a map range`)
+}

@@ -1,0 +1,74 @@
+// Package blowfish is a stand-in matching detorder's audited package
+// list; it exercises each order-sensitivity rule and each accepted idiom.
+package blowfish
+
+import "sort"
+
+// SumBad re-associates float addition in randomized order.
+func SumBad(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `floating-point accumulation across a map range`
+	}
+	return total
+}
+
+// SumGood collects, sorts, then accumulates in a fixed order: accepted.
+func SumGood(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var total float64
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// CollectBad freezes the iteration order into the returned slice.
+func CollectBad(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append into "keys" inside a map range`
+	}
+	return keys
+}
+
+// CountGood is order-independent: integer counting passes untouched.
+func CountGood(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+type log struct{}
+
+func (l *log) Append(payload []byte) error { return nil }
+
+// JournalBad writes WAL records in randomized order; replay reads them in
+// log order, so the two servers diverge.
+func JournalBad(l *log, pending map[string][]byte) {
+	for _, payload := range pending {
+		_ = l.Append(payload) // want `Append called inside a map range`
+	}
+}
+
+// SendBad publishes iteration order to the receiver.
+func SendBad(ch chan<- string, m map[string]int) {
+	for k := range m {
+		ch <- k // want `channel send inside a map range`
+	}
+}
+
+// Broadcast fans keys out to subscribers that treat them as an unordered
+// set — order-independence is the point, and the annotation records why.
+func Broadcast(ch chan<- string, m map[string]int) {
+	for k := range m {
+		//lint:allow detorder subscribers treat notifications as an unordered set; no payload depends on arrival order
+		ch <- k
+	}
+}

@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// AllowPrefix introduces a suppression directive. The full syntax is
+//
+//	//lint:allow <analyzer> <justification...>
+//
+// and the justification is mandatory: an allow without a reason is itself
+// reported. A directive suppresses findings of the named analyzer
+//
+//   - on the directive's own line,
+//   - on the line immediately below it (comment-above style), or
+//   - anywhere inside a function whose doc comment carries it.
+const AllowPrefix = "//lint:allow"
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	analyzer      string
+	justification string
+	pos           token.Pos
+}
+
+// parseAllow parses a comment, returning ok=false for non-directives and
+// an error diagnostic for malformed ones.
+func parseAllow(c *ast.Comment) (d allowDirective, ok bool, bad *Diagnostic) {
+	text := c.Text // raw comment, leading "//" included
+	if !strings.HasPrefix(text, AllowPrefix) {
+		return d, false, nil
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, AllowPrefix))
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return d, false, &Diagnostic{
+			Analyzer: "allow",
+			Pos:      c.Pos(),
+			Message:  "malformed directive: want //lint:allow <analyzer> <justification>",
+		}
+	}
+	return allowDirective{
+		analyzer:      fields[0],
+		justification: strings.TrimSpace(strings.TrimPrefix(rest, fields[0])),
+		pos:           c.Pos(),
+	}, true, nil
+}
+
+// suppressions indexes a package's allow directives for fast lookup.
+type suppressions struct {
+	fset *token.FileSet
+	// byLine maps file:line to directives taking effect on that line.
+	byLine map[string][]allowDirective
+	// funcs maps function body spans to directives from the func's doc.
+	funcs []funcAllow
+	// malformed collects bad directives, reported as findings.
+	malformed []Diagnostic
+}
+
+type funcAllow struct {
+	start, end token.Pos
+	directives []allowDirective
+}
+
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{fset: fset, byLine: make(map[string][]allowDirective)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok, bad := parseAllow(c)
+				if bad != nil {
+					s.malformed = append(s.malformed, *bad)
+				}
+				if !ok {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				// Effective on its own line and the line below.
+				s.byLine[lineKey(p.Filename, p.Line)] = append(s.byLine[lineKey(p.Filename, p.Line)], d)
+				s.byLine[lineKey(p.Filename, p.Line+1)] = append(s.byLine[lineKey(p.Filename, p.Line+1)], d)
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			var ds []allowDirective
+			for _, c := range fd.Doc.List {
+				if d, ok, _ := parseAllow(c); ok {
+					ds = append(ds, d)
+				}
+			}
+			if len(ds) > 0 {
+				s.funcs = append(s.funcs, funcAllow{start: fd.Pos(), end: fd.End(), directives: ds})
+			}
+		}
+	}
+	return s
+}
+
+func lineKey(file string, line int) string { return fmt.Sprintf("%s:%d", file, line) }
+
+// lookup returns the justification of a directive covering the diagnostic,
+// or ok=false.
+func (s *suppressions) lookup(d Diagnostic) (string, bool) {
+	p := s.fset.Position(d.Pos)
+	for _, a := range s.byLine[lineKey(p.Filename, p.Line)] {
+		if a.analyzer == d.Analyzer {
+			return a.justification, true
+		}
+	}
+	for _, fa := range s.funcs {
+		if d.Pos >= fa.start && d.Pos < fa.end {
+			for _, a := range fa.directives {
+				if a.analyzer == d.Analyzer {
+					return a.justification, true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// Run executes every analyzer over every package of prog (dependency
+// order, shared fact store) and returns all diagnostics — suppressed ones
+// included, marked — sorted by position. Malformed allow directives are
+// reported as findings of the pseudo-analyzer "allow", so a suppression
+// without a justification can never silently disable a checker.
+func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	facts := NewFacts()
+	var all []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		sup := collectSuppressions(prog.Fset, pkg.Files)
+		all = append(all, sup.malformed...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      prog.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				Facts:     facts,
+				report: func(d Diagnostic) {
+					if just, ok := sup.lookup(d); ok {
+						d.Suppressed = true
+						d.Justification = just
+					}
+					all = append(all, d)
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	for i := range all {
+		all[i].Position = prog.Fset.Position(all[i].Pos)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		pi, pj := all[i].Position, all[j].Position
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return all[i].Analyzer < all[j].Analyzer
+	})
+	return all, nil
+}

@@ -1,0 +1,18 @@
+package noisesource_test
+
+import (
+	"testing"
+
+	"blowfish/internal/analysis/analysistest"
+	"blowfish/internal/analysis/noisesource"
+)
+
+func TestNoiseSource(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", noisesource.Default, "app", "internal/noise")
+	if len(diags) != 3 {
+		t.Errorf("want 3 unsuppressed findings, got %d: %v", len(diags), diags)
+	}
+	analysistest.MustFind(t, diags, `import of "math/rand" outside`)
+	analysistest.MustFind(t, diags, `import of "crypto/rand" outside`)
+	analysistest.MustFind(t, diags, `seeded from the wall clock`)
+}

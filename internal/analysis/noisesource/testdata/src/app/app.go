@@ -1,0 +1,16 @@
+// Package app is outside the noisesource allowlist: any banned randomness
+// import is flagged, and the //lint:allow directive is the only way out.
+package app
+
+import (
+	crand "crypto/rand" // want `import of "crypto/rand" outside internal/noise`
+	mrand "math/rand"   // want `import of "math/rand" outside internal/noise`
+
+	sanctioned "math/rand/v2" //lint:allow noisesource CLI-only shuffling of display rows; never feeds a release
+)
+
+// Mix exists to use the imports; the findings attach to the import lines.
+func Mix(buf []byte) int {
+	_, _ = crand.Read(buf)
+	return mrand.Intn(2) + sanctioned.IntN(2)
+}

@@ -1,0 +1,19 @@
+// Package noise is the sanctioned consumer: the banned imports are free
+// here, but wall-clock seeding is flagged even inside the allowlist — a
+// time-seeded stream can never replay.
+package noise
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// NewSeeded builds a generator from configuration: accepted.
+func NewSeeded(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+}
+
+// NewWallClock seeds from the clock, which recovery cannot reproduce.
+func NewWallClock() *rand.Rand {
+	return rand.New(rand.NewPCG(uint64(time.Now().UnixNano()), 1)) // want `seeded from the wall clock`
+}

@@ -1,0 +1,18 @@
+package waljournal_test
+
+import (
+	"testing"
+
+	"blowfish/internal/analysis/analysistest"
+	"blowfish/internal/analysis/waljournal"
+)
+
+func TestWALJournal(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", waljournal.Default, "internal/server")
+	if len(diags) != 3 {
+		t.Errorf("want 3 unsuppressed findings, got %d: %v", len(diags), diags)
+	}
+	analysistest.MustFind(t, diags, `registry write of "sessions"`)
+	analysistest.MustFind(t, diags, `registry delete of "datasets"`)
+	analysistest.MustFind(t, diags, `ReleaseHistogram result is not journaled`)
+}

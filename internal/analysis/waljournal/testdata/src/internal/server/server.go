@@ -1,0 +1,70 @@
+// Package server is a stand-in for the repository's serving layer: the
+// directory suffix matches waljournal's audited package list, and the
+// field/method names match its registry and journaling defaults.
+package server
+
+type entry struct{ id string }
+
+// Server mimics the real registry holder.
+type Server struct {
+	sessions map[string]*entry
+	datasets map[string]*entry
+}
+
+func (s *Server) journal(v any) error              { return nil }
+func (s *Server) journalDelete(id string) error    { return nil }
+func (s *Server) journalRelease(kind string) error { return nil }
+
+// createGood journals before the registry write: accepted.
+func (s *Server) createGood(id string, e *entry) error {
+	if err := s.journal(e); err != nil {
+		return err
+	}
+	s.sessions[id] = e
+	return nil
+}
+
+// createBad makes the session visible before anything is durable.
+func (s *Server) createBad(id string, e *entry) {
+	s.sessions[id] = e // want `registry write of "sessions" without a preceding journal append`
+}
+
+// deleteGood journals the tombstone first: accepted.
+func (s *Server) deleteGood(id string) error {
+	if err := s.journalDelete(id); err != nil {
+		return err
+	}
+	delete(s.sessions, id)
+	return nil
+}
+
+// deleteBad drops durable state with no record of the drop.
+func (s *Server) deleteBad(id string) {
+	delete(s.datasets, id) // want `registry delete of "datasets" without a preceding journal append`
+}
+
+type sess struct{}
+
+func (x *sess) ReleaseHistogram(eps float64) []float64 { return nil }
+
+// ackGood journals the release record before acknowledging: accepted.
+func (s *Server) ackGood(x *sess) ([]float64, error) {
+	counts := x.ReleaseHistogram(0.1)
+	if err := s.journalRelease("histogram"); err != nil {
+		return nil, err
+	}
+	return counts, nil
+}
+
+// ackBad returns the noised counts with no durable record of the spend.
+func (s *Server) ackBad(x *sess) []float64 {
+	return x.ReleaseHistogram(0.1) // want `ReleaseHistogram result is not journaled`
+}
+
+// replayPut rebuilds the registry from the journal itself — the
+// function-scoped escape hatch.
+//
+//lint:allow waljournal replay applies records read from the journal; journaling again would duplicate them
+func (s *Server) replayPut(id string, e *entry) {
+	s.sessions[id] = e
+}

@@ -170,6 +170,7 @@ func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
 	if ok {
 		cps = make([]*blowfish.CompiledPolicy, 0, len(s.policies))
 		for _, pe := range s.policies {
+			//lint:allow detorder Forget only drops per-plan cached indexes; call order is unobservable (no output, no WAL record, no ledger change)
 			cps = append(cps, pe.cp)
 		}
 	}

@@ -338,6 +338,11 @@ func (s *Server) Close() {
 		datasets = append(datasets, e)
 	}
 	s.mu.Unlock()
+	// Drain in ID order: Ingestor.Close journals queued events, so the
+	// shutdown tail of the WAL gets a reproducible cross-dataset order
+	// instead of whatever the map iteration produced.
+	sort.Slice(streams, func(i, j int) bool { return byID(streams[i].id, streams[j].id) < 0 })
+	sort.Slice(datasets, func(i, j int) bool { return byID(datasets[i].id, datasets[j].id) < 0 })
 	// Stop schedulers first so no epoch close races the ingestor drain.
 	for _, e := range streams {
 		e.st.Stop()
