@@ -1,0 +1,158 @@
+// Command blowfish-batch converts an NDJSON event stream (the same
+// one-object-per-line events POST /v1/datasets/{id}/events accepts) into
+// the binary columnar batch frames of internal/codec — the zero-copy ingest
+// encoding — and either writes them to stdout or POSTs them straight to a
+// server, honoring its queue_full backpressure.
+//
+// Usage:
+//
+//	# encode to a file, replay it later with curl
+//	blowfish-batch -attrs 1 < events.ndjson > events.batch
+//	curl -s localhost:8080/v1/datasets/ds-1/events?wait=1 \
+//	  -H 'Content-Type: application/x-blowfish-batch' --data-binary @events.batch
+//
+//	# or stream directly to the server, one frame per -max events
+//	blowfish-batch -attrs 1 -max 4096 -wait \
+//	  -url http://localhost:8080/v1/datasets/ds-1/events < events.ndjson
+//
+// Each frame is self-contained (length-prefixed, CRC-checked), so frames
+// concatenate: a file of them replays as one request body or many.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"blowfish"
+	"blowfish/internal/codec"
+)
+
+// eventWire mirrors the server's NDJSON event shape.
+type eventWire struct {
+	Op  string `json:"op"`
+	ID  int    `json:"id"`
+	Row []int  `json:"row"`
+}
+
+func main() {
+	attrs := flag.Int("attrs", 0, "number of row attributes (the dataset domain's width); required")
+	max := flag.Int("max", 4096, "events per frame")
+	url := flag.String("url", "", "events endpoint to POST frames to (default: write frames to stdout)")
+	wait := flag.Bool("wait", false, "ask the server to apply each frame before acking (adds ?wait=1)")
+	flag.Parse()
+	if *attrs < 0 || *attrs > codec.MaxAttrs {
+		fail(fmt.Errorf("-attrs %d out of range [0,%d]", *attrs, codec.MaxAttrs))
+	}
+	if flag.NArg() > 0 {
+		fail(fmt.Errorf("unexpected arguments %v (events are read from stdin)", flag.Args()))
+	}
+	if *max < 1 {
+		fail(fmt.Errorf("-max %d < 1", *max))
+	}
+
+	sink := sinkFor(*url, *wait)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	var (
+		batch  []blowfish.StreamEvent
+		frame  []byte
+		line   int
+		events int
+		frames int
+		sent   int64
+	)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		var err error
+		frame, err = codec.AppendFrame(frame[:0], batch, *attrs)
+		if err != nil {
+			fail(fmt.Errorf("line %d: encoding frame: %w", line, err))
+		}
+		if err := sink(frame); err != nil {
+			fail(err)
+		}
+		frames++
+		sent += int64(len(frame))
+		batch = batch[:0]
+	}
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var ev eventWire
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&ev); err != nil {
+			fail(fmt.Errorf("line %d: %w", line, err))
+		}
+		batch = append(batch, blowfish.StreamEvent{Op: ev.Op, ID: ev.ID, Row: ev.Row})
+		events++
+		if len(batch) >= *max {
+			flush()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fail(fmt.Errorf("reading stdin: %w", err))
+	}
+	flush()
+	fmt.Fprintf(os.Stderr, "blowfish-batch: %d events in %d frames (%d bytes)\n", events, frames, sent)
+}
+
+// sinkFor returns the frame consumer: stdout, or a POSTing client that
+// backs off and retries on the server's queue_full responses.
+func sinkFor(url string, wait bool) func([]byte) error {
+	if url == "" {
+		return func(frame []byte) error {
+			_, err := os.Stdout.Write(frame)
+			return err
+		}
+	}
+	if wait {
+		sep := "?"
+		if bytes.ContainsRune([]byte(url), '?') {
+			sep = "&"
+		}
+		url += sep + "wait=1"
+	}
+	client := &http.Client{Timeout: 60 * time.Second}
+	return func(frame []byte) error {
+		for {
+			resp, err := client.Post(url, codec.ContentType, bytes.NewReader(frame))
+			if err != nil {
+				return err
+			}
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusAccepted:
+				return nil
+			case http.StatusTooManyRequests:
+				// The bounded ingest queue is full; honor Retry-After.
+				delay := time.Second
+				if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+					delay = time.Duration(secs) * time.Second
+				}
+				time.Sleep(delay)
+			default:
+				return fmt.Errorf("POST %s: %s: %s", url, resp.Status, bytes.TrimSpace(body))
+			}
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "blowfish-batch:", err)
+	os.Exit(1)
+}

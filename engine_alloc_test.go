@@ -1,0 +1,90 @@
+// Allocation budget regressions for the engine's hot release paths: the
+// per-plan buffer arena, the slab-backed Ordered Hierarchical release and
+// the pooled range decomposition together hold a repeated range release to
+// a fixed handful of allocations (it was ~190 before the arena), and the
+// other release kinds to the few vectors that genuinely escape to the
+// caller. These pins are what BENCH_engine.json's allocs_per_op columns
+// record; a regression here silently re-inflates GC pressure on every
+// epoch close of a continual-release stream.
+// Exact AllocsPerRun pins are excluded from race builds: the race
+// detector makes sync.Pool drop items at random, so pooled paths
+// legitimately allocate there.
+//go:build !race
+
+package blowfish_test
+
+import (
+	"testing"
+
+	"blowfish"
+)
+
+func TestEngineReleaseAllocBudgets(t *testing.T) {
+	dom, err := blowfish.LineDomain("v", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := blowfish.DistanceThreshold(dom, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := blowfish.NewPolicy(g)
+	ds := blowfish.NewDataset(dom)
+	src := blowfish.NewSource(3)
+	for i := 0; i < 5000; i++ {
+		ds.MustAdd(blowfish.Point(src.Int63n(1024)))
+	}
+	sess, err := blowfish.NewSession(pol, 1e9, blowfish.NewSource(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-9
+
+	// Prime every cache the releases read: the dataset index, the OH tree
+	// layout, the arena's scratch vectors.
+	if _, err := sess.NewRangeReleaser(ds, 16, eps); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.ReleaseCumulativeHistogram(ds, eps); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.ReleaseHistogram(ds, eps); err != nil {
+		t.Fatal(err)
+	}
+
+	rangeAllocs := testing.AllocsPerRun(100, func() {
+		rel, err := sess.NewRangeReleaser(ds, 16, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rel.Range(10, 900); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The ISSUE 7 acceptance bound: slab (1) + release headers (3) +
+	// facade (1), plus amortized ledger growth.
+	if rangeAllocs > 8 {
+		t.Fatalf("range release allocates %v per call, want <= 8", rangeAllocs)
+	}
+
+	cumAllocs := testing.AllocsPerRun(100, func() {
+		if _, err := sess.ReleaseCumulativeHistogram(ds, eps); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// raw + inferred escape to the caller plus the isotonic scratch and the
+	// facade struct; the staging prefix array itself comes from the arena.
+	if cumAllocs > 8 {
+		t.Fatalf("cumulative release allocates %v per call, want <= 8", cumAllocs)
+	}
+
+	histAllocs := testing.AllocsPerRun(100, func() {
+		if _, err := sess.ReleaseHistogram(ds, eps); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The released histogram escapes; nothing else should.
+	if histAllocs > 4 {
+		t.Fatalf("histogram release allocates %v per call, want <= 4", histAllocs)
+	}
+}

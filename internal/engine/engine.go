@@ -119,13 +119,12 @@ func (e *Engine) RestoreNoise(st NoiseState) error {
 	return nil
 }
 
-// withSource runs f holding one shard of the noise pool, rotating shards
-// round-robin so concurrent releases spread across independent streams.
-func (e *Engine) withSource(f func(*noise.Source) error) error {
-	sh := e.shards[e.ctr.Add(1)%uint64(len(e.shards))]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return f(sh.src)
+// noiseShard picks the next shard of the pool round-robin, so concurrent
+// releases spread across independent streams. Callers lock the shard's
+// mutex around their draws inline — a closure-based wrapper here would cost
+// an allocation on every release of the hot paths.
+func (e *Engine) noiseShard() *noiseShard {
+	return e.shards[e.ctr.Add(1)%uint64(len(e.shards))]
 }
 
 // checkIndex guards against an index compiled for a different plan, whose
@@ -167,14 +166,13 @@ func (e *Engine) ReleaseHistogram(idx *DatasetIndex, eps float64) ([]float64, er
 	if err != nil {
 		return nil, err
 	}
-	err = e.withSource(func(src *noise.Source) error {
-		m, err := mechanism.NewLaplace(eps, sens, src)
-		if err != nil {
-			return err
-		}
+	sh := e.noiseShard()
+	sh.mu.Lock()
+	m, err := mechanism.NewLaplace(eps, sens, sh.src)
+	if err == nil {
 		m.ReleaseInPlace(truth)
-		return nil
-	})
+	}
+	sh.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -219,14 +217,13 @@ func (e *Engine) ReleasePartitionHistogram(idx *DatasetIndex, part domain.Partit
 		// No secret pair crosses blocks: exact, free, no noise drawn.
 		return truth, nil
 	}
-	err = e.withSource(func(src *noise.Source) error {
-		m, err := mechanism.NewLaplace(eps, sens, src)
-		if err != nil {
-			return err
-		}
+	sh := e.noiseShard()
+	sh.mu.Lock()
+	m, err := mechanism.NewLaplace(eps, sens, sh.src)
+	if err == nil {
 		m.ReleaseInPlace(truth)
-		return nil
-	})
+	}
+	sh.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -250,14 +247,20 @@ func (e *Engine) ReleaseCumulative(idx *DatasetIndex, eps float64) (raw, inferre
 	if err != nil {
 		return nil, nil, err
 	}
-	cum, n, err := idx.CumulativeSnapshot()
+	// The cumulative prefix array is pure staging — ReleaseCumulative reads
+	// it into a fresh noisy vector — so it comes from the plan's arena.
+	buf := e.plan.getVec()
+	cum, n, err := idx.CumulativeAppend((*buf)[:0])
 	if err != nil {
+		e.plan.putVec(buf)
 		return nil, nil, err
 	}
-	err = e.withSource(func(src *noise.Source) error {
-		raw, err = ordered.ReleaseCumulative(cum, sens, eps, src)
-		return err
-	})
+	sh := e.noiseShard()
+	sh.mu.Lock()
+	raw, err = ordered.ReleaseCumulative(cum, sens, eps, sh.src)
+	sh.mu.Unlock()
+	*buf = cum
+	e.plan.putVec(buf)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -281,15 +284,20 @@ func (e *Engine) NewRangeRelease(idx *DatasetIndex, fanout int, eps float64) (*o
 	if err != nil {
 		return nil, err
 	}
-	counts, err := idx.Histogram()
+	// The histogram is pure staging for the OH release — the released
+	// structure carves its own storage — so it comes from the plan's arena.
+	buf := e.plan.getVec()
+	counts, err := idx.HistogramAppend((*buf)[:0])
 	if err != nil {
+		e.plan.putVec(buf)
 		return nil, err
 	}
-	var rel *ordered.OHRelease
-	err = e.withSource(func(src *noise.Source) error {
-		rel, err = oh.Release(counts, eps, src)
-		return err
-	})
+	sh := e.noiseShard()
+	sh.mu.Lock()
+	rel, err := oh.Release(counts, eps, sh.src)
+	sh.mu.Unlock()
+	*buf = counts
+	e.plan.putVec(buf)
 	if err != nil {
 		return nil, err
 	}
@@ -333,11 +341,10 @@ func (e *Engine) PrivateKMeans(idx *DatasetIndex, k, iterations int, eps float64
 		SumSensitivity:  sumSens,
 	}
 	vecs := idx.Vectors()
-	var res kmeans.Result
-	err = e.withSource(func(src *noise.Source) error {
-		res, err = kmeans.PrivateLloyd(vecs, cfg, src)
-		return err
-	})
+	sh := e.noiseShard()
+	sh.mu.Lock()
+	res, err := kmeans.PrivateLloyd(vecs, cfg, sh.src)
+	sh.mu.Unlock()
 	if err != nil {
 		return kmeans.Result{}, err
 	}

@@ -261,12 +261,19 @@ func (x *DatasetIndex) applyRemoveLocked(p domain.Point) {
 // Histogram returns a private copy of the flat histogram h(D). The copy is
 // the caller's to noise in place.
 func (x *DatasetIndex) Histogram() ([]float64, error) {
+	return x.HistogramAppend(nil)
+}
+
+// HistogramAppend appends the flat histogram h(D) to dst and returns the
+// extended slice — the recycling variant of Histogram for callers feeding a
+// release from a pooled scratch vector (pass dst[:0] to reuse its capacity).
+func (x *DatasetIndex) HistogramAppend(dst []float64) ([]float64, error) {
 	if !x.materializable() {
 		return nil, domain.ErrDomainTooLarge
 	}
 	x.mu.RLock()
 	if x.fresh() {
-		out := append([]float64(nil), x.hist...)
+		out := append(dst, x.hist...)
 		x.mu.RUnlock()
 		return out, nil
 	}
@@ -274,7 +281,7 @@ func (x *DatasetIndex) Histogram() ([]float64, error) {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	x.ensureLocked()
-	return append([]float64(nil), x.hist...), nil
+	return append(dst, x.hist...), nil
 }
 
 // CumulativeHistogram returns a private copy of the cumulative counts
@@ -291,6 +298,13 @@ func (x *DatasetIndex) CumulativeHistogram() ([]float64, error) {
 // concurrent mutation can never make the pair inconsistent (the Ordered
 // Mechanism clamps its inference into [0, n]).
 func (x *DatasetIndex) CumulativeSnapshot() ([]float64, int, error) {
+	return x.CumulativeAppend(nil)
+}
+
+// CumulativeAppend is CumulativeSnapshot appending into dst — the recycling
+// variant for callers feeding a release from a pooled scratch vector (pass
+// dst[:0] to reuse its capacity).
+func (x *DatasetIndex) CumulativeAppend(dst []float64) ([]float64, int, error) {
 	if x.ds.Domain().NumAttrs() != 1 {
 		return nil, 0, errors.New("domain: cumulative histogram requires a one-dimensional ordered domain")
 	}
@@ -299,7 +313,7 @@ func (x *DatasetIndex) CumulativeSnapshot() ([]float64, int, error) {
 	}
 	x.mu.RLock()
 	if x.fresh() && x.cumOK {
-		out := append([]float64(nil), x.cum...)
+		out := append(dst, x.cum...)
 		n := x.ds.Len()
 		x.mu.RUnlock()
 		return out, n, nil
@@ -319,7 +333,7 @@ func (x *DatasetIndex) CumulativeSnapshot() ([]float64, int, error) {
 		}
 		x.cumOK = true
 	}
-	return append([]float64(nil), x.cum...), x.ds.Len(), nil
+	return append(dst, x.cum...), x.ds.Len(), nil
 }
 
 // BlockCounts returns a private copy of the histogram over the registered

@@ -132,6 +132,14 @@ type Plan struct {
 	// indexes caches one DatasetIndex per dataset so every session over
 	// this plan shares the incremental counts. Entries live until Forget.
 	indexes map[*domain.Dataset]*DatasetIndex
+
+	// vecs is the plan's buffer arena: it pools the O(|T|) scratch vectors
+	// a release stages its truth in (range-release histogram counts,
+	// cumulative prefix arrays) and hands back before returning. Only
+	// buffers that never escape a release go through the arena — vectors
+	// the caller keeps are carved fresh — so reuse can never alias a
+	// published release.
+	vecs sync.Pool
 }
 
 // Compile builds the plan for an unconstrained policy. Sensitivities that
@@ -152,6 +160,7 @@ func Compile(pol *policy.Policy) (*Plan, error) {
 		foreignPartSens: make(map[domain.Partition]float64),
 		indexes:         make(map[*domain.Dataset]*DatasetIndex),
 	}
+	p.vecs.New = func() any { return new([]float64) }
 	p.histSens, p.histErr = pol.HistogramSensitivity()
 	p.cumSens, p.cumErr = pol.CumulativeHistogramSensitivity()
 	p.sumSens, p.kmErr = pol.SumSensitivity()
@@ -497,3 +506,13 @@ func (p *Plan) Forget(ds *domain.Dataset) {
 	delete(p.indexes, ds)
 	p.mu.Unlock()
 }
+
+// getVec leases a scratch vector from the plan's buffer arena. The lease is
+// a pointer so returning it to the pool stays allocation-free; callers
+// append into (*v)[:0], store the grown slice back through the pointer, and
+// putVec it before returning.
+func (p *Plan) getVec() *[]float64 { return p.vecs.Get().(*[]float64) }
+
+// putVec returns a leased scratch vector to the arena. The buffer must not
+// be referenced by anything that outlives the release that leased it.
+func (p *Plan) putVec(v *[]float64) { p.vecs.Put(v) }

@@ -15,6 +15,7 @@ package hierarchy
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"blowfish/internal/infer"
 	"blowfish/internal/noise"
@@ -103,10 +104,24 @@ func (t *Tree) Height() int { return t.levels - 1 }
 
 // Eval computes the true total of every node from unit counts.
 func (t *Tree) Eval(counts []float64) ([]float64, error) {
-	if len(counts) != t.size {
-		return nil, fmt.Errorf("hierarchy: %d counts for size %d", len(counts), t.size)
-	}
 	out := make([]float64, len(t.nodes))
+	if err := t.EvalInto(counts, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EvalInto computes the true total of every node into out, which must have
+// length NodeCount — the allocation-free core of Eval for callers recycling
+// scratch. out need not be zeroed; every entry is overwritten, and the
+// child sums accumulate in the same order Eval's did.
+func (t *Tree) EvalInto(counts, out []float64) error {
+	if len(counts) != t.size {
+		return fmt.Errorf("hierarchy: %d counts for size %d", len(counts), t.size)
+	}
+	if len(out) != len(t.nodes) {
+		return fmt.Errorf("hierarchy: %d eval slots for %d nodes", len(out), len(t.nodes))
+	}
 	// Nodes were appended in DFS pre-order, so children follow parents;
 	// accumulate in reverse.
 	for i := len(t.nodes) - 1; i >= 0; i-- {
@@ -115,11 +130,13 @@ func (t *Tree) Eval(counts []float64) ([]float64, error) {
 			out[i] = counts[n.Lo]
 			continue
 		}
+		sum := 0.0
 		for _, c := range n.Children {
-			out[i] += out[c]
+			sum += out[c]
 		}
+		out[i] = sum
 	}
-	return out, nil
+	return nil
 }
 
 // Decompose returns the minimal set of node indexes whose intervals
@@ -193,6 +210,43 @@ func (t *Tree) ReleaseInterior(counts []float64, scale float64, truth []float64,
 	return t.release(counts, scale, truth, src, true)
 }
 
+// ReleaseInteriorInto is ReleaseInterior writing into caller-provided
+// storage: values and variance must have length NodeCount and back the
+// returned Released, so callers batching many subtree releases (the Ordered
+// Hierarchical mechanism releases one per θ-block) can carve all of them
+// from one slab. It allocates nothing — the node truths are evaluated
+// directly into values and noised in place — and consumes exactly the noise
+// draws ReleaseInterior would, in the same order.
+func (t *Tree) ReleaseInteriorInto(values, variance, counts []float64, scale float64, src *noise.Source) (Released, error) {
+	if scale < 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
+		return Released{}, fmt.Errorf("hierarchy: invalid noise scale %v", scale)
+	}
+	if len(values) != len(t.nodes) || len(variance) != len(t.nodes) {
+		return Released{}, fmt.Errorf("hierarchy: %d value and %d variance slots for %d nodes", len(values), len(variance), len(t.nodes))
+	}
+	if err := t.EvalInto(counts, values); err != nil {
+		return Released{}, err
+	}
+	for i := 1; i < len(t.nodes); i++ {
+		values[i] += src.Laplace(scale)
+		variance[i] = 2 * scale * scale
+	}
+	if len(t.nodes) > 1 {
+		var sum float64
+		for _, c := range t.nodes[0].Children {
+			sum += values[c]
+		}
+		values[0] = sum
+		variance[0] = math.Inf(1)
+	} else {
+		// Single-node tree with a non-public total: the only honest release
+		// is a noisy one.
+		values[0] += src.Laplace(scale)
+		variance[0] = 2 * scale * scale
+	}
+	return Released{tree: t, values: values, variance: variance}, nil
+}
+
 func (t *Tree) release(counts []float64, scale float64, truth []float64, src *noise.Source, interiorRoot bool) (*Released, error) {
 	if scale < 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
 		return nil, fmt.Errorf("hierarchy: invalid noise scale %v", scale)
@@ -243,18 +297,27 @@ func (r *Released) Value(idx int) float64 { return r.values[idx] }
 // Variance returns the noise variance of node idx.
 func (r *Released) Variance(idx int) float64 { return r.variance[idx] }
 
+// decomposeScratch pools the node-index buffers RangeQuery decomposes
+// into: the decomposition is consumed before the call returns, so the
+// O(f·log|T|) interval buffer never needs to outlive it.
+var decomposeScratch = sync.Pool{New: func() any { return new([]int) }}
+
 // RangeQuery answers q[lo, hi] (inclusive) by summing the greedy node
 // decomposition; the second return value is the answer's noise variance.
 func (r *Released) RangeQuery(lo, hi int) (float64, float64, error) {
-	idxs, err := r.tree.Decompose(lo, hi)
-	if err != nil {
-		return 0, 0, err
+	if lo < 0 || hi >= r.tree.size || lo > hi {
+		return 0, 0, fmt.Errorf("hierarchy: invalid range [%d,%d] over size %d", lo, hi, r.tree.size)
 	}
+	scratch := decomposeScratch.Get().(*[]int)
+	idxs := (*scratch)[:0]
+	r.tree.decompose(0, lo, hi+1, &idxs)
 	var sum, v float64
 	for _, idx := range idxs {
 		sum += r.values[idx]
 		v += r.variance[idx]
 	}
+	*scratch = idxs
+	decomposeScratch.Put(scratch)
 	return sum, v, nil
 }
 

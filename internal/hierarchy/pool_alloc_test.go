@@ -1,0 +1,43 @@
+// Strict allocation pins live apart from the correctness tests because the
+// race detector deliberately makes sync.Pool drop items at random (to shake
+// out reuse races), which turns exact AllocsPerRun counts into noise.
+//go:build !race
+
+package hierarchy
+
+import (
+	"testing"
+
+	"blowfish/internal/noise"
+)
+
+// TestRangeQueryAllocFree pins the pooled decompose scratch: once the pool
+// is warm, answering a range query over a released tree is allocation-free.
+func TestRangeQueryAllocFree(t *testing.T) {
+	tr, err := New(1024, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]float64, 1024)
+	for i := range counts {
+		counts[i] = float64(i % 7)
+	}
+	rel, err := tr.Release(counts, 1.0, noise.NewSource(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rel.RangeQuery(3, 900); err != nil { // warm the pool
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if _, _, err := rel.RangeQuery(3, 900); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("RangeQuery allocates %v per call, want 0", avg)
+	}
+	if _, _, err := rel.RangeQuery(5, 2000); err == nil {
+		t.Error("out-of-range query accepted")
+	}
+}

@@ -82,6 +82,12 @@ type OH struct {
 	// positions [i·θ, min((i+1)·θ, size)).
 	blocks []*hierarchy.Tree
 	height int // h = ceil(log_f θ), height of the H-subtrees
+	// releasedBlocks counts the blocks wider than one position (only those
+	// carry an H-subtree release) and releasedNodes their total node count;
+	// both are fixed by the layout, so ReleaseWithSplit can size the single
+	// slab that backs a whole release up front.
+	releasedBlocks int
+	releasedNodes  int
 }
 
 // NewOH builds the structure. theta is clamped meaningfully: θ = 1 is the
@@ -113,6 +119,10 @@ func NewOH(size, theta, fanout int) (*OH, error) {
 		o.blocks = append(o.blocks, t)
 		if h := t.Height(); h > o.height {
 			o.height = h
+		}
+		if t.Size() > 1 {
+			o.releasedBlocks++
+			o.releasedNodes += t.NodeCount()
 		}
 	}
 	return o, nil
@@ -225,12 +235,22 @@ func (o *OH) ReleaseWithSplit(counts []float64, epsS, epsH float64, src *noise.S
 	if epsS < 0 || epsH < 0 || epsS+epsH <= 0 {
 		return nil, fmt.Errorf("ordered: invalid budget split (%v, %v)", epsS, epsH)
 	}
-	r := &OHRelease{oh: o, sPrefix: make([]float64, o.k)}
+	// The whole release escapes to the caller as one unit, so its storage is
+	// carved from one slab: k S-node prefixes, then per released block a
+	// values and a variance vector. A fixed handful of allocations (slab,
+	// Released headers, block pointers) replaces the four-per-block of the
+	// naive path, and the block truths are evaluated straight into the slab
+	// — no per-block Eval scratch at all.
+	slab := make([]float64, o.k+2*o.releasedNodes)
+	relSlab := make([]hierarchy.Released, o.releasedBlocks)
+	r := &OHRelease{oh: o, sPrefix: slab[:o.k:o.k], blocks: make([]*hierarchy.Released, 0, len(o.blocks))}
+	off := o.k
 
 	// H-subtrees. Block 0 uses the combined budget. Single-node trees
 	// (θ=1, or a width-1 last block) are never queried — their positions
 	// are covered by S-node prefixes — so nothing is released for them.
 	h := float64(o.height)
+	released := 0
 	for i, tree := range o.blocks {
 		if tree.Size() == 1 {
 			r.blocks = append(r.blocks, nil)
@@ -249,11 +269,17 @@ func (o *OH) ReleaseWithSplit(counts []float64, epsS, epsH float64, src *noise.S
 			}
 			scale = 2 * h / budget
 		}
-		rel, err := tree.ReleaseInterior(blockCounts, scale, nil, src)
+		n := tree.NodeCount()
+		values := slab[off : off+n : off+n]
+		variance := slab[off+n : off+2*n : off+2*n]
+		off += 2 * n
+		rel, err := tree.ReleaseInteriorInto(values, variance, blockCounts, scale, src)
 		if err != nil {
 			return nil, err
 		}
-		r.blocks = append(r.blocks, rel)
+		relSlab[released] = rel
+		r.blocks = append(r.blocks, &relSlab[released])
+		released++
 	}
 
 	// The released H-subtree roots are exact block totals in

@@ -1,0 +1,35 @@
+// Strict allocation pins live apart from the correctness tests because the
+// race detector deliberately makes sync.Pool drop items at random (to shake
+// out reuse races), which turns exact AllocsPerRun counts into noise.
+//go:build !race
+
+package ordered
+
+import (
+	"testing"
+
+	"blowfish/internal/noise"
+)
+
+// TestReleaseWithSplitAllocs pins the slab design: one release costs a
+// fixed handful of allocations however many θ-blocks the layout has.
+func TestReleaseWithSplitAllocs(t *testing.T) {
+	o, err := NewOH(4096, 100, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]float64, 4096)
+	for i := range counts {
+		counts[i] = float64(i % 11)
+	}
+	src := noise.NewSource(2)
+	avg := testing.AllocsPerRun(50, func() {
+		if _, err := o.ReleaseWithSplit(counts, 0.4, 0.6, src); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// OHRelease header, float slab, Released slab, block-pointer slice.
+	if avg > 4 {
+		t.Fatalf("ReleaseWithSplit allocates %v per release over %d blocks, want <= 4", avg, o.NumSNodes())
+	}
+}

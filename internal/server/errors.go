@@ -21,6 +21,7 @@ const (
 	CodePolicyInUse     = "policy_in_use"
 	CodeDatasetInUse    = "dataset_in_use"
 	CodeDurability      = "durability_error"
+	CodeQueueFull       = "queue_full"
 )
 
 // APIError is the structured error body: {"error": {"code", "message"}}.
@@ -46,9 +47,20 @@ func httpStatus(code string) int {
 		return http.StatusUnprocessableEntity
 	case CodeDurability:
 		return http.StatusInternalServerError
+	case CodeQueueFull:
+		return http.StatusTooManyRequests
 	default:
 		return http.StatusBadRequest
 	}
+}
+
+// writeQueueFull answers a rejected-whole ingest batch: the structured
+// queue_full error plus a Retry-After hint (seconds, coarse — the queue
+// drains in milliseconds under a healthy writer, so the minimum legal
+// value 1 is the hint; clients treat it as "back off, then retry").
+func writeQueueFull(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, CodeQueueFull, err.Error())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -25,6 +25,24 @@ type Event struct {
 // ErrIngestClosed is returned by Submit after Close.
 var ErrIngestClosed = errors.New("stream: ingestor closed")
 
+// QueueFullError is returned by TrySubmit when the ingest queue lacks room
+// for the whole batch. Nothing was enqueued; the caller should retry after
+// backing off (servers translate this into a structured queue_full
+// response with a Retry-After hint instead of blocking the connection).
+type QueueFullError struct {
+	// Batch is the size of the rejected batch.
+	Batch int
+	// Free is the queue capacity that was available.
+	Free int
+	// Depth is the queue's total capacity.
+	Depth int
+}
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("stream: ingest queue full (%d events submitted, %d of %d slots free)",
+		e.Batch, e.Free, e.Depth)
+}
+
 // IngestConfig tunes an Ingestor. The zero value is usable.
 type IngestConfig struct {
 	// BatchSize is the largest mutation batch applied under one lock
@@ -91,6 +109,9 @@ type Ingestor struct {
 	ch   chan seqMut
 	quit chan struct{}
 	done chan struct{}
+
+	// mutBuf is the writer goroutine's reusable apply batch.
+	mutBuf []engine.Mutation
 
 	stateMu   sync.Mutex // guards the applied cursor + notify channel
 	processed uint64
@@ -192,6 +213,36 @@ func (in *Ingestor) Submit(events []Event) (first, last uint64, err error) {
 				"stream: %d of %d events enqueued (seqs %d-%d) before close: %w",
 				i, len(muts), first, in.nextSeq, ErrIngestClosed)
 		}
+	}
+	return first, in.nextSeq, nil
+}
+
+// TrySubmit is Submit without the blocking: the whole batch is enqueued
+// atomically if the queue has room for every event, and nothing is
+// enqueued — returning a *QueueFullError — if it does not. All-or-nothing
+// is sound because sequence assignment serializes every sender under the
+// same mutex and only the writer goroutine drains the channel, so the free
+// space observed here cannot shrink before the sends below complete.
+func (in *Ingestor) TrySubmit(events []Event) (first, last uint64, err error) {
+	muts, err := EncodeEvents(in.tbl.Dataset().Domain(), events)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(muts) == 0 {
+		return 0, 0, nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return 0, 0, ErrIngestClosed
+	}
+	if free := cap(in.ch) - len(in.ch); free < len(muts) {
+		return 0, 0, &QueueFullError{Batch: len(muts), Free: free, Depth: cap(in.ch)}
+	}
+	first = in.nextSeq + 1
+	for _, m := range muts {
+		in.nextSeq++
+		in.ch <- seqMut{seq: in.nextSeq, mut: m}
 	}
 	return first, in.nextSeq, nil
 }
@@ -335,7 +386,12 @@ func (in *Ingestor) fill(batch *[]seqMut) {
 // stream, and records the sequence cursor — one lock acquisition for all
 // three. Then the processed cursor advances and waiters wake.
 func (in *Ingestor) apply(batch []seqMut) {
-	muts := make([]engine.Mutation, len(batch))
+	// mutBuf is only touched here, on the single writer goroutine, so the
+	// per-batch mutation slice is allocated once and reused.
+	if cap(in.mutBuf) < len(batch) {
+		in.mutBuf = make([]engine.Mutation, 0, cap(batch))
+	}
+	muts := in.mutBuf[:len(batch)]
 	for i, m := range batch {
 		muts[i] = m.mut
 	}

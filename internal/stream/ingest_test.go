@@ -1,0 +1,93 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestTrySubmitQueueFull pins the explicit-backpressure contract: with the
+// writer wedged behind the table's lock, a batch larger than the queue's
+// free space is rejected whole with a *QueueFullError, nothing is
+// enqueued, and once the writer drains the queue accepts again.
+func TestTrySubmitQueueFull(t *testing.T) {
+	f := newFixture(t, 16, 100, 1, IngestConfig{QueueDepth: 4, BatchSize: 4})
+
+	// Wedge the writer: ApplyLogged needs the table's write lock, so a held
+	// read lock stalls it after it has drained at most one batch.
+	f.tbl.RLock()
+	unlocked := false
+	defer func() {
+		if !unlocked {
+			f.tbl.RUnlock()
+		}
+	}()
+
+	// Fill the queue (plus whatever the writer already pulled into its
+	// stalled batch). Loop until a TrySubmit reports queue_full.
+	var accepted uint64
+	var qf *QueueFullError
+	for i := 0; i < 100; i++ {
+		first, last, err := f.ing.TrySubmit(appends(i % 16))
+		if err == nil {
+			if first == 0 || last < first {
+				t.Fatalf("accepted batch with bad seqs [%d,%d]", first, last)
+			}
+			accepted++
+			continue
+		}
+		if !errors.As(err, &qf) {
+			t.Fatalf("TrySubmit: want *QueueFullError, got %v", err)
+		}
+		break
+	}
+	if qf == nil {
+		t.Fatal("queue never filled")
+	}
+	if qf.Depth != 4 || qf.Batch != 1 || qf.Free != 0 {
+		t.Fatalf("QueueFullError fields: %+v", *qf)
+	}
+
+	// A rejected TrySubmit must not have assigned sequence numbers.
+	if got := f.ing.SubmittedSeq(); got != accepted {
+		t.Fatalf("SubmittedSeq = %d after %d accepted events", got, accepted)
+	}
+
+	// An oversized batch is rejected even on an empty queue: all-or-nothing.
+	f.tbl.RUnlock()
+	unlocked = true
+	if err := f.ing.Flush(context.Background()); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if _, _, err := f.ing.TrySubmit(appends(1, 2, 3, 4, 5)); !errors.As(err, &qf) {
+		t.Fatalf("oversized batch: want *QueueFullError, got %v", err)
+	} else if qf.Batch != 5 || qf.Free != 4 {
+		t.Fatalf("oversized batch fields: %+v", *qf)
+	}
+
+	// Every accepted event must land: no acked event is dropped.
+	if _, _, err := f.ing.TrySubmit(appends(1, 2)); err != nil {
+		t.Fatalf("TrySubmit after drain: %v", err)
+	}
+	if err := f.ing.Flush(context.Background()); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if got, want := f.ds.Len(), int(accepted)+2; got != want {
+		t.Fatalf("dataset has %d rows, want %d", got, want)
+	}
+}
+
+// TestTrySubmitValidatesAndCloses mirrors Submit's edge cases.
+func TestTrySubmitValidatesAndCloses(t *testing.T) {
+	f := newFixture(t, 16, 100, 1, IngestConfig{})
+	if _, _, err := f.ing.TrySubmit([]Event{{Op: "bogus"}}); err == nil {
+		t.Fatal("want validation error")
+	}
+	if first, last, err := f.ing.TrySubmit(nil); first != 0 || last != 0 || err != nil {
+		t.Fatalf("empty batch: %d %d %v", first, last, err)
+	}
+	f.ing.Close()
+	if _, _, err := f.ing.TrySubmit(appends(1)); !errors.Is(err, ErrIngestClosed) {
+		t.Fatalf("after close: want ErrIngestClosed, got %v", err)
+	}
+}

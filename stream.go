@@ -88,6 +88,11 @@ const (
 // ErrIngestClosed is returned by StreamIngestor.Submit after Close.
 var ErrIngestClosed = stream.ErrIngestClosed
 
+// StreamQueueFullError is returned by StreamIngestor.TrySubmit when the
+// ingest queue lacks room for the whole batch (explicit backpressure:
+// nothing was enqueued, retry after backing off).
+type StreamQueueFullError = stream.QueueFullError
+
 // NewStreamTable wraps a dataset for streaming. Once streaming begins, the
 // dataset must only be mutated through the table (the ingestor, or
 // Table.Mutate).
