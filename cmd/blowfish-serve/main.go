@@ -19,6 +19,14 @@
 // pre-crash server would have refused: privacy budgets are monotone
 // across crashes, stream cursors resume where clients left off.
 //
+// Observability: the API mux serves a Prometheus text exposition at
+// GET /metrics (request latencies, per-policy release latencies, budget
+// gauges, ingest queue depths, WAL fsync latency, epoch lag). With
+// -metrics-addr an admin mux additionally serves /metrics — and, when
+// -pprof is also set, the net/http/pprof handlers — on a separate
+// listener that can stay off the public network. -log-level selects the
+// slog threshold (debug logs every request and epoch close).
+//
 // On SIGINT/SIGTERM the server shuts down in order: stop accepting
 // connections and drain in-flight requests (http.Server.Shutdown with a
 // deadline), stop the session-TTL reaper, then stop every stream epoch
@@ -31,8 +39,10 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -43,21 +53,33 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		seed      = flag.Int64("seed", 1, "base seed for per-session noise sources")
-		ttl       = flag.Duration("session-ttl", 30*time.Minute, "idle session lifetime (0 = never expire)")
-		sweep     = flag.Duration("sweep", time.Minute, "session expiry sweep interval")
-		drain     = flag.Duration("drain", 5*time.Second, "shutdown deadline for in-flight requests")
-		dataDir   = flag.String("data-dir", "", "durable state directory (empty = in-memory)")
-		fsync     = flag.String("fsync", "always", "WAL fsync policy: always, interval or never")
-		fsyncIvl  = flag.Duration("fsync-interval", 100*time.Millisecond, "sync period for -fsync=interval")
-		snapEvery = flag.Int("snapshot-every", 50000, "WAL records between automatic snapshots (0 = only shutdown/manual)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		seed        = flag.Int64("seed", 1, "base seed for per-session noise sources")
+		ttl         = flag.Duration("session-ttl", 30*time.Minute, "idle session lifetime (0 = never expire)")
+		sweep       = flag.Duration("sweep", time.Minute, "session expiry sweep interval")
+		drain       = flag.Duration("drain", 5*time.Second, "shutdown deadline for in-flight requests")
+		dataDir     = flag.String("data-dir", "", "durable state directory (empty = in-memory)")
+		fsync       = flag.String("fsync", "always", "WAL fsync policy: always, interval or never")
+		fsyncIvl    = flag.Duration("fsync-interval", 100*time.Millisecond, "sync period for -fsync=interval")
+		snapEvery   = flag.Int("snapshot-every", 50000, "WAL records between automatic snapshots (0 = only shutdown/manual)")
+		metricsAddr = flag.String("metrics-addr", "", "admin listen address for /metrics (and /debug/pprof with -pprof); empty = API mux only")
+		pprofOn     = flag.Bool("pprof", false, "serve net/http/pprof on the -metrics-addr admin mux")
+		logLevel    = flag.String("log-level", "info", "slog threshold: debug, info, warn or error")
 	)
 	flag.Parse()
 
+	level, err := parseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blowfish-serve: %v\n", err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	openStart := time.Now()
 	srv, err := server.Open(server.Config{
 		Seed:       *seed,
 		SessionTTL: *ttl,
+		Logger:     logger,
 		Durability: server.DurabilityConfig{
 			Dir:           *dataDir,
 			Fsync:         *fsync,
@@ -66,16 +88,40 @@ func main() {
 		},
 	})
 	if err != nil {
-		log.Fatalf("blowfish-serve: recovering %s: %v", *dataDir, err)
+		logger.Error("recovery failed", "dir", *dataDir, "err", err)
+		os.Exit(1)
 	}
 	if *dataDir != "" {
-		log.Printf("durable state in %s (fsync=%s, snapshot-every=%d)", *dataDir, *fsync, *snapEvery)
+		logger.Info("durable state ready", "dir", *dataDir, "fsync", *fsync,
+			"snapshot_every", *snapEvery, "elapsed", time.Since(openStart))
 	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           logRequests(srv),
+		Handler:           logRequests(logger, srv),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// The admin mux carries the scrape target (and optionally pprof) on its
+	// own listener so neither needs to be exposed where the API is.
+	var adminSrv *http.Server
+	if *metricsAddr != "" {
+		admin := http.NewServeMux()
+		admin.Handle("GET /metrics", srv.Metrics().Handler())
+		if *pprofOn {
+			admin.HandleFunc("/debug/pprof/", pprof.Index)
+			admin.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			admin.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			admin.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			admin.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
+		adminSrv = &http.Server{Addr: *metricsAddr, Handler: admin, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			logger.Info("admin listening", "addr", *metricsAddr, "pprof", *pprofOn)
+			if err := adminSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("admin listener failed", "err", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -93,7 +139,7 @@ func main() {
 					return
 				case <-t.C:
 					if n := srv.ExpireSessions(); n > 0 {
-						log.Printf("expired %d idle session(s)", n)
+						logger.Info("expired idle sessions", "count", n)
 					}
 				}
 			}
@@ -106,17 +152,21 @@ func main() {
 	go func() {
 		defer close(shutdownDone)
 		<-ctx.Done()
-		log.Print("blowfish-serve shutting down")
+		logger.Info("shutting down", "drain", *drain)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("shutdown: %v", err)
+			logger.Warn("http drain incomplete", "err", err)
+		}
+		if adminSrv != nil {
+			_ = adminSrv.Shutdown(shutdownCtx)
 		}
 	}()
 
-	log.Printf("blowfish-serve listening on %s (seed=%d, session-ttl=%s)", *addr, *seed, *ttl)
+	logger.Info("listening", "addr", *addr, "seed", *seed, "session_ttl", *ttl)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		logger.Error("listen failed", "err", err)
+		os.Exit(1)
 	}
 	// Order matters: drain HTTP first (no new work can arrive), then the
 	// reaper, then the streaming goroutines — srv.Close stops every stream
@@ -124,17 +174,40 @@ func main() {
 	<-shutdownDone
 	stop()
 	<-reaperDone
+	closeStart := time.Now()
 	srv.Close()
-	log.Print("blowfish-serve stopped")
+	if n := srv.CloseLeaked(); n > 0 {
+		logger.Error("close abandoned goroutines at drain deadline", "leaked", n)
+	}
+	logger.Info("stopped", "close_elapsed", time.Since(closeStart))
 }
 
-// logRequests is a minimal structured-ish access log middleware.
-func logRequests(next http.Handler) http.Handler {
+// parseLevel maps the -log-level flag onto a slog.Level.
+func parseLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", s)
+}
+
+// logRequests is the access log: one debug record per request. The
+// serious per-route accounting lives in the server's metrics; this exists
+// for tailing a dev server.
+func logRequests(logger *slog.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(rec, r)
-		log.Printf("%s %s %d %s", r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+		logger.Debug("request",
+			"method", r.Method, "path", r.URL.Path, "status", rec.status,
+			"elapsed", time.Since(start).Round(time.Microsecond))
 	})
 }
 

@@ -17,6 +17,7 @@ import (
 	"testing"
 
 	"blowfish"
+	"blowfish/internal/metrics"
 )
 
 func TestEngineReleaseAllocBudgets(t *testing.T) {
@@ -86,5 +87,44 @@ func TestEngineReleaseAllocBudgets(t *testing.T) {
 	// The released histogram escapes; nothing else should.
 	if histAllocs > 4 {
 		t.Fatalf("histogram release allocates %v per call, want <= 4", histAllocs)
+	}
+
+	// Re-pin the hottest paths with the engine instruments installed: a
+	// release now also does one histogram observation and two counter
+	// bumps, all lock-free atomics — the budgets must not move.
+	reg := metrics.NewRegistry()
+	rel := func(kind string) blowfish.EngineReleaseMetrics {
+		return blowfish.EngineReleaseMetrics{
+			Latency: reg.Histogram("release_seconds_"+kind, "pin", nil),
+			Count:   reg.Counter("releases_total_"+kind, "pin"),
+		}
+	}
+	sess.SetEngineMetrics(&blowfish.EngineMetrics{
+		Histogram:  rel("histogram"),
+		Cumulative: rel("cumulative"),
+		Range:      rel("range"),
+		NoiseDraws: reg.Counter("noise_draws_total", "pin"),
+	})
+
+	rangeMetered := testing.AllocsPerRun(100, func() {
+		rel, err := sess.NewRangeReleaser(ds, 16, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rel.Range(10, 900); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if rangeMetered > 8 {
+		t.Fatalf("instrumented range release allocates %v per call, want <= 8", rangeMetered)
+	}
+
+	histMetered := testing.AllocsPerRun(100, func() {
+		if _, err := sess.ReleaseHistogram(ds, eps); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if histMetered > 4 {
+		t.Fatalf("instrumented histogram release allocates %v per call, want <= 4", histMetered)
 	}
 }

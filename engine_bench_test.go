@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"blowfish"
+	"blowfish/internal/metrics"
 )
 
 const (
@@ -89,6 +90,37 @@ func BenchmarkEngineRepeatedHistogramLegacy(b *testing.B) {
 func BenchmarkEngineRepeatedRange(b *testing.B) {
 	pol, ds := benchWorld(b)
 	sess := benchSession(b, pol, 1)
+	if _, err := sess.NewRangeReleaser(ds, 16, benchEps); err != nil { // prime caches
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rel, err := sess.NewRangeReleaser(ds, 16, benchEps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rel.Range(100, 4000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineRepeatedRangeMetrics is BenchmarkEngineRepeatedRange with
+// the engine's release instruments installed — the benchgate holds the
+// per-release instrumentation cost (one histogram observation + two
+// counter bumps) inside the hot-path regression threshold.
+func BenchmarkEngineRepeatedRangeMetrics(b *testing.B) {
+	pol, ds := benchWorld(b)
+	sess := benchSession(b, pol, 1)
+	reg := metrics.NewRegistry()
+	sess.SetEngineMetrics(&blowfish.EngineMetrics{
+		Range: blowfish.EngineReleaseMetrics{
+			Latency: reg.Histogram("release_seconds", "bench", nil),
+			Count:   reg.Counter("releases_total", "bench"),
+		},
+		NoiseDraws: reg.Counter("noise_draws_total", "bench"),
+	})
 	if _, err := sess.NewRangeReleaser(ds, 16, benchEps); err != nil { // prime caches
 		b.Fatal(err)
 	}

@@ -30,10 +30,11 @@ type noiseShard struct {
 // Releases are computed first and charged second, exactly like Session: a
 // failed charge discards the computed values unpublished.
 type Engine struct {
-	plan   *Plan
-	acct   *composition.Accountant
-	shards []*noiseShard
-	ctr    atomic.Uint64
+	plan    *Plan
+	acct    *composition.Accountant
+	shards  []*noiseShard
+	ctr     atomic.Uint64
+	metrics atomic.Pointer[Metrics]
 }
 
 // New creates an engine over a compiled plan. src seeds the shard pool:
@@ -124,6 +125,9 @@ func (e *Engine) RestoreNoise(st NoiseState) error {
 // mutex around their draws inline — a closure-based wrapper here would cost
 // an allocation on every release of the hot paths.
 func (e *Engine) noiseShard() *noiseShard {
+	if m := e.metrics.Load(); m != nil && m.NoiseDraws != nil {
+		m.NoiseDraws.Inc()
+	}
 	return e.shards[e.ctr.Add(1)%uint64(len(e.shards))]
 }
 
@@ -158,6 +162,7 @@ func (e *Engine) ReleaseHistogram(idx *DatasetIndex, eps float64) ([]float64, er
 	if err := e.precheck(eps); err != nil {
 		return nil, err
 	}
+	mt, start := e.releaseStart()
 	sens, err := e.plan.HistogramSensitivity()
 	if err != nil {
 		return nil, err
@@ -179,6 +184,9 @@ func (e *Engine) ReleaseHistogram(idx *DatasetIndex, eps float64) ([]float64, er
 	if err := e.acct.Spend("histogram", eps); err != nil {
 		return nil, err // release discarded unpublished
 	}
+	if mt != nil {
+		mt.Histogram.observe(start)
+	}
 	return truth, nil
 }
 
@@ -191,6 +199,7 @@ func (e *Engine) ReleasePartitionHistogram(idx *DatasetIndex, part domain.Partit
 	if err := e.checkIndex(idx); err != nil {
 		return nil, err
 	}
+	mt, start := e.releaseStart()
 	registered := part == nil
 	if registered {
 		part = e.plan.part
@@ -215,6 +224,9 @@ func (e *Engine) ReleasePartitionHistogram(idx *DatasetIndex, part domain.Partit
 	}
 	if sens == 0 {
 		// No secret pair crosses blocks: exact, free, no noise drawn.
+		if mt != nil {
+			mt.Partition.observe(start)
+		}
 		return truth, nil
 	}
 	sh := e.noiseShard()
@@ -230,6 +242,9 @@ func (e *Engine) ReleasePartitionHistogram(idx *DatasetIndex, part domain.Partit
 	if err := e.acct.Spend(fmt.Sprintf("partition-histogram|%d", part.NumBlocks()), eps); err != nil {
 		return nil, err
 	}
+	if mt != nil {
+		mt.Partition.observe(start)
+	}
 	return truth, nil
 }
 
@@ -243,6 +258,7 @@ func (e *Engine) ReleaseCumulative(idx *DatasetIndex, eps float64) (raw, inferre
 	if err := e.precheck(eps); err != nil {
 		return nil, nil, err
 	}
+	m, start := e.releaseStart()
 	sens, err := e.plan.CumulativeSensitivity()
 	if err != nil {
 		return nil, nil, err
@@ -268,6 +284,9 @@ func (e *Engine) ReleaseCumulative(idx *DatasetIndex, eps float64) (raw, inferre
 	if err := e.acct.Spend("cumulative-histogram", eps); err != nil {
 		return nil, nil, err
 	}
+	if m != nil {
+		m.Cumulative.observe(start)
+	}
 	return raw, inferred, nil
 }
 
@@ -280,6 +299,7 @@ func (e *Engine) NewRangeRelease(idx *DatasetIndex, fanout int, eps float64) (*o
 	if err := e.precheck(eps); err != nil {
 		return nil, err
 	}
+	m, start := e.releaseStart()
 	oh, err := e.plan.OHFor(fanout)
 	if err != nil {
 		return nil, err
@@ -303,6 +323,9 @@ func (e *Engine) NewRangeRelease(idx *DatasetIndex, fanout int, eps float64) (*o
 	}
 	if err := e.acct.Spend("range-releaser", eps); err != nil {
 		return nil, err
+	}
+	if m != nil {
+		m.Range.observe(start)
 	}
 	return rel, nil
 }
@@ -329,6 +352,7 @@ func (e *Engine) PrivateKMeans(idx *DatasetIndex, k, iterations int, eps float64
 	if err := e.precheck(eps); err != nil {
 		return kmeans.Result{}, err
 	}
+	m, start := e.releaseStart()
 	sizeSens, sumSens, err := e.plan.KMeansSensitivities()
 	if err != nil {
 		return kmeans.Result{}, err
@@ -350,6 +374,9 @@ func (e *Engine) PrivateKMeans(idx *DatasetIndex, k, iterations int, eps float64
 	}
 	if err := e.acct.Spend(fmt.Sprintf("kmeans|k=%d", k), eps); err != nil {
 		return kmeans.Result{}, err
+	}
+	if m != nil {
+		m.KMeans.observe(start)
 	}
 	return res, nil
 }

@@ -1,0 +1,165 @@
+// Package leak is a goroutine-leak watchdog for tests and for
+// Server.Close: it snapshots the goroutines owned by this module before a
+// test body runs and fails the test if any survive the cleanup phase.
+//
+// The approach is the snapshot-diff pattern: parse runtime.Stack(all)
+// into per-goroutine records, keep only goroutines whose stack mentions a
+// blowfish package frame (runtime helpers, testing harness goroutines and
+// net/http transport keep-alives belong to their own lifecycles and are
+// not ours to assert on), and compare before/after. Shutdown is
+// asynchronous — a Stop()ed ticker goroutine may need a scheduler pass to
+// exit — so the check retries with backoff until a deadline before
+// declaring a leak.
+package leak
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// modulePrefix identifies frames owned by this module. Function names in
+// runtime.Stack output are fully qualified ("blowfish/internal/stream.(*Stream).run"),
+// and the facade package itself shows up as "blowfish.".
+const modulePrefix = "blowfish"
+
+// Goroutine is one parsed goroutine record from a runtime.Stack dump.
+type Goroutine struct {
+	ID    int64
+	State string // e.g. "running", "chan receive", "select"
+	Stack string // full record, including the header line
+}
+
+// ownedByModule reports whether the goroutine has any blowfish frame —
+// function name "blowfish.Foo" or "blowfish/internal/...".
+func ownedByModule(stack string) bool {
+	for _, line := range strings.Split(stack, "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, modulePrefix+".") || strings.HasPrefix(line, modulePrefix+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Snapshot returns the module-owned goroutines currently alive, keyed by
+// goroutine ID. The caller's own goroutine is included if it has a
+// blowfish frame; Check diffs against a baseline so that is harmless.
+func Snapshot() map[int64]Goroutine {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	out := make(map[int64]Goroutine)
+	for _, rec := range strings.Split(string(buf), "\n\n") {
+		g, ok := parseGoroutine(rec)
+		if !ok || !ownedByModule(g.Stack) {
+			continue
+		}
+		out[g.ID] = g
+	}
+	return out
+}
+
+// parseGoroutine parses one "goroutine N [state]:" record.
+func parseGoroutine(rec string) (Goroutine, bool) {
+	rec = strings.TrimSpace(rec)
+	if !strings.HasPrefix(rec, "goroutine ") {
+		return Goroutine{}, false
+	}
+	header, _, _ := strings.Cut(rec, "\n")
+	rest := strings.TrimPrefix(header, "goroutine ")
+	idStr, state, ok := strings.Cut(rest, " ")
+	if !ok {
+		return Goroutine{}, false
+	}
+	var id int64
+	if _, err := fmt.Sscanf(idStr, "%d", &id); err != nil {
+		return Goroutine{}, false
+	}
+	state = strings.TrimSuffix(strings.TrimPrefix(state, "["), "]:")
+	return Goroutine{ID: id, State: state, Stack: rec}, true
+}
+
+// Leaked diffs the current module-owned goroutines against a baseline
+// snapshot and returns the survivors that are not in the baseline.
+func Leaked(baseline map[int64]Goroutine) []Goroutine {
+	var out []Goroutine
+	for id, g := range Snapshot() {
+		if _, ok := baseline[id]; !ok {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Await polls until no goroutines beyond the baseline remain or the
+// deadline passes, returning the final survivor list (nil when clean).
+// Polling, not a single sleep: most shutdowns finish in microseconds and
+// the fast path should not stall the suite.
+func Await(baseline map[int64]Goroutine, deadline time.Duration) []Goroutine {
+	delay := 100 * time.Microsecond
+	start := time.Now()
+	for {
+		left := Leaked(baseline)
+		if len(left) == 0 {
+			return nil
+		}
+		if time.Since(start) > deadline {
+			return left
+		}
+		time.Sleep(delay)
+		if delay < 50*time.Millisecond {
+			delay *= 2
+		}
+	}
+}
+
+// testingT is the slice of *testing.T the watchdog needs; an interface so
+// the package stays importable from non-test code (Server.Close uses
+// Snapshot/Await directly).
+type testingT interface {
+	Helper()
+	Cleanup(func())
+	Errorf(format string, args ...any)
+}
+
+// Check arms the watchdog for a test: it snapshots now and registers a
+// cleanup that fails the test if module-owned goroutines born during the
+// test are still running ~2s after it finished. Call it first in the
+// test, before the code under test spawns anything:
+//
+//	func TestHammer(t *testing.T) {
+//		defer leak.Check(t)()
+//		...
+//	}
+//
+// or leak.Check(t) alone, which registers via t.Cleanup. The returned
+// func runs the check immediately (useful before a test's own final
+// asserts); the cleanup pass is idempotent afterwards.
+func Check(t testingT) func() {
+	t.Helper()
+	baseline := Snapshot()
+	done := false
+	verify := func() {
+		if done {
+			return
+		}
+		done = true
+		if left := Await(baseline, 2*time.Second); len(left) > 0 {
+			var b strings.Builder
+			for _, g := range left {
+				fmt.Fprintf(&b, "\n\ngoroutine %d [%s]:\n%s", g.ID, g.State, g.Stack)
+			}
+			t.Errorf("leak: %d module-owned goroutine(s) still alive after test:%s", len(left), b.String())
+		}
+	}
+	t.Cleanup(verify)
+	return verify
+}

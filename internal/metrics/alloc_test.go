@@ -1,0 +1,56 @@
+//go:build !race
+
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// The ISSUE pins instrumentation primitives at zero allocations per
+// operation: they sit inside release and ingest hot paths whose own
+// alloc budgets (engine_alloc_test.go) leave no headroom for telemetry.
+// AllocsPerRun is meaningless under -race, hence the build tag — the
+// same convention as the engine pins.
+
+func TestCounterIncAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("blowfish_pin_total", "")
+	if allocs := testing.AllocsPerRun(1000, func() { c.Inc() }); allocs != 0 {
+		t.Fatalf("Counter.Inc allocates %v/op, pinned at 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { c.Add(3) }); allocs != 0 {
+		t.Fatalf("Counter.Add allocates %v/op, pinned at 0", allocs)
+	}
+}
+
+func TestGaugeAllocFree(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("blowfish_pin_depth", "")
+	if allocs := testing.AllocsPerRun(1000, func() { g.Set(9); g.Add(-1) }); allocs != 0 {
+		t.Fatalf("Gauge mutation allocates %v/op, pinned at 0", allocs)
+	}
+}
+
+func TestHistogramObserveAllocFree(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("blowfish_pin_seconds", "", nil)
+	if allocs := testing.AllocsPerRun(1000, func() { h.Observe(0.0042) }); allocs != 0 {
+		t.Fatalf("Histogram.Observe allocates %v/op, pinned at 0", allocs)
+	}
+	start := time.Now()
+	if allocs := testing.AllocsPerRun(1000, func() { h.ObserveSince(start) }); allocs != 0 {
+		t.Fatalf("Histogram.ObserveSince allocates %v/op, pinned at 0", allocs)
+	}
+}
+
+// A resolved vec child is indistinguishable from an unlabeled metric on
+// the hot path: the map lookup happened once, at wiring time.
+func TestResolvedVecChildAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterVec("blowfish_pin_vec_total", "", "route").With("/v1/x")
+	h := r.HistogramVec("blowfish_pin_vec_seconds", "", nil, "kind").With("range")
+	if allocs := testing.AllocsPerRun(1000, func() { c.Inc(); h.Observe(0.001) }); allocs != 0 {
+		t.Fatalf("resolved vec children allocate %v/op, pinned at 0", allocs)
+	}
+}

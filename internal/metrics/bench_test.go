@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("blowfish_bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	c := NewRegistry().Counter("blowfish_benchp_total", "")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("blowfish_bench_seconds", "", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.00042)
+	}
+}
+
+func BenchmarkHistogramObserveSince(b *testing.B) {
+	h := NewRegistry().Histogram("blowfish_benchs_seconds", "", nil)
+	start := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveSince(start)
+	}
+}
+
+func BenchmarkVecWith(b *testing.B) {
+	cv := NewRegistry().CounterVec("blowfish_bench_vec_total", "", "route", "status")
+	cv.With("/v1/datasets/{id}/events", "200")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cv.With("/v1/datasets/{id}/events", "200").Inc()
+	}
+}
+
+func BenchmarkExpose(b *testing.B) {
+	r := NewRegistry()
+	hv := r.HistogramVec("blowfish_bench_lat_seconds", "latency", nil, "kind")
+	for _, k := range []string{"histogram", "cumulative", "range", "kmeans"} {
+		h := hv.With(k)
+		for i := 0; i < 100; i++ {
+			h.Observe(float64(i) * 1e-4)
+		}
+	}
+	cv := r.CounterVec("blowfish_bench_req_total", "requests", "route", "status")
+	for _, route := range []string{"/a", "/b", "/c"} {
+		cv.With(route, "200").Add(10)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Expose()
+	}
+}

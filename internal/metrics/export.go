@@ -1,0 +1,181 @@
+package metrics
+
+import (
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// textContentType is the Prometheus text exposition content type.
+const textContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler returns an http.Handler serving the registry in the
+// Prometheus text exposition format. Output is deterministic: families
+// sort by name, children by label key, collector samples by
+// registration then emission order — so tests can assert on substrings
+// and diffs between scrapes are meaningful.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", textContentType)
+		var b strings.Builder
+		r.writeText(&b)
+		_, _ = w.Write([]byte(b.String()))
+	})
+}
+
+// Expose renders the full exposition as a string (test/debug helper;
+// the HTTP path uses Handler).
+func (r *Registry) Expose() string {
+	var b strings.Builder
+	r.writeText(&b)
+	return b.String()
+}
+
+func (r *Registry) writeText(b *strings.Builder) {
+	for _, f := range r.sortedFamilies() {
+		writeHeader(b, f.name, f.help, f.kind)
+		switch {
+		case f.counter != nil:
+			writeSample(b, f.name, nil, float64(f.counter.Value()))
+		case f.gauge != nil:
+			writeSample(b, f.name, nil, float64(f.gauge.Value()))
+		case f.hist != nil:
+			writeHistogram(b, f.name, nil, f.hist)
+		case f.counterVec != nil:
+			for _, c := range f.counterVec.v.children() {
+				writeSample(b, f.name, c.labels, float64(c.m.Value()))
+			}
+		case f.gaugeVec != nil:
+			for _, c := range f.gaugeVec.v.children() {
+				writeSample(b, f.name, c.labels, float64(c.m.Value()))
+			}
+		case f.histVec != nil:
+			for _, c := range f.histVec.v.children() {
+				writeHistogram(b, f.name, c.labels, c.m)
+			}
+		}
+	}
+	r.writeCollected(b)
+}
+
+// writeCollected runs the collectors and renders their samples grouped
+// by family name, emitting each family's HELP/TYPE header once. Within
+// a name, samples keep emission order (collectors emit related series
+// together); families are sorted by name for determinism.
+func (r *Registry) writeCollected(b *strings.Builder) {
+	type fam struct {
+		help    string
+		kind    Kind
+		samples []Sample
+	}
+	byName := make(map[string]*fam)
+	var names []string
+	for _, c := range r.snapshotCollectors() {
+		c(func(s Sample) {
+			f, ok := byName[s.Name]
+			if !ok {
+				f = &fam{help: s.Help, kind: s.Kind}
+				byName[s.Name] = f
+				names = append(names, s.Name)
+			}
+			f.samples = append(f.samples, s)
+		})
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := byName[name]
+		writeHeader(b, name, f.help, f.kind)
+		for _, s := range f.samples {
+			writeSample(b, name, s.Labels, s.Value)
+		}
+	}
+}
+
+func writeHeader(b *strings.Builder, name, help string, kind Kind) {
+	if help != "" {
+		b.WriteString("# HELP ")
+		b.WriteString(name)
+		b.WriteByte(' ')
+		b.WriteString(escapeHelp(help))
+		b.WriteByte('\n')
+	}
+	b.WriteString("# TYPE ")
+	b.WriteString(name)
+	b.WriteByte(' ')
+	b.WriteString(kind.String())
+	b.WriteByte('\n')
+}
+
+func writeHistogram(b *strings.Builder, name string, labels []Label, h *Histogram) {
+	cum, sum, count := h.snapshot()
+	for i, c := range cum {
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i])
+		}
+		writeSampleLE(b, name+"_bucket", labels, le, float64(c))
+	}
+	writeSample(b, name+"_sum", labels, sum)
+	writeSample(b, name+"_count", labels, float64(count))
+}
+
+func writeSample(b *strings.Builder, name string, labels []Label, v float64) {
+	writeSampleLE(b, name, labels, "", v)
+}
+
+// writeSampleLE renders one sample line; le, when non-empty, is appended
+// as the trailing bucket label.
+func writeSampleLE(b *strings.Builder, name string, labels []Label, le string, v float64) {
+	b.WriteString(name)
+	if len(labels) > 0 || le != "" {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l.Name)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(l.Value))
+			b.WriteByte('"')
+		}
+		if le != "" {
+			if len(labels) > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(`le="`)
+			b.WriteString(le)
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+// formatFloat renders values the way Prometheus expects: shortest
+// round-trip decimal, with +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -12,6 +12,7 @@ import (
 
 	"blowfish"
 	"blowfish/internal/codec"
+	"blowfish/internal/leak"
 )
 
 // doRaw issues one in-process request with an explicit body and content
@@ -183,6 +184,7 @@ func TestEventsBackpressure(t *testing.T) {
 // rejected whole with queue_full, and the dataset ends with exactly the
 // acked rows.
 func TestEventsBackpressureHammer(t *testing.T) {
+	leak.Check(t)
 	s, dsID := backpressureServer(t)
 
 	frame, err := codec.EncodeFrame([]blowfish.StreamEvent{

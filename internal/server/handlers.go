@@ -279,7 +279,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	// stream must reproduce across hosts, so it cannot depend on core
 	// count.
 	seed, shards := s.resolveSeed(req.Seed)
-	e, err := buildSessionEntry(pe, req.Budget, seed, shards, s.cfg.Now)
+	e, err := s.buildSessionEntry(pe, req.Budget, seed, shards)
 	if err != nil {
 		writeError(w, CodeBadRequest, err.Error())
 		return

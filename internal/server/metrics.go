@@ -1,0 +1,305 @@
+package server
+
+// Observability: the server's metric families and scrape-time collectors.
+//
+// Two disciplines keep instrumentation off the hot paths. First, every
+// metric a hot path touches is pre-resolved: the engine gets bare
+// counter/histogram pointers per policy at session construction, the
+// ingest writer gets its instruments in its config, and each HTTP route's
+// latency histogram is resolved at route registration — no label-map
+// lookups per operation. Second, anything derived or high-churn
+// (per-session budget gauges, ingest queue depth, epoch lag, long-poll
+// waiters) is computed only when /metrics is scraped, by collectors that
+// read the registries under the server's ordinary locks.
+//
+// Naming convention: blowfish_<subsystem>_<quantity>[_unit], latencies in
+// seconds (Prometheus base units), counters suffixed _total. Cardinality
+// budget: per-policy and per-kind labels are bounded by the registry (a
+// handful of policies × 5 release kinds); per-session and per-stream
+// series exist only at scrape time and scale with the live registry, which
+// the session TTL sweeper bounds.
+
+import (
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"blowfish"
+	"blowfish/internal/metrics"
+	"blowfish/internal/wal"
+)
+
+// serverMetrics bundles the registry and every pre-resolved family.
+type serverMetrics struct {
+	reg *metrics.Registry
+
+	httpRequests *metrics.CounterVec   // route, status
+	httpLatency  *metrics.HistogramVec // route
+	queueFull    *metrics.Counter
+
+	releaseLatency *metrics.HistogramVec // policy, kind
+	releaseCount   *metrics.CounterVec   // policy, kind
+	noiseDraws     *metrics.Counter
+
+	ingest *blowfish.StreamIngestMetrics
+
+	wal             *wal.Metrics
+	snapshotSeconds *metrics.Histogram
+	snapshotBytes   *metrics.Gauge
+	checkpoints     *metrics.Counter
+
+	closeLeaked *metrics.Gauge
+}
+
+func newServerMetrics() *serverMetrics {
+	reg := metrics.NewRegistry()
+	m := &serverMetrics{
+		reg: reg,
+		httpRequests: reg.CounterVec("blowfish_http_requests_total",
+			"HTTP requests by route pattern and status code.", "route", "status"),
+		httpLatency: reg.HistogramVec("blowfish_http_request_seconds",
+			"HTTP request latency by route pattern.", nil, "route"),
+		queueFull: reg.Counter("blowfish_ingest_queue_full_total",
+			"Event batches rejected whole with 429 queue_full backpressure."),
+		releaseLatency: reg.HistogramVec("blowfish_release_seconds",
+			"Release latency (truth read + noise + budget charge) by policy and kind.",
+			nil, "policy", "kind"),
+		releaseCount: reg.CounterVec("blowfish_releases_total",
+			"Successful releases by policy and kind.", "policy", "kind"),
+		noiseDraws: reg.Counter("blowfish_noise_draws_total",
+			"Noise-shard acquisitions (noisy releases started)."),
+		ingest: &blowfish.StreamIngestMetrics{
+			ApplySeconds: reg.Histogram("blowfish_ingest_apply_seconds",
+				"Ingest batch apply latency (journal append + index update).", nil),
+			Batches: reg.Counter("blowfish_ingest_batches_total",
+				"Ingest batches applied."),
+			Events: reg.Counter("blowfish_ingest_events_total",
+				"Events applied (all datasets)."),
+			Rejected: reg.Counter("blowfish_ingest_rejected_total",
+				"Events rejected at apply time (bad tuple ids)."),
+			JournalFailures: reg.Counter("blowfish_ingest_journal_failures_total",
+				"Ingest batches refused by a failed write-ahead append."),
+		},
+		wal: &wal.Metrics{
+			FsyncSeconds: reg.Histogram("blowfish_wal_fsync_seconds",
+				"WAL fsync latency.", nil),
+			Appends: reg.Counter("blowfish_wal_appends_total",
+				"WAL records appended."),
+			Bytes: reg.Counter("blowfish_wal_bytes_total",
+				"WAL bytes journaled (framing included)."),
+			Segments: reg.Gauge("blowfish_wal_segments",
+				"Live WAL segment files."),
+		},
+		snapshotSeconds: reg.Histogram("blowfish_snapshot_seconds",
+			"Checkpoint snapshot duration (serialize + durable write + log rotation).",
+			[]float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60}),
+		snapshotBytes: reg.Gauge("blowfish_snapshot_bytes",
+			"Size of the most recent checkpoint snapshot."),
+		checkpoints: reg.Counter("blowfish_checkpoints_total",
+			"Completed checkpoints."),
+		closeLeaked: reg.Gauge("blowfish_close_leaked_goroutines",
+			"Stream/ingest goroutines still alive when Server.Close gave up waiting."),
+	}
+	return m
+}
+
+// engineMetrics resolves the per-policy engine instruments. Called once
+// per session construction; the children live in the vec maps, so two
+// sessions of one policy share series.
+func (m *serverMetrics) engineMetrics(policyID string) *blowfish.EngineMetrics {
+	rel := func(kind string) blowfish.EngineReleaseMetrics {
+		return blowfish.EngineReleaseMetrics{
+			Latency: m.releaseLatency.With(policyID, kind),
+			Count:   m.releaseCount.With(policyID, kind),
+		}
+	}
+	return &blowfish.EngineMetrics{
+		Histogram:  rel("histogram"),
+		Partition:  rel("partition"),
+		Cumulative: rel("cumulative"),
+		Range:      rel("range"),
+		KMeans:     rel("kmeans"),
+		NoiseDraws: m.noiseDraws,
+	}
+}
+
+// Metrics returns the server's metric registry, for mounting the
+// exposition on an admin mux alongside the built-in GET /metrics route.
+func (s *Server) Metrics() *metrics.Registry { return s.metrics.reg }
+
+// handle registers one route with per-route instrumentation: the latency
+// histogram child is resolved here, once, and each request adds one
+// histogram observation and one counter increment on top of the handler.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	lat := s.metrics.httpLatency.With(pattern)
+	requests := s.metrics.httpRequests
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(&sw, r)
+		lat.ObserveSince(start)
+		requests.With(pattern, strconv.Itoa(sw.status)).Inc()
+	})
+}
+
+// statusWriter captures the response status for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so long-poll responses keep
+// streaming through the instrumentation wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// registerCollectors installs the scrape-time sample producers.
+func (s *Server) registerCollectors() {
+	s.metrics.reg.RegisterCollector(s.collectRegistries)
+	s.metrics.reg.RegisterCollector(s.collectSessions)
+	s.metrics.reg.RegisterCollector(s.collectStreams)
+	s.metrics.reg.RegisterCollector(s.collectIngest)
+	s.metrics.reg.RegisterCollector(collectRuntime)
+}
+
+// collectRegistries emits the live-resource counts.
+func (s *Server) collectRegistries(emit func(metrics.Sample)) {
+	s.mu.RLock()
+	counts := []struct {
+		kind string
+		n    int
+	}{
+		{"policies", len(s.policies)},
+		{"datasets", len(s.datasets)},
+		{"sessions", len(s.sessions)},
+		{"streams", len(s.streams)},
+	}
+	s.mu.RUnlock()
+	for _, c := range counts {
+		emit(metrics.Sample{
+			Name: "blowfish_resources", Help: "Live registry entries by kind.",
+			Kind:   metrics.KindGauge,
+			Labels: []metrics.Label{{Name: "kind", Value: c.kind}},
+			Value:  float64(c.n),
+		})
+	}
+}
+
+// collectSessions emits per-session budget spent/remaining gauges. The
+// accountant reads are atomic snapshots; the series set tracks the live
+// session registry (bounded by the TTL sweeper).
+func (s *Server) collectSessions(emit func(metrics.Sample)) {
+	for _, e := range snapshotSorted(s, s.sessions, func(e *sessionEntry) string { return e.id }) {
+		acct := e.sess.Accountant()
+		labels := []metrics.Label{
+			{Name: "session", Value: e.id},
+			{Name: "policy", Value: e.policyID},
+		}
+		emit(metrics.Sample{
+			Name: "blowfish_session_budget_spent",
+			Help: "Privacy budget (epsilon) charged so far, per session.",
+			Kind: metrics.KindGauge, Labels: labels, Value: acct.Spent(),
+		})
+		emit(metrics.Sample{
+			Name: "blowfish_session_budget_remaining",
+			Help: "Privacy budget (epsilon) left, per session.",
+			Kind: metrics.KindGauge, Labels: labels, Value: acct.Remaining(),
+		})
+	}
+}
+
+// collectStreams emits per-stream progress: epoch lag (now − last epoch
+// close), buffered releases, long-poll waiters, remaining budget.
+func (s *Server) collectStreams(emit func(metrics.Sample)) {
+	now := time.Now()
+	for _, e := range snapshotSorted(s, s.streams, func(e *streamEntry) string { return e.id }) {
+		st := e.st.Status()
+		labels := []metrics.Label{{Name: "stream", Value: e.id}}
+		emit(metrics.Sample{
+			Name: "blowfish_stream_epoch_lag_seconds",
+			Help: "Time since the stream's last successful epoch close.",
+			Kind: metrics.KindGauge, Labels: labels,
+			Value: now.Sub(st.LastClose).Seconds(),
+		})
+		emit(metrics.Sample{
+			Name: "blowfish_stream_epoch",
+			Help: "Epochs closed so far, per stream.",
+			Kind: metrics.KindGauge, Labels: labels, Value: float64(st.Epoch),
+		})
+		emit(metrics.Sample{
+			Name: "blowfish_stream_waiters",
+			Help: "Long-poll release-cursor readers currently parked, per stream.",
+			Kind: metrics.KindGauge, Labels: labels, Value: float64(st.Waiters),
+		})
+		emit(metrics.Sample{
+			Name: "blowfish_stream_releases_buffered",
+			Help: "Releases held in the stream's in-memory buffer.",
+			Kind: metrics.KindGauge, Labels: labels, Value: float64(st.Releases),
+		})
+		emit(metrics.Sample{
+			Name: "blowfish_stream_budget_remaining",
+			Help: "Privacy budget (epsilon) left on the stream's session.",
+			Kind: metrics.KindGauge, Labels: labels, Value: st.Remaining,
+		})
+	}
+}
+
+// collectIngest emits per-dataset queue depth and sequence cursors for
+// every started ingestor.
+func (s *Server) collectIngest(emit func(metrics.Sample)) {
+	for _, e := range snapshotSorted(s, s.datasets, func(e *datasetEntry) string { return e.id }) {
+		ing := e.startedIngestor()
+		if ing == nil {
+			continue
+		}
+		st := ing.Stats()
+		labels := []metrics.Label{{Name: "dataset", Value: e.id}}
+		emit(metrics.Sample{
+			Name: "blowfish_ingest_queue_depth",
+			Help: "Events waiting in the ingest queue, per dataset.",
+			Kind: metrics.KindGauge, Labels: labels, Value: float64(st.Queued),
+		})
+		emit(metrics.Sample{
+			Name: "blowfish_ingest_submitted_seq",
+			Help: "Highest event sequence number assigned, per dataset.",
+			Kind: metrics.KindGauge, Labels: labels, Value: float64(st.Submitted),
+		})
+		emit(metrics.Sample{
+			Name: "blowfish_ingest_processed_seq",
+			Help: "Highest event sequence number applied, per dataset.",
+			Kind: metrics.KindGauge, Labels: labels, Value: float64(st.Processed),
+		})
+	}
+}
+
+// collectRuntime emits the process-level gauges a leak investigation
+// starts from.
+func collectRuntime(emit func(metrics.Sample)) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	emit(metrics.Sample{
+		Name: "go_goroutines", Help: "Live goroutines.",
+		Kind: metrics.KindGauge, Value: float64(runtime.NumGoroutine()),
+	})
+	emit(metrics.Sample{
+		Name: "go_memstats_heap_alloc_bytes", Help: "Heap bytes in use.",
+		Kind: metrics.KindGauge, Value: float64(ms.HeapAlloc),
+	})
+	emit(metrics.Sample{
+		Name: "go_memstats_total_alloc_bytes_total", Help: "Cumulative heap bytes allocated.",
+		Kind: metrics.KindCounter, Value: float64(ms.TotalAlloc),
+	})
+	emit(metrics.Sample{
+		Name: "go_gc_cycles_total", Help: "Completed GC cycles.",
+		Kind: metrics.KindCounter, Value: float64(ms.NumGC),
+	})
+}

@@ -362,6 +362,11 @@ func (s *Server) Checkpoint() (CheckpointStats, error) {
 		return CheckpointStats{}, err
 	}
 	p.resetCount()
+	s.metrics.snapshotSeconds.ObserveSince(start)
+	s.metrics.snapshotBytes.Set(int64(len(payload)))
+	s.metrics.checkpoints.Inc()
+	s.logger.Info("checkpoint complete",
+		"lsn", startLSN, "bytes", len(payload), "elapsed", time.Since(start))
 	return CheckpointStats{
 		LSN:        startLSN,
 		Bytes:      len(payload),

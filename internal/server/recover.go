@@ -37,7 +37,11 @@ func Open(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	log, err := wal.Open(d.Dir, wal.Options{Fsync: fsync, FsyncInterval: d.FsyncInterval})
+	recoverStart := time.Now()
+	s.logger.Info("recovery started", "dir", d.Dir, "fsync", d.Fsync)
+	log, err := wal.Open(d.Dir, wal.Options{
+		Fsync: fsync, FsyncInterval: d.FsyncInterval, Metrics: s.metrics.wal,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -50,16 +54,25 @@ func Open(cfg Config) (*Server, error) {
 		return fail(err)
 	}
 	if payload != nil {
+		phase := time.Now()
 		if err := s.loadSnapshot(payload); err != nil {
 			return fail(fmt.Errorf("server: loading snapshot: %w", err))
 		}
+		s.logger.Info("snapshot loaded", "lsn", snapLSN,
+			"bytes", len(payload), "elapsed", time.Since(phase))
 	}
+	phase := time.Now()
 	if err := log.Replay(snapLSN, s.replayRecord); err != nil {
 		return fail(fmt.Errorf("server: replaying wal: %w", err))
 	}
+	s.logger.Info("wal replayed", "from_lsn", snapLSN, "elapsed", time.Since(phase))
 	s.persist = newPersistence(log, d)
 	s.finishRecovery()
 	go s.autoCheckpointLoop()
+	s.logger.Info("recovery complete",
+		"policies", len(s.policies), "datasets", len(s.datasets),
+		"sessions", len(s.sessions), "streams", len(s.streams),
+		"elapsed", time.Since(recoverStart))
 	return s, nil
 }
 
@@ -113,7 +126,7 @@ func (s *Server) loadSnapshot(payload []byte) error {
 		if !ok {
 			return fmt.Errorf("session %s references unknown policy %s", sn.ID, sn.PolicyID)
 		}
-		se, err := buildSessionEntry(pe, sn.Budget, sn.Seed, sn.Shards, s.cfg.Now)
+		se, err := s.buildSessionEntry(pe, sn.Budget, sn.Seed, sn.Shards)
 		if err != nil {
 			return fmt.Errorf("session %s: %w", sn.ID, err)
 		}
@@ -199,7 +212,7 @@ func (s *Server) replayRecord(rec wal.Record) error {
 		if !ok {
 			return wrap(fmt.Errorf("session %s references unknown policy %s", r.ID, r.PolicyID))
 		}
-		se, err := buildSessionEntry(pe, r.Budget, r.Seed, r.Shards, s.cfg.Now)
+		se, err := s.buildSessionEntry(pe, r.Budget, r.Seed, r.Shards)
 		if err != nil {
 			return wrap(err)
 		}
@@ -444,14 +457,16 @@ func (s *Server) buildDatasetEntry(attrs []AttrSpec, pts []blowfish.Point) (*dat
 }
 
 // buildSessionEntry mints a session over a registered policy with a pinned
-// noise seed and shard count.
-func buildSessionEntry(pe *policyEntry, budget float64, seed int64, shards int, now func() time.Time) (*sessionEntry, error) {
+// noise seed and shard count, wiring the engine's per-policy release
+// instruments (resolved once here, never per release).
+func (s *Server) buildSessionEntry(pe *policyEntry, budget float64, seed int64, shards int) (*sessionEntry, error) {
 	sess, err := pe.cp.NewSessionShards(budget, blowfish.NewSource(seed), shards)
 	if err != nil {
 		return nil, err
 	}
+	sess.SetEngineMetrics(s.metrics.engineMetrics(pe.id))
 	e := &sessionEntry{policyID: pe.id, pol: pe, sess: sess, seed: seed, shards: shards}
-	e.lastUsed.Store(now().UnixNano())
+	e.lastUsed.Store(s.cfg.Now().UnixNano())
 	return e, nil
 }
 
@@ -505,18 +520,21 @@ func (s *Server) buildStreamEntryLocked(req CreateStreamRequest, seed int64, sha
 	if !ok {
 		return nil, fmt.Errorf("unknown dataset %s", req.DatasetID)
 	}
-	return buildStreamEntry(pe, de, req, seed, shards)
+	return s.buildStreamEntry(pe, de, req, seed, shards)
 }
 
 // buildStreamEntry binds a policy and dataset into a stream with a pinned
 // seed; the stream is NOT started (callers start it after registration —
 // recovery only after the whole replay).
-func buildStreamEntry(pe *policyEntry, de *datasetEntry, req CreateStreamRequest, seed int64, shards int) (*streamEntry, error) {
+func (s *Server) buildStreamEntry(pe *policyEntry, de *datasetEntry, req CreateStreamRequest, seed int64, shards int) (*streamEntry, error) {
 	sess, err := pe.cp.NewSessionShards(req.Budget, blowfish.NewSource(seed), shards)
 	if err != nil {
 		return nil, err
 	}
-	st, err := sess.NewStream(de.tbl, streamConfigFromRequest(req))
+	sess.SetEngineMetrics(s.metrics.engineMetrics(pe.id))
+	cfg := streamConfigFromRequest(req)
+	cfg.Logger = s.logger.With("policy", pe.id, "dataset", de.id)
+	st, err := sess.NewStream(de.tbl, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -20,6 +20,7 @@ package server
 
 import (
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
@@ -55,11 +56,21 @@ type Config struct {
 	// (empty Dir) keeps the server fully in-memory — the zero-config
 	// default every test and benchmark runs on.
 	Durability DurabilityConfig
+	// Logger receives structured server events (recovery phases, epoch
+	// closes, shutdown drains). Nil discards them.
+	Logger *slog.Logger
+	// CloseDrainTimeout bounds how long Close waits for stream tickers and
+	// ingest writers to exit after signaling them; defaults to 10s.
+	// Goroutines still alive at the deadline are logged and counted in the
+	// blowfish_close_leaked_goroutines gauge instead of blocking shutdown
+	// forever.
+	CloseDrainTimeout time.Duration
 }
 
 const (
 	defaultMaxEventsPerRequest = 100_000
 	defaultMaxLongPollWait     = 30 * time.Second
+	defaultCloseDrainTimeout   = 10 * time.Second
 )
 
 const defaultMaxBodyBytes = 32 << 20
@@ -67,8 +78,10 @@ const defaultMaxBodyBytes = 32 << 20
 // Server is the in-memory policy-release service. Create with New; it
 // implements http.Handler.
 type Server struct {
-	cfg Config
-	mux *http.ServeMux
+	cfg     Config
+	mux     *http.ServeMux
+	metrics *serverMetrics
+	logger  *slog.Logger
 
 	mu       sync.RWMutex
 	policies map[string]*policyEntry
@@ -152,10 +165,20 @@ func (e *datasetEntry) startedIngestor() *blowfish.StreamIngestor {
 // pins the never-started case to an error so a late events POST cannot
 // spawn a writer the shutdown already missed.
 func (e *datasetEntry) closeIngestor() {
-	e.ingOnce.Do(func() { e.ingErr = errShuttingDown })
-	if e.ing != nil {
-		e.ing.Close()
+	if done := e.shutdownIngestor(); done != nil {
+		<-done
 	}
+}
+
+// shutdownIngestor is the non-blocking half of closeIngestor: it pins the
+// never-started case, signals a running writer to drain, and returns the
+// channel that closes when the writer has exited (nil if none ever ran).
+func (e *datasetEntry) shutdownIngestor() <-chan struct{} {
+	e.ingOnce.Do(func() { e.ingErr = errShuttingDown })
+	if e.ing == nil {
+		return nil
+	}
+	return e.ing.Shutdown()
 }
 
 var errShuttingDown = fmt.Errorf("server is shutting down")
@@ -217,44 +240,60 @@ func New(cfg Config) *Server {
 	if cfg.MaxLongPollWait <= 0 {
 		cfg.MaxLongPollWait = defaultMaxLongPollWait
 	}
+	if cfg.CloseDrainTimeout <= 0 {
+		cfg.CloseDrainTimeout = defaultCloseDrainTimeout
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	s := &Server{
 		cfg:      cfg,
+		metrics:  newServerMetrics(),
+		logger:   logger,
 		policies: make(map[string]*policyEntry),
 		datasets: make(map[string]*datasetEntry),
 		sessions: make(map[string]*sessionEntry),
 		streams:  make(map[string]*streamEntry),
 	}
+	// The shared ingest instruments flow into every dataset's writer via
+	// the base ingest config.
+	s.cfg.Ingest.Metrics = s.metrics.ingest
 	s.nextSeed.Store(cfg.Seed)
+	s.registerCollectors()
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s
 }
 
 func (s *Server) routes() {
-	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
-	s.mux.HandleFunc("POST /v1/policies", s.handleCreatePolicy)
-	s.mux.HandleFunc("GET /v1/policies", s.handleListPolicies)
-	s.mux.HandleFunc("GET /v1/policies/{id}", s.handleGetPolicy)
-	s.mux.HandleFunc("DELETE /v1/policies/{id}", s.handleDeletePolicy)
-	s.mux.HandleFunc("POST /v1/datasets", s.handleCreateDataset)
-	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
-	s.mux.HandleFunc("GET /v1/datasets/{id}", s.handleGetDataset)
-	s.mux.HandleFunc("DELETE /v1/datasets/{id}", s.handleDeleteDataset)
-	s.mux.HandleFunc("POST /v1/datasets/{id}/events", s.handleDatasetEvents)
-	s.mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
-	s.mux.HandleFunc("GET /v1/sessions", s.handleListSessions)
-	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleGetSession)
-	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDeleteSession)
-	s.mux.HandleFunc("POST /v1/sessions/{id}/releases/histogram", s.handleHistogram)
-	s.mux.HandleFunc("POST /v1/sessions/{id}/releases/cumulative", s.handleCumulative)
-	s.mux.HandleFunc("POST /v1/sessions/{id}/releases/range", s.handleRange)
-	s.mux.HandleFunc("POST /v1/streams", s.handleCreateStream)
-	s.mux.HandleFunc("GET /v1/streams", s.handleListStreams)
-	s.mux.HandleFunc("GET /v1/streams/{id}", s.handleGetStream)
-	s.mux.HandleFunc("DELETE /v1/streams/{id}", s.handleDeleteStream)
-	s.mux.HandleFunc("POST /v1/streams/{id}/epochs", s.handleCloseEpoch)
-	s.mux.HandleFunc("GET /v1/streams/{id}/releases", s.handleStreamReleases)
-	s.mux.HandleFunc("POST /v1/admin/checkpoint", s.handleCheckpoint)
+	s.handle("GET /v1/healthz", s.handleHealth)
+	s.handle("POST /v1/policies", s.handleCreatePolicy)
+	s.handle("GET /v1/policies", s.handleListPolicies)
+	s.handle("GET /v1/policies/{id}", s.handleGetPolicy)
+	s.handle("DELETE /v1/policies/{id}", s.handleDeletePolicy)
+	s.handle("POST /v1/datasets", s.handleCreateDataset)
+	s.handle("GET /v1/datasets", s.handleListDatasets)
+	s.handle("GET /v1/datasets/{id}", s.handleGetDataset)
+	s.handle("DELETE /v1/datasets/{id}", s.handleDeleteDataset)
+	s.handle("POST /v1/datasets/{id}/events", s.handleDatasetEvents)
+	s.handle("POST /v1/sessions", s.handleCreateSession)
+	s.handle("GET /v1/sessions", s.handleListSessions)
+	s.handle("GET /v1/sessions/{id}", s.handleGetSession)
+	s.handle("DELETE /v1/sessions/{id}", s.handleDeleteSession)
+	s.handle("POST /v1/sessions/{id}/releases/histogram", s.handleHistogram)
+	s.handle("POST /v1/sessions/{id}/releases/cumulative", s.handleCumulative)
+	s.handle("POST /v1/sessions/{id}/releases/range", s.handleRange)
+	s.handle("POST /v1/streams", s.handleCreateStream)
+	s.handle("GET /v1/streams", s.handleListStreams)
+	s.handle("GET /v1/streams/{id}", s.handleGetStream)
+	s.handle("DELETE /v1/streams/{id}", s.handleDeleteStream)
+	s.handle("POST /v1/streams/{id}/epochs", s.handleCloseEpoch)
+	s.handle("GET /v1/streams/{id}/releases", s.handleStreamReleases)
+	s.handle("POST /v1/admin/checkpoint", s.handleCheckpoint)
+	// The exposition itself is served unwrapped: a scrape should not
+	// perturb the request counters it reads.
+	s.mux.Handle("GET /metrics", s.metrics.reg.Handler())
 }
 
 // ServeHTTP implements http.Handler.
@@ -343,20 +382,64 @@ func (s *Server) Close() {
 	// instead of whatever the map iteration produced.
 	sort.Slice(streams, func(i, j int) bool { return byID(streams[i].id, streams[j].id) < 0 })
 	sort.Slice(datasets, func(i, j int) bool { return byID(datasets[i].id, datasets[j].id) < 0 })
-	// Stop schedulers first so no epoch close races the ingestor drain.
-	for _, e := range streams {
-		e.st.Stop()
+	start := time.Now()
+	// One drain deadline covers the whole shutdown: a wedged ticker or
+	// writer is logged and counted instead of blocking Close forever.
+	expired := make(chan struct{})
+	watchdog := time.AfterFunc(s.cfg.CloseDrainTimeout, func() { close(expired) })
+	defer watchdog.Stop()
+	leaked := 0
+	waitOne := func(what, id string, done <-chan struct{}) {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		select {
+		case <-done:
+		case <-expired:
+			leaked++
+			s.logger.Error("close drain timed out; goroutine still running",
+				"what", what, "id", id, "timeout", s.cfg.CloseDrainTimeout)
+		}
 	}
-	// Drain every event queue: Ingestor.Close applies (and therefore
-	// journals) everything submitted before returning.
+	// Stop schedulers first so no epoch close races the ingestor drain:
+	// signal every ticker at once, then wait for each under the deadline.
+	stops := make([]<-chan struct{}, len(streams))
+	for i, e := range streams {
+		stops[i] = e.st.Shutdown()
+	}
+	for i, e := range streams {
+		waitOne("stream ticker", e.id, stops[i])
+	}
+	// Drain every event queue: the writer applies (and therefore journals)
+	// everything submitted before exiting. Signal-then-wait serially, per
+	// dataset, to keep the WAL tail's cross-dataset order reproducible.
 	for _, e := range datasets {
-		e.closeIngestor()
+		if done := e.shutdownIngestor(); done != nil {
+			waitOne("ingest writer", e.id, done)
+		}
 	}
+	s.metrics.closeLeaked.Set(int64(leaked))
 	if s.persist != nil {
 		s.persist.stopAutoCheckpoint()
 		_, _ = s.Checkpoint() // best-effort: the WAL remains authoritative
 		_ = s.persist.log.Close()
 	}
+	if leaked > 0 {
+		s.logger.Error("server close left goroutines running",
+			"leaked", leaked, "elapsed", time.Since(start))
+		return
+	}
+	s.logger.Info("server closed",
+		"streams", len(streams), "datasets", len(datasets), "elapsed", time.Since(start))
+}
+
+// CloseLeaked reports how many stream-ticker / ingest-writer goroutines
+// the last Close abandoned at its drain deadline (0 after a clean close).
+// Tests and the leak watchdog assert on it.
+func (s *Server) CloseLeaked() int {
+	return int(s.metrics.closeLeaked.Value())
 }
 
 // checkOpen refuses resource creation on a closed (shutting down) server.

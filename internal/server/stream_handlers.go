@@ -89,6 +89,7 @@ func (s *Server) handleDatasetEvents(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var qf *blowfish.StreamQueueFullError
 		if errors.As(err, &qf) {
+			s.metrics.queueFull.Inc()
 			writeQueueFull(w, qf)
 			return
 		}
@@ -218,7 +219,7 @@ func (s *Server) handleCreateStream(w http.ResponseWriter, r *http.Request) {
 	// Same seeding contract as sessions: explicit seeds pin one noise shard
 	// so the stream replays identically on any host.
 	seed, shards := s.resolveSeed(req.Seed)
-	e, err := buildStreamEntry(pe, de, req, seed, shards)
+	e, err := s.buildStreamEntry(pe, de, req, seed, shards)
 	if err != nil {
 		writeLibError(w, err)
 		return
@@ -442,6 +443,10 @@ func (s *Server) handleStreamReleases(w http.ResponseWriter, r *http.Request) {
 			rels = waited
 		case errors.Is(err, context.DeadlineExceeded):
 			// Wait elapsed: answer the empty list, the poller retries.
+		case errors.Is(err, blowfish.ErrStreamStopped):
+			// The stream (or server) is shutting down: a clean empty
+			// response, not an error — the poller's next request resolves
+			// the stream's fate.
 		case errors.Is(err, blowfish.ErrBudgetExceeded):
 			writeLibError(w, err)
 			return

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"blowfish"
+	"blowfish/internal/leak"
 )
 
 // streamFixtureIDs registers an l1 line policy and an empty dataset over
@@ -429,6 +430,7 @@ func TestServerClose(t *testing.T) {
 // and direct Dataset mutation through the table's escape hatch — the
 // generation-counter rebuild path exercised end to end through the server.
 func TestServerStreamHammer(t *testing.T) {
+	leak.Check(t)
 	s, _ := newTestServer(t)
 	defer s.Close()
 	polID, dsID := streamFixtureIDs(t, s)

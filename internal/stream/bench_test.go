@@ -16,6 +16,7 @@ import (
 	"blowfish/internal/composition"
 	"blowfish/internal/domain"
 	"blowfish/internal/engine"
+	"blowfish/internal/metrics"
 	"blowfish/internal/noise"
 	"blowfish/internal/policy"
 	"blowfish/internal/secgraph"
@@ -31,6 +32,13 @@ const (
 // benchWorld builds the engine, table and ingestor over the benchmark
 // policy, with preload tuples already indexed.
 func benchWorld(b *testing.B, preload int) (*engine.Engine, *Table, *Ingestor) {
+	b.Helper()
+	return benchWorldCfg(b, preload, IngestConfig{})
+}
+
+// benchWorldCfg is benchWorld with an explicit ingest config (the metrics
+// benchmarks install instruments through it).
+func benchWorldCfg(b *testing.B, preload int, cfg IngestConfig) (*engine.Engine, *Table, *Ingestor) {
 	b.Helper()
 	d, err := domain.Line("v", benchDomainSize)
 	if err != nil {
@@ -70,7 +78,7 @@ func benchWorld(b *testing.B, preload int) (*engine.Engine, *Table, *Ingestor) {
 	if _, err := idx.Histogram(); err != nil {
 		b.Fatal(err)
 	}
-	ing, err := NewIngestor(tbl, IngestConfig{})
+	ing, err := NewIngestor(tbl, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -103,6 +111,37 @@ func BenchmarkStreamIngest(b *testing.B) {
 	}
 	if err := ing.Flush(context.Background()); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkStreamIngestMetrics is BenchmarkStreamIngest with the ingest
+// instruments installed: the benchgate holds the instrumentation overhead
+// (one histogram observation + three counter bumps per applied batch, on
+// the writer goroutine) inside the hot-path regression threshold.
+func BenchmarkStreamIngestMetrics(b *testing.B) {
+	reg := metrics.NewRegistry()
+	im := &IngestMetrics{
+		ApplySeconds:    reg.Histogram("apply_seconds", "bench", nil),
+		Batches:         reg.Counter("batches_total", "bench"),
+		Events:          reg.Counter("events_total", "bench"),
+		Rejected:        reg.Counter("rejected_total", "bench"),
+		JournalFailures: reg.Counter("journal_failures_total", "bench"),
+	}
+	_, _, ing := benchWorldCfg(b, 0, IngestConfig{Metrics: im})
+	const chunk = 1024
+	evs := benchEvents(chunk)
+	b.ResetTimer()
+	for done := 0; done < b.N; done += chunk {
+		n := min(chunk, b.N-done)
+		if _, _, err := ing.Submit(evs[:n]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := ing.Flush(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	if got := int(im.Events.Value()); got != b.N {
+		b.Fatalf("instruments counted %d events, want %d", got, b.N)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"blowfish/internal/domain"
 	"blowfish/internal/engine"
+	"blowfish/internal/metrics"
 )
 
 // Event is one wire-level mutation of a streamed dataset.
@@ -59,6 +60,27 @@ type IngestConfig struct {
 	// starts at StartSeq, so clients polling processed_seq keep a monotone
 	// view across restarts. Zero (the default) starts a fresh log at 1.
 	StartSeq uint64
+	// Metrics, when non-nil, instruments the writer goroutine. All
+	// increments happen on that single goroutine, after the batch applies,
+	// so instrumentation adds nothing to the Submit path; queue depth and
+	// cursor gauges come from Stats() at scrape time instead.
+	Metrics *IngestMetrics
+}
+
+// IngestMetrics are the pre-resolved instruments an ingestor's writer
+// goroutine reports into. Any field may be nil.
+type IngestMetrics struct {
+	// ApplySeconds observes the latency of each batch apply — journal
+	// append (and its fsync, under fsync=always) plus the index update.
+	ApplySeconds *metrics.Histogram
+	// Batches and Events count applied batches and the events in them.
+	Batches *metrics.Counter
+	Events  *metrics.Counter
+	// Rejected counts apply-time rejections (bad tuple ids).
+	Rejected *metrics.Counter
+	// JournalFailures counts batches refused by a failed write-ahead
+	// append (nothing applied, cursor held back).
+	JournalFailures *metrics.Counter
 }
 
 func (c *IngestConfig) fill() {
@@ -314,13 +336,22 @@ func (in *Ingestor) Flush(ctx context.Context) error {
 // writer goroutine. It is idempotent and returns once the writer has
 // exited.
 func (in *Ingestor) Close() {
+	<-in.Shutdown()
+}
+
+// Shutdown is the non-blocking half of Close: it stops accepting events
+// and signals the writer to drain, returning a channel that closes when
+// the writer has exited. Server.Close uses it to signal every ingestor
+// first and then wait on all of them under one deadline, instead of
+// serializing full drains.
+func (in *Ingestor) Shutdown() <-chan struct{} {
 	in.closeOnce.Do(func() {
 		in.mu.Lock()
 		in.closed = true
 		in.mu.Unlock()
 		close(in.quit)
 	})
-	<-in.done
+	return in.done
 }
 
 // run is the single writer: it collects events into batches bounded by
@@ -395,7 +426,32 @@ func (in *Ingestor) apply(batch []seqMut) {
 	for i, m := range batch {
 		muts[i] = m.mut
 	}
+	met := in.cfg.Metrics
+	var start time.Time
+	if met != nil {
+		start = time.Now()
+	}
 	_, rej, err := in.tbl.ApplyLogged(batch[0].seq, muts)
+	if met != nil {
+		if met.ApplySeconds != nil {
+			met.ApplySeconds.ObserveSince(start)
+		}
+		if errors.Is(err, ErrJournalFailed) {
+			if met.JournalFailures != nil {
+				met.JournalFailures.Inc()
+			}
+		} else {
+			if met.Batches != nil {
+				met.Batches.Inc()
+			}
+			if met.Events != nil {
+				met.Events.Add(uint64(len(batch)))
+			}
+			if met.Rejected != nil {
+				met.Rejected.Add(uint64(rej))
+			}
+		}
+	}
 	if errors.Is(err, ErrJournalFailed) {
 		// The write-ahead append failed: nothing was applied and nothing
 		// is durable, so the processed cursor must NOT advance — a wait=1

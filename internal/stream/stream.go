@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"blowfish/internal/composition"
@@ -77,6 +79,10 @@ type Config struct {
 	// MaxReleases bounds the in-memory release buffer; older releases are
 	// dropped (readers see a gap and resynchronize). Defaults to 1024.
 	MaxReleases int
+	// Logger, when set, receives the ticker goroutine's lifecycle events —
+	// most importantly why an automatic stream stopped closing epochs
+	// (budget exhausted, journal down). Nil logs nothing.
+	Logger *slog.Logger
 }
 
 func (c *Config) fill() {
@@ -140,9 +146,15 @@ type Stream struct {
 	idx *engine.DatasetIndex
 	cfg Config
 
+	// waiters counts goroutines parked in WaitReleases right now — the
+	// long-poll connections the server's release-cursor endpoint holds
+	// open. Atomic so the metrics scrape never touches the epoch lock.
+	waiters atomic.Int64
+
 	mu        sync.Mutex // serializes epoch closes, guards everything below
 	epoch     int
 	exhausted bool
+	lastClose time.Time // most recent successful close (creation time before any)
 	releases  []*EpochRelease
 	dropped   uint64 // releases evicted from the front of the buffer
 	nextSeq   uint64
@@ -159,6 +171,11 @@ type Stream struct {
 	quit      chan struct{}
 	loopDone  chan struct{}
 }
+
+// ErrStopped is returned by WaitReleases when the stream is shut down
+// while (or before) the waiter is parked: a closing server wakes every
+// long-poll promptly instead of leaving them to their own deadlines.
+var ErrStopped = errors.New("stream: stopped")
 
 // New binds a stream to an engine and a table. The engine's accountant is
 // the stream's budget schedule: epoch closes refuse once it is exhausted.
@@ -241,13 +258,14 @@ func New(eng *engine.Engine, tbl *Table, cfg Config) (*Stream, error) {
 		tbl.TrackEpochs()
 	}
 	return &Stream{
-		eng:      eng,
-		tbl:      tbl,
-		idx:      idx,
-		cfg:      cfg,
-		notify:   make(chan struct{}),
-		quit:     make(chan struct{}),
-		loopDone: make(chan struct{}),
+		eng:       eng,
+		tbl:       tbl,
+		idx:       idx,
+		cfg:       cfg,
+		lastClose: time.Now(),
+		notify:    make(chan struct{}),
+		quit:      make(chan struct{}),
+		loopDone:  make(chan struct{}),
 	}, nil
 }
 
@@ -333,6 +351,7 @@ func (st *Stream) CloseEpoch() (*EpochRelease, error) {
 	}
 	st.epoch++
 	st.tbl.AdvanceEpoch()
+	st.lastClose = time.Now()
 	rel.Remaining = st.eng.Accountant().Remaining()
 	st.nextSeq++
 	rel.Seq = st.nextSeq
@@ -424,9 +443,13 @@ func (st *Stream) releasesLocked(since uint64) []*EpochRelease {
 }
 
 // WaitReleases blocks until at least one release with Seq > since exists
-// (returning everything buffered past the cursor), the context is done, or
-// the stream is exhausted with nothing left to wait for.
+// (returning everything buffered past the cursor), the context is done,
+// the stream is stopped (ErrStopped — a shutdown must wake every parked
+// waiter promptly, not leave them to their own deadlines), or the stream
+// is exhausted with nothing left to wait for.
 func (st *Stream) WaitReleases(ctx context.Context, since uint64) ([]*EpochRelease, error) {
+	st.waiters.Add(1)
+	defer st.waiters.Add(-1)
 	for {
 		st.mu.Lock()
 		rels := st.releasesLocked(since)
@@ -440,6 +463,8 @@ func (st *Stream) WaitReleases(ctx context.Context, since uint64) ([]*EpochRelea
 		}
 		select {
 		case <-ch:
+		case <-st.quit:
+			return nil, ErrStopped
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
@@ -551,6 +576,13 @@ type Status struct {
 	// N is the current dataset cardinality; Events the mutations applied.
 	N      int
 	Events uint64
+	// LastClose is the wall time of the most recent successful epoch close
+	// (stream creation time before any); now − LastClose is the epoch lag
+	// the metrics endpoint exports.
+	LastClose time.Time
+	// Waiters is the number of goroutines currently parked in
+	// WaitReleases (long-poll release-cursor readers).
+	Waiters int
 }
 
 // Status returns a snapshot of the stream.
@@ -562,6 +594,8 @@ func (st *Stream) Status() Status {
 		Releases:    len(st.releases),
 		NextEpsilon: st.cfg.epsilonAt(st.epoch),
 		Remaining:   st.eng.Accountant().Remaining(),
+		LastClose:   st.lastClose,
+		Waiters:     int(st.waiters.Load()),
 	}
 	if len(st.releases) > 0 {
 		s.FirstSeq = st.releases[0].Seq
@@ -591,8 +625,12 @@ func (st *Stream) Start() {
 				case <-st.quit:
 					return
 				case <-t.C:
-					_, err := st.CloseEpoch()
+					rel, err := st.CloseEpoch()
 					if errors.Is(err, composition.ErrBudgetExceeded) {
+						if l := st.cfg.Logger; l != nil {
+							l.Warn("stream ticker stopped: budget exhausted",
+								"epoch", st.Status().Epoch, "err", err)
+						}
 						return
 					}
 					if errors.Is(err, ErrJournalFailed) {
@@ -602,7 +640,18 @@ func (st *Stream) Start() {
 						// draining the whole budget unseen — so the
 						// ticker stops; manual closes still surface the
 						// error to the operator.
+						if l := st.cfg.Logger; l != nil {
+							l.Error("stream ticker stopped: epoch journal failed",
+								"epoch", st.Status().Epoch, "err", err)
+						}
 						return
+					}
+					if err == nil {
+						if l := st.cfg.Logger; l != nil {
+							l.Debug("epoch closed",
+								"epoch", rel.Epoch, "seq", rel.Seq,
+								"epsilon", rel.Epsilon, "remaining", rel.Remaining)
+						}
 					}
 				}
 			}
@@ -613,7 +662,15 @@ func (st *Stream) Start() {
 // Stop halts the automatic ticker (if running) and waits for it to exit.
 // Safe to call multiple times and without Start.
 func (st *Stream) Stop() {
+	<-st.Shutdown()
+}
+
+// Shutdown is the non-blocking half of Stop: it signals the ticker to
+// exit and returns a channel that closes when the loop has. Server.Close
+// uses it to signal every stream first and then wait on all of them
+// under one deadline. Safe to call multiple times and without Start.
+func (st *Stream) Shutdown() <-chan struct{} {
 	st.startOnce.Do(func() { close(st.loopDone) }) // never started: nothing to wait on
 	st.stopOnce.Do(func() { close(st.quit) })
-	<-st.loopDone
+	return st.loopDone
 }

@@ -10,6 +10,7 @@ import (
 	"blowfish/internal/composition"
 	"blowfish/internal/domain"
 	"blowfish/internal/engine"
+	"blowfish/internal/leak"
 	"blowfish/internal/noise"
 	"blowfish/internal/policy"
 	"blowfish/internal/secgraph"
@@ -458,6 +459,7 @@ func TestConfigValidation(t *testing.T) {
 // reads under -race. Values are not asserted beyond internal consistency —
 // the point is that no interleaving tears state.
 func TestStreamHammer(t *testing.T) {
+	leak.Check(t)
 	f := newFixture(t, 64, 1e9, 11, IngestConfig{BatchSize: 32, FlushInterval: 100 * time.Microsecond})
 	st := f.stream(t, Config{Epsilon: 0.01, Kinds: []ReleaseKind{KindHistogram, KindCumulative}})
 	var wg sync.WaitGroup

@@ -42,6 +42,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"blowfish/internal/metrics"
 )
 
 // FsyncPolicy selects when appended records are forced to stable storage.
@@ -93,6 +95,50 @@ type Options struct {
 	// FsyncInterval is the timer period for FsyncInterval; defaults to
 	// 100ms.
 	FsyncInterval time.Duration
+	// Metrics, when non-nil, instruments the log. Appends already
+	// serialize on the log mutex, so the instrument updates add a few
+	// atomic operations to an I/O-bound path.
+	Metrics *Metrics
+}
+
+// Metrics are the pre-resolved instruments a Log reports into. Any field
+// may be nil.
+type Metrics struct {
+	// FsyncSeconds observes every fsync of the active segment — the
+	// dominant cost of the fsync=always policy and the first thing to
+	// look at when append latency moves.
+	FsyncSeconds *metrics.Histogram
+	// Appends and Bytes count appended records and their encoded bytes
+	// (framing included).
+	Appends *metrics.Counter
+	Bytes   *metrics.Counter
+	// Segments tracks the live segment-file count (rotations up,
+	// checkpoint retirement down).
+	Segments *metrics.Gauge
+}
+
+func (m *Metrics) observeFsync(start time.Time) {
+	if m != nil && m.FsyncSeconds != nil {
+		m.FsyncSeconds.ObserveSince(start)
+	}
+}
+
+func (m *Metrics) countAppend(n int) {
+	if m == nil {
+		return
+	}
+	if m.Appends != nil {
+		m.Appends.Inc()
+	}
+	if m.Bytes != nil {
+		m.Bytes.Add(uint64(n))
+	}
+}
+
+func (m *Metrics) addSegments(delta int64) {
+	if m != nil && m.Segments != nil {
+		m.Segments.Add(delta)
+	}
 }
 
 // ErrClosed is returned by Append after Close.
@@ -189,6 +235,7 @@ func Open(dir string, opts Options) (*Log, error) {
 			return nil, err
 		}
 		l.f = f
+		opts.Metrics.addSegments(int64(len(segs)))
 	}
 	if opts.Fsync == FsyncInterval {
 		l.flushQuit = make(chan struct{})
@@ -233,13 +280,21 @@ func (l *Log) Append(kind byte, data []byte) (uint64, error) {
 	}
 	l.lsn = lsn
 	if l.opts.Fsync == FsyncAlways {
+		start := time.Time{}
+		if l.opts.Metrics != nil {
+			start = time.Now()
+		}
 		if err := l.f.Sync(); err != nil {
 			l.failed = fmt.Errorf("wal: fsync failed, log is read-only: %w", err)
 			return 0, l.failed
 		}
+		if l.opts.Metrics != nil {
+			l.opts.Metrics.observeFsync(start)
+		}
 	} else {
 		l.dirty = true
 	}
+	l.opts.Metrics.countAppend(len(l.buf))
 	return lsn, nil
 }
 
@@ -257,9 +312,14 @@ func (l *Log) syncLocked() error {
 	if !l.dirty {
 		return nil
 	}
+	start := time.Time{}
+	if l.opts.Metrics != nil {
+		start = time.Now()
+	}
 	if err := l.f.Sync(); err != nil {
 		return err
 	}
+	l.opts.Metrics.observeFsync(start)
 	l.dirty = false
 	return nil
 }
@@ -381,6 +441,7 @@ func (l *Log) Checkpoint(lsn uint64) error {
 			if err := os.Remove(filepath.Join(l.dir, segs[i].name)); err != nil {
 				return err
 			}
+			l.opts.Metrics.addSegments(-1)
 		}
 	}
 	return pruneSnapshots(l.dir, 2)
@@ -412,6 +473,7 @@ func (l *Log) openSegment(start uint64) error {
 		return err
 	}
 	l.f = f
+	l.opts.Metrics.addSegments(1)
 	return nil
 }
 

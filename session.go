@@ -97,6 +97,26 @@ func newSession(pol *Policy, plan *engine.Plan, budget float64, src *Source, sha
 // Policy returns the session's policy.
 func (s *Session) Policy() *Policy { return s.pol }
 
+// EngineMetrics aliases engine.Metrics: the pre-resolved per-release-kind
+// instruments (latency histogram + count) a session's engine reports into.
+type EngineMetrics = engine.Metrics
+
+// EngineReleaseMetrics aliases engine.ReleaseMetrics, one kind's slot of
+// an EngineMetrics.
+type EngineReleaseMetrics = engine.ReleaseMetrics
+
+// SetEngineMetrics installs release instrumentation on the session's
+// engine (per-kind latency histograms, release counts, noise-draw
+// stats). Resolve any labeled metric children before the call — the
+// engine's hot paths only ever touch the bare pointers. A no-op for
+// constrained (legacy-path) sessions, which have no engine; pass nil to
+// disable.
+func (s *Session) SetEngineMetrics(m *EngineMetrics) {
+	if s.eng != nil {
+		s.eng.SetMetrics(m)
+	}
+}
+
 // SessionState is a serializable snapshot of a session's replay-relevant
 // state: the budget ledger and the exact position of every noise stream.
 // The durable server checkpoints it so a restarted session refuses exactly

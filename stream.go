@@ -31,6 +31,9 @@ type (
 	StreamIngestor = stream.Ingestor
 	// StreamIngestConfig tunes batching and backpressure.
 	StreamIngestConfig = stream.IngestConfig
+	// StreamIngestMetrics are the optional instruments the ingest writer
+	// goroutine reports into (StreamIngestConfig.Metrics).
+	StreamIngestMetrics = stream.IngestMetrics
 	// StreamIngestStats is a snapshot of an ingestor's counters.
 	StreamIngestStats = stream.IngestStats
 	// Stream is the continual-release epoch scheduler.
@@ -87,6 +90,10 @@ const (
 
 // ErrIngestClosed is returned by StreamIngestor.Submit after Close.
 var ErrIngestClosed = stream.ErrIngestClosed
+
+// ErrStreamStopped is returned by Stream.WaitReleases when the stream is
+// shut down while a waiter is parked (server shutdown wakes long-polls).
+var ErrStreamStopped = stream.ErrStopped
 
 // StreamQueueFullError is returned by StreamIngestor.TrySubmit when the
 // ingest queue lacks room for the whole batch (explicit backpressure:
