@@ -19,6 +19,14 @@
 // pre-crash server would have refused: privacy budgets are monotone
 // across crashes, stream cursors resume where clients left off.
 //
+// With -shards N (N > 1) the server runs N shard workers, each a full
+// service core with its own registries, WAL directory
+// (<data-dir>/shard-<i>) and snapshot cycle; datasets are routed across
+// them by rendezvous hashing and sessions/streams are colocated with
+// their dataset (see internal/shard). The shard count is fixed per data
+// directory. The default -shards 1 serves exactly the single-core layout
+// earlier releases wrote.
+//
 // Observability: the API mux serves a Prometheus text exposition at
 // GET /metrics (request latencies, per-policy release latencies, budget
 // gauges, ingest queue depths, WAL fsync latency, epoch lag). With
@@ -49,6 +57,7 @@ import (
 	"time"
 
 	"blowfish/internal/server"
+	"blowfish/internal/shard"
 )
 
 func main() {
@@ -65,6 +74,7 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "admin listen address for /metrics (and /debug/pprof with -pprof); empty = API mux only")
 		pprofOn     = flag.Bool("pprof", false, "serve net/http/pprof on the -metrics-addr admin mux")
 		logLevel    = flag.String("log-level", "info", "slog threshold: debug, info, warn or error")
+		shards      = flag.Int("shards", 1, "shard workers; >1 routes datasets across per-shard cores (fixed per data directory)")
 	)
 	flag.Parse()
 
@@ -76,7 +86,7 @@ func main() {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	openStart := time.Now()
-	srv, err := server.Open(server.Config{
+	cfg := server.Config{
 		Seed:       *seed,
 		SessionTTL: *ttl,
 		Logger:     logger,
@@ -86,14 +96,29 @@ func main() {
 			FsyncInterval: *fsyncIvl,
 			SnapshotEvery: *snapEvery,
 		},
-	})
-	if err != nil {
-		logger.Error("recovery failed", "dir", *dataDir, "err", err)
-		os.Exit(1)
+	}
+	// -shards 1 takes the single-core path unchanged: same on-disk layout,
+	// same metrics exposition, byte-for-byte what earlier releases served.
+	// -shards N>1 routes datasets across N cores, each with its own WAL
+	// under <data-dir>/shard-<i>; the count is fixed per data directory.
+	var srv *server.Server
+	if *shards > 1 {
+		router, rerr := shard.Open(cfg, *shards)
+		if rerr != nil {
+			logger.Error("recovery failed", "dir", *dataDir, "shards", *shards, "err", rerr)
+			os.Exit(1)
+		}
+		srv = server.NewWith(router)
+	} else {
+		srv, err = server.Open(cfg)
+		if err != nil {
+			logger.Error("recovery failed", "dir", *dataDir, "err", err)
+			os.Exit(1)
+		}
 	}
 	if *dataDir != "" {
 		logger.Info("durable state ready", "dir", *dataDir, "fsync", *fsync,
-			"snapshot_every", *snapEvery, "elapsed", time.Since(openStart))
+			"snapshot_every", *snapEvery, "shards", *shards, "elapsed", time.Since(openStart))
 	}
 
 	httpSrv := &http.Server{
@@ -107,7 +132,7 @@ func main() {
 	var adminSrv *http.Server
 	if *metricsAddr != "" {
 		admin := http.NewServeMux()
-		admin.Handle("GET /metrics", srv.Metrics().Handler())
+		admin.Handle("GET /metrics", srv.MetricsHandler())
 		if *pprofOn {
 			admin.HandleFunc("/debug/pprof/", pprof.Index)
 			admin.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -48,6 +48,7 @@ func (c *Config) fill() {
 	if len(c.Packages) == 0 {
 		c.Packages = []string{
 			"blowfish", "internal/engine", "internal/stream", "internal/server",
+			"internal/service", "internal/shard",
 			"internal/wal", "internal/secgraph", "internal/constraints", "internal/policy",
 		}
 	}

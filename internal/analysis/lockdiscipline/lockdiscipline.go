@@ -43,6 +43,7 @@ func (c *Config) fill() {
 	if len(c.Packages) == 0 {
 		c.Packages = []string{
 			"blowfish", "internal/engine", "internal/stream", "internal/server",
+			"internal/service", "internal/shard",
 		}
 	}
 	if len(c.RankOrder) == 0 {

@@ -49,7 +49,7 @@ type Config struct {
 
 func (c *Config) fill() {
 	if len(c.Packages) == 0 {
-		c.Packages = []string{"internal/server"}
+		c.Packages = []string{"internal/server", "internal/service", "internal/shard"}
 	}
 	if len(c.RegistryFields) == 0 {
 		c.RegistryFields = []string{"policies", "datasets", "sessions", "streams"}

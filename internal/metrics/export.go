@@ -25,6 +25,24 @@ func (r *Registry) Handler() http.Handler {
 	})
 }
 
+// MergedHandler serves several registries as one exposition, in argument
+// order. A family registered in more than one registry (every shard of a
+// sharded server builds the same families) gets its HELP/TYPE header from
+// the first registry that renders it; later registries contribute samples
+// only, which their const labels keep distinct. With a single registry it
+// renders exactly what that registry's own Handler would.
+func MergedHandler(regs ...*Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", textContentType)
+		var b strings.Builder
+		seen := make(map[string]bool)
+		for _, r := range regs {
+			r.writeTextSeen(&b, seen)
+		}
+		_, _ = w.Write([]byte(b.String()))
+	})
+}
+
 // Expose renders the full exposition as a string (test/debug helper;
 // the HTTP path uses Handler).
 func (r *Registry) Expose() string {
@@ -34,37 +52,45 @@ func (r *Registry) Expose() string {
 }
 
 func (r *Registry) writeText(b *strings.Builder) {
+	r.writeTextSeen(b, nil)
+}
+
+// writeTextSeen renders the registry; seen, when non-nil, records family
+// names whose HELP/TYPE headers were already written (the merged
+// exposition path) so they render once across registries.
+func (r *Registry) writeTextSeen(b *strings.Builder, seen map[string]bool) {
+	cl := r.snapshotConstLabels()
 	for _, f := range r.sortedFamilies() {
-		writeHeader(b, f.name, f.help, f.kind)
+		writeHeader(b, f.name, f.help, f.kind, seen)
 		switch {
 		case f.counter != nil:
-			writeSample(b, f.name, nil, float64(f.counter.Value()))
+			writeSample(b, f.name, cl, float64(f.counter.Value()))
 		case f.gauge != nil:
-			writeSample(b, f.name, nil, float64(f.gauge.Value()))
+			writeSample(b, f.name, cl, float64(f.gauge.Value()))
 		case f.hist != nil:
-			writeHistogram(b, f.name, nil, f.hist)
+			writeHistogram(b, f.name, cl, f.hist)
 		case f.counterVec != nil:
 			for _, c := range f.counterVec.v.children() {
-				writeSample(b, f.name, c.labels, float64(c.m.Value()))
+				writeSample(b, f.name, withConst(cl, c.labels), float64(c.m.Value()))
 			}
 		case f.gaugeVec != nil:
 			for _, c := range f.gaugeVec.v.children() {
-				writeSample(b, f.name, c.labels, float64(c.m.Value()))
+				writeSample(b, f.name, withConst(cl, c.labels), float64(c.m.Value()))
 			}
 		case f.histVec != nil:
 			for _, c := range f.histVec.v.children() {
-				writeHistogram(b, f.name, c.labels, c.m)
+				writeHistogram(b, f.name, withConst(cl, c.labels), c.m)
 			}
 		}
 	}
-	r.writeCollected(b)
+	r.writeCollected(b, cl, seen)
 }
 
 // writeCollected runs the collectors and renders their samples grouped
 // by family name, emitting each family's HELP/TYPE header once. Within
 // a name, samples keep emission order (collectors emit related series
 // together); families are sorted by name for determinism.
-func (r *Registry) writeCollected(b *strings.Builder) {
+func (r *Registry) writeCollected(b *strings.Builder, cl []Label, seen map[string]bool) {
 	type fam struct {
 		help    string
 		kind    Kind
@@ -86,14 +112,31 @@ func (r *Registry) writeCollected(b *strings.Builder) {
 	sort.Strings(names)
 	for _, name := range names {
 		f := byName[name]
-		writeHeader(b, name, f.help, f.kind)
+		writeHeader(b, name, f.help, f.kind, seen)
 		for _, s := range f.samples {
-			writeSample(b, name, s.Labels, s.Value)
+			writeSample(b, name, withConst(cl, s.Labels), s.Value)
 		}
 	}
 }
 
-func writeHeader(b *strings.Builder, name, help string, kind Kind) {
+// withConst prepends the registry's const labels to a sample's own. With
+// no const labels it returns the sample's labels untouched (no copy).
+func withConst(cl, labels []Label) []Label {
+	if len(cl) == 0 {
+		return labels
+	}
+	out := make([]Label, 0, len(cl)+len(labels))
+	out = append(out, cl...)
+	return append(out, labels...)
+}
+
+func writeHeader(b *strings.Builder, name, help string, kind Kind, seen map[string]bool) {
+	if seen != nil {
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+	}
 	if help != "" {
 		b.WriteString("# HELP ")
 		b.WriteString(name)

@@ -80,6 +80,12 @@ type Registry struct {
 	order      []string // sorted family names, rebuilt when dirty
 	dirty      bool
 	collectors []Collector
+	// constLabels are prepended to every sample (registered families and
+	// collector output alike) at scrape time. A sharded deployment stamps
+	// each shard's registry with shard="<i>" so the merged exposition keeps
+	// per-shard series distinct; an empty set renders nothing, keeping the
+	// single-registry exposition byte-identical.
+	constLabels []Label
 }
 
 // NewRegistry returns an empty registry.
@@ -158,6 +164,27 @@ func (r *Registry) HistogramVec(name, help string, bounds []float64, labelNames 
 	hv.v.mk = func() *Histogram { return newHistogram(b) }
 	r.register(&family{name: name, help: help, kind: KindHistogram, histVec: hv})
 	return hv
+}
+
+// SetConstLabels fixes labels onto every sample this registry renders,
+// ahead of the sample's own labels. Call once at construction, before the
+// first scrape; label names must be valid and must not collide with any
+// family's own label names (the renderer does not dedupe).
+func (r *Registry) SetConstLabels(ls ...Label) {
+	for _, l := range ls {
+		if !validName(l.Name) {
+			panic(fmt.Sprintf("metrics: invalid const label name %q", l.Name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.constLabels = append([]Label(nil), ls...)
+}
+
+func (r *Registry) snapshotConstLabels() []Label {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.constLabels
 }
 
 // RegisterCollector adds a scrape-time sample producer. Collectors run

@@ -120,17 +120,15 @@ func backpressureServer(t *testing.T) (*Server, string) {
 func TestEventsBackpressure(t *testing.T) {
 	s, dsID := backpressureServer(t)
 
-	s.mu.RLock()
-	de := s.datasets[dsID]
-	s.mu.RUnlock()
+	tbl := s.Core().DatasetTable(dsID)
 
 	// Wedge the single writer: applying a batch needs the table's write
 	// lock, so a held read lock stalls it with the queue intact.
-	de.tbl.RLock()
+	tbl.RLock()
 	wedged := true
 	defer func() {
 		if wedged {
-			de.tbl.RUnlock()
+			tbl.RUnlock()
 		}
 	}()
 
@@ -158,7 +156,7 @@ func TestEventsBackpressure(t *testing.T) {
 
 	// The rejection enqueued nothing: resume the writer, flush via a
 	// waiting post, and the dataset must hold exactly the acked events.
-	de.tbl.RUnlock()
+	tbl.RUnlock()
 	wedged = false
 	var w *httptest.ResponseRecorder
 	for deadline := time.Now().Add(5 * time.Second); ; {

@@ -6,22 +6,7 @@ import (
 	"net/http"
 
 	"blowfish"
-)
-
-// Error codes returned in the "error.code" field of failure responses.
-// Clients branch on the code, not the message.
-const (
-	CodeBadRequest      = "bad_request"
-	CodeUnknownPolicy   = "unknown_policy"
-	CodeUnknownDataset  = "unknown_dataset"
-	CodeUnknownSession  = "unknown_session"
-	CodeUnknownStream   = "unknown_stream"
-	CodeDomainMismatch  = "domain_mismatch"
-	CodeBudgetExhausted = "budget_exhausted"
-	CodePolicyInUse     = "policy_in_use"
-	CodeDatasetInUse    = "dataset_in_use"
-	CodeDurability      = "durability_error"
-	CodeQueueFull       = "queue_full"
+	"blowfish/internal/service"
 )
 
 // APIError is the structured error body: {"error": {"code", "message"}}.
@@ -54,15 +39,6 @@ func httpStatus(code string) int {
 	}
 }
 
-// writeQueueFull answers a rejected-whole ingest batch: the structured
-// queue_full error plus a Retry-After hint (seconds, coarse — the queue
-// drains in milliseconds under a healthy writer, so the minimum legal
-// value 1 is the hint; clients treat it as "back off, then retry").
-func writeQueueFull(w http.ResponseWriter, err error) {
-	w.Header().Set("Retry-After", "1")
-	writeError(w, CodeQueueFull, err.Error())
-}
-
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -71,6 +47,24 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, code, message string) {
 	writeJSON(w, httpStatus(code), errorEnvelope{Error: APIError{Code: code, Message: message}})
+}
+
+// writeServiceError renders a service-layer failure. Coded errors carry
+// their own status mapping; a queue_full rejection additionally gets a
+// Retry-After hint (seconds, coarse — the queue drains in milliseconds
+// under a healthy writer, so the minimum legal value 1 is the hint;
+// clients treat it as "back off, then retry"). Uncoded errors fall back
+// to the library mapping.
+func writeServiceError(w http.ResponseWriter, err error) {
+	var se *service.Error
+	if errors.As(err, &se) {
+		if se.Code == CodeQueueFull {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, se.Code, se.Message)
+		return
+	}
+	writeLibError(w, err)
 }
 
 // writeLibError maps a blowfish library error onto the structured error

@@ -2,10 +2,10 @@ package server
 
 import (
 	"encoding/json"
-	"fmt"
+	"errors"
 	"net/http"
 
-	"blowfish"
+	"blowfish/internal/service"
 )
 
 // decodeJSON parses a request body into v, rejecting unknown fields so
@@ -23,40 +23,9 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
-		"sessions": s.SessionCount(),
-		"streams":  s.StreamCount(),
+		"sessions": s.svc.SessionCount(),
+		"streams":  s.svc.StreamCount(),
 	})
-}
-
-func (s *Server) handleListPolicies(w http.ResponseWriter, r *http.Request) {
-	entries := snapshotSorted(s, s.policies, func(e *policyEntry) string { return e.id })
-	resp := ListPoliciesResponse{Policies: make([]PolicyResponse, len(entries))}
-	for i, e := range entries {
-		resp.Policies[i] = policyResponse(e)
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
-	entries := snapshotSorted(s, s.datasets, func(e *datasetEntry) string { return e.id })
-	resp := ListDatasetsResponse{Datasets: make([]DatasetResponse, len(entries))}
-	for i, e := range entries {
-		// Row counts read under the table lock: ingestion may be landing.
-		e.tbl.RLock()
-		rows := e.ds.Len()
-		e.tbl.RUnlock()
-		resp.Datasets[i] = DatasetResponse{ID: e.id, Rows: rows, Domain: e.attrs}
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
-	entries := snapshotSorted(s, s.sessions, func(e *sessionEntry) string { return e.id })
-	resp := ListSessionsResponse{Sessions: make([]SessionResponse, len(entries))}
-	for i, e := range entries {
-		resp.Sessions[i] = sessionResponse(e, false)
-	}
-	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleCreatePolicy(w http.ResponseWriter, r *http.Request) {
@@ -64,126 +33,31 @@ func (s *Server) handleCreatePolicy(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	e, err := buildPolicyEntry(req.Domain, req.Graph)
+	resp, err := s.svc.CreatePolicy(req)
 	if err != nil {
-		writeError(w, CodeBadRequest, err.Error())
+		writeServiceError(w, err)
 		return
 	}
-	s.mu.Lock()
-	e.id = s.newID(0, "pol")
-	if err := s.journal(recPolicyPut, walPolicyPut{ID: e.id, Domain: e.attrs, Graph: e.graph}); err != nil {
-		s.mu.Unlock()
-		writeError(w, CodeDurability, err.Error())
-		return
-	}
-	s.policies[e.id] = e
-	s.mu.Unlock()
-	writeJSON(w, http.StatusCreated, policyResponse(e))
-}
-
-func policyResponse(e *policyEntry) PolicyResponse {
-	return PolicyResponse{
-		ID:                   e.id,
-		Name:                 e.pol.Name(),
-		Domain:               e.attrs,
-		DomainSize:           e.pol.Domain().Size(),
-		HistogramSensitivity: e.histSens,
-		Edges:                e.edges,
-		Components:           e.components,
-	}
+	writeJSON(w, http.StatusCreated, resp)
 }
 
 func (s *Server) handleGetPolicy(w http.ResponseWriter, r *http.Request) {
-	e, ok := s.getPolicy(r.PathValue("id"))
-	if !ok {
-		writeError(w, CodeUnknownPolicy, fmt.Sprintf("no policy %q", r.PathValue("id")))
+	resp, err := s.svc.GetPolicy(r.PathValue("id"))
+	if err != nil {
+		writeServiceError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, policyResponse(e))
+	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleDeletePolicy unregisters a policy. Deletion is refused while any
-// live session references it: a release against such a session would
-// otherwise silently lose the policy's partition and fall back to a
-// different mechanism.
+func (s *Server) handleListPolicies(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.ListPolicies())
+}
+
 func (s *Server) handleDeletePolicy(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	s.mu.Lock()
-	_, ok := s.policies[id]
-	if !ok {
-		s.mu.Unlock()
-		writeError(w, CodeUnknownPolicy, fmt.Sprintf("no policy %q", id))
+	if err := s.svc.DeletePolicy(r.PathValue("id")); err != nil {
+		writeServiceError(w, err)
 		return
-	}
-	for _, sess := range s.sessions {
-		if sess.policyID == id {
-			s.mu.Unlock()
-			writeError(w, CodePolicyInUse, fmt.Sprintf("policy %q has live sessions (e.g. %q); delete or expire them first", id, sess.id))
-			return
-		}
-	}
-	for _, st := range s.streams {
-		if st.policyID == id {
-			s.mu.Unlock()
-			writeError(w, CodePolicyInUse, fmt.Sprintf("policy %q has live streams (e.g. %q); delete them first", id, st.id))
-			return
-		}
-	}
-	if err := s.journalDelete(nsPolicy, id); err != nil {
-		s.mu.Unlock()
-		writeError(w, CodeDurability, err.Error())
-		return
-	}
-	delete(s.policies, id)
-	s.mu.Unlock()
-	w.WriteHeader(http.StatusNoContent)
-}
-
-// handleDeleteDataset unregisters a dataset. In-flight releases holding the
-// entry finish against their own reference; new requests see 404. Every
-// compiled policy drops its cached index for the dataset so the count
-// vectors are released with it.
-func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	s.mu.Lock()
-	for _, st := range s.streams {
-		if st.datasetID == id {
-			s.mu.Unlock()
-			writeError(w, CodeDatasetInUse, fmt.Sprintf("dataset %q has live streams (e.g. %q); delete them first", id, st.id))
-			return
-		}
-	}
-	e, ok := s.datasets[id]
-	if ok {
-		if err := s.journalDelete(nsDataset, id); err != nil {
-			s.mu.Unlock()
-			writeError(w, CodeDurability, err.Error())
-			return
-		}
-	}
-	delete(s.datasets, id)
-	// Snapshot the compiled policies under the registry lock but run
-	// Forget after releasing it: Forget takes each plan's own mutex, which
-	// an in-flight release may hold for an expensive compile step (a
-	// first-use tree build), and every handler needs s.mu.
-	var cps []*blowfish.CompiledPolicy
-	if ok {
-		cps = make([]*blowfish.CompiledPolicy, 0, len(s.policies))
-		for _, pe := range s.policies {
-			//lint:allow detorder Forget only drops per-plan cached indexes; call order is unobservable (no output, no WAL record, no ledger change)
-			cps = append(cps, pe.cp)
-		}
-	}
-	s.mu.Unlock()
-	if !ok {
-		writeError(w, CodeUnknownDataset, fmt.Sprintf("no dataset %q", id))
-		return
-	}
-	// Stop the event-log writer (flushing its queue) before dropping the
-	// count vectors, so no batch lands on a forgotten index.
-	e.closeIngestor()
-	for _, cp := range cps {
-		cp.Forget(e.ds)
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -193,74 +67,33 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	var attrs []AttrSpec
-	switch {
-	case req.PolicyID != "" && len(req.Domain) > 0:
-		writeError(w, CodeBadRequest, "give policy_id or domain, not both")
-		return
-	case req.PolicyID != "":
-		pe, ok := s.getPolicy(req.PolicyID)
-		if !ok {
-			writeError(w, CodeUnknownPolicy, fmt.Sprintf("no policy %q", req.PolicyID))
-			return
-		}
-		attrs = pe.attrs
-	case len(req.Domain) > 0:
-		attrs = req.Domain
-	default:
-		writeError(w, CodeBadRequest, "dataset needs a policy_id or an inline domain")
-		return
-	}
-	dom, err := buildDomain(attrs)
+	resp, err := s.svc.CreateDataset(req)
 	if err != nil {
-		writeError(w, CodeBadRequest, err.Error())
+		writeServiceError(w, err)
 		return
 	}
-	pts := make([]blowfish.Point, len(req.Rows))
-	for i, row := range req.Rows {
-		p, err := dom.Encode(row...)
-		if err != nil {
-			writeError(w, CodeBadRequest, fmt.Sprintf("row %d: %v", i, err))
-			return
-		}
-		pts[i] = p
-	}
-	e, err := s.buildDatasetEntry(attrs, pts)
-	if err != nil {
-		writeError(w, CodeBadRequest, err.Error())
-		return
-	}
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		writeError(w, CodeBadRequest, "server is shutting down")
-		return
-	}
-	e.id = s.newID(1, "ds")
-	if err := s.journal(recDatasetPut, walDatasetPut{ID: e.id, Domain: e.attrs, Points: pts}); err != nil {
-		s.mu.Unlock()
-		writeError(w, CodeDurability, err.Error())
-		return
-	}
-	if s.persist != nil {
-		e.tbl.SetJournal(s.eventJournal(e.id))
-	}
-	s.datasets[e.id] = e
-	s.mu.Unlock()
-	writeJSON(w, http.StatusCreated, DatasetResponse{ID: e.id, Rows: e.ds.Len(), Domain: e.attrs})
+	writeJSON(w, http.StatusCreated, resp)
 }
 
 func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
-	e, ok := s.getDataset(r.PathValue("id"))
-	if !ok {
-		writeError(w, CodeUnknownDataset, fmt.Sprintf("no dataset %q", r.PathValue("id")))
+	resp, err := s.svc.GetDataset(r.PathValue("id"))
+	if err != nil {
+		writeServiceError(w, err)
 		return
 	}
-	// Row counts read under the table lock: ingestion may be landing.
-	e.tbl.RLock()
-	rows := e.ds.Len()
-	e.tbl.RUnlock()
-	writeJSON(w, http.StatusOK, DatasetResponse{ID: e.id, Rows: rows, Domain: e.attrs})
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.ListDatasets())
+}
+
+func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
+	if err := s.svc.DeleteDataset(r.PathValue("id")); err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
@@ -268,242 +101,84 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	pe, ok := s.getPolicy(req.PolicyID)
-	if !ok {
-		writeError(w, CodeUnknownPolicy, fmt.Sprintf("no policy %q", req.PolicyID))
-		return
-	}
-	// Sessions run on the policy's compiled plan with one noise shard per
-	// CPU, so parallel release requests draw noise concurrently. An
-	// explicitly seeded session instead pins a single shard: its noise
-	// stream must reproduce across hosts, so it cannot depend on core
-	// count.
-	seed, shards := s.resolveSeed(req.Seed)
-	e, err := s.buildSessionEntry(pe, req.Budget, seed, shards)
+	resp, err := s.svc.CreateSession(req)
 	if err != nil {
-		writeError(w, CodeBadRequest, err.Error())
+		writeServiceError(w, err)
 		return
 	}
-	s.mu.Lock()
-	// Re-check under the write lock that inserts the session: a concurrent
-	// policy deletion in the lookup window must not leave a session
-	// referencing an unregistered policy.
-	if _, still := s.policies[pe.id]; !still {
-		s.mu.Unlock()
-		writeError(w, CodeUnknownPolicy, fmt.Sprintf("no policy %q", req.PolicyID))
-		return
-	}
-	e.id = s.newID(2, "sess")
-	if err := s.journal(recSessionPut, walSessionPut{
-		ID: e.id, PolicyID: pe.id, Budget: req.Budget,
-		Seed: seed, Shards: shards, NextSeed: s.nextSeed.Load(),
-	}); err != nil {
-		s.mu.Unlock()
-		writeError(w, CodeDurability, err.Error())
-		return
-	}
-	s.sessions[e.id] = e
-	s.mu.Unlock()
-	writeJSON(w, http.StatusCreated, sessionResponse(e, false))
-}
-
-func sessionResponse(e *sessionEntry, withLog bool) SessionResponse {
-	acct := e.sess.Accountant()
-	resp := SessionResponse{
-		ID:        e.id,
-		PolicyID:  e.policyID,
-		Budget:    acct.Budget(),
-		Spent:     acct.Spent(),
-		Remaining: acct.Remaining(),
-	}
-	if withLog {
-		for _, rel := range acct.Releases() {
-			resp.Releases = append(resp.Releases, ReleaseRecord{Label: rel.Label, Epsilon: rel.Epsilon})
-		}
-	}
-	return resp
-}
-
-// sessionFor resolves the {id} path segment, writing the structured
-// unknown-session error on miss.
-func (s *Server) sessionFor(w http.ResponseWriter, r *http.Request) (*sessionEntry, bool) {
-	e, ok := s.getSession(r.PathValue("id"))
-	if !ok {
-		writeError(w, CodeUnknownSession, fmt.Sprintf("no session %q (expired or never created)", r.PathValue("id")))
-		return nil, false
-	}
-	return e, true
+	writeJSON(w, http.StatusCreated, resp)
 }
 
 func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
-	e, ok := s.sessionFor(w, r)
-	if !ok {
+	resp, err := s.svc.GetSession(r.PathValue("id"))
+	if err != nil {
+		writeServiceError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, sessionResponse(e, true))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.ListSessions())
 }
 
 func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	s.mu.Lock()
-	_, ok := s.sessions[id]
-	if ok {
-		if err := s.journalDelete(nsSession, id); err != nil {
-			s.mu.Unlock()
-			writeError(w, CodeDurability, err.Error())
-			return
-		}
-	}
-	delete(s.sessions, id)
-	s.mu.Unlock()
-	if !ok {
-		writeError(w, CodeUnknownSession, fmt.Sprintf("no session %q", id))
+	if err := s.svc.DeleteSession(r.PathValue("id")); err != nil {
+		writeServiceError(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// datasetFor resolves a dataset id from a release request body.
-func (s *Server) datasetFor(w http.ResponseWriter, id string) (*datasetEntry, bool) {
-	e, ok := s.getDataset(id)
-	if !ok {
-		writeError(w, CodeUnknownDataset, fmt.Sprintf("no dataset %q", id))
-		return nil, false
-	}
-	return e, true
-}
-
 func (s *Server) handleHistogram(w http.ResponseWriter, r *http.Request) {
-	e, ok := s.sessionFor(w, r)
-	if !ok {
-		return
-	}
 	var req HistogramRequest
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	de, ok := s.datasetFor(w, req.DatasetID)
-	if !ok {
-		return
-	}
-	// On the durable path the release and its WAL record form one critical
-	// section (see sessionEntry.relMu).
-	if unlock := s.lockForRelease(e); unlock != nil {
-		defer unlock()
-	}
-	var counts []float64
-	var err error
-	// The table read lock orders the release against streaming ingestion:
-	// event batches and window expiry take the write side.
-	de.tbl.RLock()
-	if e.pol.part != nil {
-		// Partition policies answer the block histogram h_P; when every
-		// secret pair stays within a block the release is exact and free.
-		counts, err = e.sess.ReleasePartitionHistogram(de.ds, e.pol.part, req.Epsilon)
-	} else {
-		counts, err = e.sess.ReleaseHistogram(de.ds, req.Epsilon)
-	}
-	de.tbl.RUnlock()
+	resp, err := s.svc.Histogram(r.PathValue("id"), req)
 	if err != nil {
-		writeLibError(w, err)
+		writeServiceError(w, err)
 		return
 	}
-	if err := s.journalRelease(e, "histogram", req.DatasetID, req.Epsilon, 0); err != nil {
-		writeError(w, CodeDurability, err.Error())
-		return
-	}
-	writeJSON(w, http.StatusOK, HistogramResponse{Counts: counts, Remaining: e.sess.Remaining()})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleCumulative(w http.ResponseWriter, r *http.Request) {
-	e, ok := s.sessionFor(w, r)
-	if !ok {
-		return
-	}
 	var req CumulativeRequest
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	de, ok := s.datasetFor(w, req.DatasetID)
-	if !ok {
-		return
-	}
-	if unlock := s.lockForRelease(e); unlock != nil {
-		defer unlock()
-	}
-	de.tbl.RLock()
-	rel, err := e.sess.ReleaseCumulativeHistogram(de.ds, req.Epsilon)
-	de.tbl.RUnlock()
+	resp, err := s.svc.Cumulative(r.PathValue("id"), req)
 	if err != nil {
-		writeLibError(w, err)
+		writeServiceError(w, err)
 		return
 	}
-	if err := s.journalRelease(e, "cumulative", req.DatasetID, req.Epsilon, 0); err != nil {
-		writeError(w, CodeDurability, err.Error())
-		return
-	}
-	writeJSON(w, http.StatusOK, CumulativeResponse{
-		Raw:       rel.Raw,
-		Inferred:  rel.Inferred,
-		Remaining: e.sess.Remaining(),
-	})
+	writeJSON(w, http.StatusOK, resp)
 }
 
-const defaultFanout = 16
-
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
-	e, ok := s.sessionFor(w, r)
-	if !ok {
-		return
-	}
 	var req RangeRequest
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	if len(req.Queries) == 0 {
-		writeError(w, CodeBadRequest, "range release needs at least one query")
-		return
-	}
-	de, ok := s.datasetFor(w, req.DatasetID)
-	if !ok {
-		return
-	}
-	// Validate query bounds before building the releaser: a malformed
-	// query must not cost budget.
-	size := int(de.ds.Domain().Size())
-	for i, q := range req.Queries {
-		if q.Lo < 0 || q.Hi >= size || q.Lo > q.Hi {
-			writeError(w, CodeBadRequest, fmt.Sprintf("query %d: invalid range [%d,%d] over domain size %d", i, q.Lo, q.Hi, size))
-			return
-		}
-	}
-	fanout := req.Fanout
-	if fanout == 0 {
-		fanout = defaultFanout
-	}
-	if unlock := s.lockForRelease(e); unlock != nil {
-		defer unlock()
-	}
-	// The released structure is a snapshot; only its construction needs to
-	// be ordered against streaming ingestion.
-	de.tbl.RLock()
-	rel, err := e.sess.NewRangeReleaser(de.ds, fanout, req.Epsilon)
-	de.tbl.RUnlock()
+	resp, err := s.svc.Range(r.PathValue("id"), req)
 	if err != nil {
-		writeLibError(w, err)
+		writeServiceError(w, err)
 		return
 	}
-	if err := s.journalRelease(e, "range", req.DatasetID, req.Epsilon, fanout); err != nil {
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCheckpoint triggers a manual checkpoint. An in-memory service has
+// nothing to checkpoint; that stays a client error, not a durability one.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	stats, err := s.svc.Checkpoint()
+	switch {
+	case errors.Is(err, service.ErrNotDurable):
+		writeError(w, CodeBadRequest, "server is not durable (no data directory configured)")
+	case err != nil:
 		writeError(w, CodeDurability, err.Error())
-		return
+	default:
+		writeJSON(w, http.StatusOK, stats)
 	}
-	answers := make([]float64, len(req.Queries))
-	for i, q := range req.Queries {
-		answers[i], err = rel.Range(q.Lo, q.Hi)
-		if err != nil {
-			writeError(w, CodeBadRequest, fmt.Sprintf("query %d: %v", i, err))
-			return
-		}
-	}
-	writeJSON(w, http.StatusOK, RangeResponse{Answers: answers, Remaining: e.sess.Remaining()})
 }

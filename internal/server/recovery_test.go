@@ -28,6 +28,8 @@ import (
 	"testing"
 	"time"
 
+	"blowfish"
+
 	"blowfish/internal/wal"
 )
 
@@ -111,10 +113,7 @@ var crashGraphSpec = GraphSpec{Kind: "compose", Op: "union", Graphs: []GraphSpec
 // crash: background machinery stops, but no final checkpoint is taken and
 // the registries are left as they are.
 func abandon(s *Server) {
-	if s.persist != nil {
-		s.persist.stopAutoCheckpoint()
-		_ = s.persist.log.Close()
-	}
+	s.Core().Abandon()
 }
 
 // appendRows submits one wait=true events batch of the given rows.
@@ -273,38 +272,39 @@ func TestCrashRecovery(t *testing.T) {
 
 	// Budget spend is monotone: exactly the acked charges for both
 	// streams (no close was in flight at the kill).
-	entA, entB := rec.streams[stA.ID], rec.streams[stB.ID]
-	if entA == nil || entB == nil {
-		t.Fatalf("streams not recovered: %v", rec.streams)
+	entAst, entAsess := rec.Core().StreamHandles(stA.ID)
+	entBst, entBsess := rec.Core().StreamHandles(stB.ID)
+	if entAst == nil || entBst == nil {
+		t.Fatalf("streams not recovered: %v", rec.Core().StreamIDs())
 	}
-	if got := entA.sess.Accountant().Spent(); got != 1.0 {
+	if got := entAsess.Accountant().Spent(); got != 1.0 {
 		t.Fatalf("stream A spent = %v after recovery, want 1.0 (two acked 0.5 closes)", got)
 	}
-	if got := entB.sess.Accountant().Spent(); got != 0.5 {
+	if got := entBsess.Accountant().Spent(); got != 0.5 {
 		t.Fatalf("stream B spent = %v after recovery, want 0.5", got)
 	}
 
 	// No acked ingest event is lost.
-	if got := rec.datasets[dsB.ID].tbl.LastSeq(); got < ackB.LastSeq {
+	if got := rec.Core().DatasetTable(dsB.ID).LastSeq(); got < ackB.LastSeq {
 		t.Fatalf("dataset B recovered seq %d < acked %d", got, ackB.LastSeq)
 	}
-	if got := rec.datasets[dsB.ID].ds.Len(); got != len(valsB1) {
+	if got := rec.Core().DatasetHandle(dsB.ID).Len(); got != len(valsB1) {
 		t.Fatalf("dataset B recovered %d rows, want %d", got, len(valsB1))
 	}
-	if got := rec.datasets[dsA.ID].ds.Len(); got < len(valsA1) {
+	if got := rec.Core().DatasetHandle(dsA.ID).Len(); got < len(valsA1) {
 		t.Fatalf("dataset A recovered %d rows, want >= %d acked", got, len(valsA1))
 	}
 
 	// Acked pre-crash releases are in the recovered buffers bit-for-bit.
 	for _, tc := range []struct {
-		ent   *streamEntry
+		st    *blowfish.Stream
 		want  []EpochReleaseWire
 		label string
 	}{
-		{entA, []EpochReleaseWire{ackedA1, ackedA2}, "A"},
-		{entB, []EpochReleaseWire{ackedB1}, "B"},
+		{entAst, []EpochReleaseWire{ackedA1, ackedA2}, "A"},
+		{entBst, []EpochReleaseWire{ackedB1}, "B"},
 	} {
-		got := tc.ent.st.ExportState().Releases
+		got := tc.st.ExportState().Releases
 		if len(got) != len(tc.want) {
 			t.Fatalf("stream %s recovered %d releases, want %d", tc.label, len(got), len(tc.want))
 		}
@@ -339,7 +339,7 @@ func TestCrashRecovery(t *testing.T) {
 		t.Fatalf("control epoch 1 diverges from the acked pre-crash release:\n%v\n%v", ctlRel1.Histogram, ackedB1.Histogram)
 	}
 	ctlRel2 := decode[EpochReleaseWire](t, do(t, ctl, "POST", "/v1/streams/"+ctlStream.ID+"/epochs", nil))
-	recRel2, err := entB.st.CloseEpoch()
+	recRel2, err := entBst.CloseEpoch()
 	if err != nil {
 		t.Fatalf("post-recovery close: %v", err)
 	}
@@ -389,19 +389,19 @@ func TestGracefulShutdownPreservesAckedEvents(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer abandon(r)
-	de := r.datasets[dsID]
-	if de == nil {
+	core := r.Core()
+	if !core.HasDataset(dsID) {
 		t.Fatal("dataset not recovered")
 	}
-	if got := de.ds.Len(); got != 500 {
+	if got := core.DatasetHandle(dsID).Len(); got != 500 {
 		t.Fatalf("recovered %d rows, want all 500 acked events", got)
 	}
-	if got := de.tbl.LastSeq(); got != ack.LastSeq {
+	if got := core.DatasetTable(dsID).LastSeq(); got != ack.LastSeq {
 		t.Fatalf("recovered seq cursor %d, want %d", got, ack.LastSeq)
 	}
 	// A graceful shutdown checkpointed: recovery must not have needed a
 	// WAL tail, and the next ingestor resumes numbering after the cursor.
-	if got := de.ingCfg.StartSeq; got != ack.LastSeq {
+	if got := core.IngestStartSeq(dsID); got != ack.LastSeq {
 		t.Fatalf("recovered ingest StartSeq = %d, want %d", got, ack.LastSeq)
 	}
 }
@@ -486,7 +486,7 @@ func TestRecoveryPropertyInterleavings(t *testing.T) {
 			// Quiesce ingestion so live state is fully applied, then
 			// recover the directory while the live server still holds it
 			// (read-only replay) and compare bit-for-bit.
-			if ing := live.datasets[dsID].startedIngestor(); ing != nil {
+			if ing := live.Core().StartedIngestor(dsID); ing != nil {
 				if err := ing.Flush(context.Background()); err != nil {
 					t.Fatal(err)
 				}
@@ -498,8 +498,8 @@ func TestRecoveryPropertyInterleavings(t *testing.T) {
 			defer abandon(rec)
 
 			// Datasets: identical tuples and cursors.
-			lp, lst := live.datasets[dsID].tbl.Snapshot()
-			rp, rst := rec.datasets[dsID].tbl.Snapshot()
+			lp, lst := live.Core().DatasetTable(dsID).Snapshot()
+			rp, rst := rec.Core().DatasetTable(dsID).Snapshot()
 			if !reflect.DeepEqual(lp, rp) {
 				t.Fatalf("recovered points diverge (%d vs %d tuples)", len(rp), len(lp))
 			}
@@ -507,11 +507,11 @@ func TestRecoveryPropertyInterleavings(t *testing.T) {
 				t.Fatalf("recovered table state %+v, live %+v", rst, lst)
 			}
 			// Sessions: identical ledgers and noise positions.
-			ls, err := live.sessions[sessID].sess.ExportState()
+			ls, err := live.Core().SessionHandle(sessID).ExportState()
 			if err != nil {
 				t.Fatal(err)
 			}
-			rs, err := rec.sessions[sessID].sess.ExportState()
+			rs, err := rec.Core().SessionHandle(sessID).ExportState()
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -519,13 +519,15 @@ func TestRecoveryPropertyInterleavings(t *testing.T) {
 				t.Fatalf("recovered session state diverges:\nlive %+v\nrec  %+v", ls, rs)
 			}
 			// Streams: identical cursors, buffers, ledgers, noise.
-			lss := live.streams[stID].st.ExportState()
-			rss := rec.streams[stID].st.ExportState()
+			lst2, lsess2 := live.Core().StreamHandles(stID)
+			rst2, rsess2 := rec.Core().StreamHandles(stID)
+			lss := lst2.ExportState()
+			rss := rst2.ExportState()
 			if !reflect.DeepEqual(lss, rss) {
 				t.Fatalf("recovered stream state diverges:\nlive %+v\nrec  %+v", lss, rss)
 			}
-			lsess, _ := live.streams[stID].sess.ExportState()
-			rsess, _ := rec.streams[stID].sess.ExportState()
+			lsess, _ := lsess2.ExportState()
+			rsess, _ := rsess2.ExportState()
 			if !reflect.DeepEqual(lsess, rsess) {
 				t.Fatalf("recovered stream session diverges")
 			}
@@ -565,16 +567,16 @@ func TestRecoveryRoundTripRegistries(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer abandon(r)
-	if _, ok := r.policies[p1]; !ok {
+	if !r.Core().HasPolicy(p1) {
 		t.Fatalf("policy %s lost", p1)
 	}
-	if _, ok := r.policies[p2]; ok {
+	if r.Core().HasPolicy(p2) {
 		t.Fatalf("deleted policy %s resurrected", p2)
 	}
-	if _, ok := r.sessions[sess]; ok {
+	if r.Core().HasSession(sess) {
 		t.Fatalf("deleted session %s resurrected", sess)
 	}
-	if _, ok := r.datasets[d1]; !ok {
+	if !r.Core().HasDataset(d1) {
 		t.Fatalf("dataset %s lost", d1)
 	}
 	// Fresh ids continue past the recovered counters.
@@ -759,7 +761,8 @@ func TestMultiGenerationRestarts(t *testing.T) {
 			t.Fatalf("gen2 epoch %d: %d %s", i, w.Code, w.Body.String())
 		}
 	}
-	if got := s2.streams[stID].sess.Accountant().Spent(); got != 0.75 {
+	_, s2sess := s2.Core().StreamHandles(stID)
+	if got := s2sess.Accountant().Spent(); got != 0.75 {
 		t.Fatalf("gen2 spent = %v, want 0.75", got)
 	}
 	abandon(s2)
@@ -768,10 +771,11 @@ func TestMultiGenerationRestarts(t *testing.T) {
 	// must all be there.
 	s3 := open()
 	defer abandon(s3)
-	if got := s3.streams[stID].sess.Accountant().Spent(); got != 0.75 {
+	s3st, s3sess := s3.Core().StreamHandles(stID)
+	if got := s3sess.Accountant().Spent(); got != 0.75 {
 		t.Fatalf("gen3 recovered spent = %v, want 0.75 (gen2 charges lost)", got)
 	}
-	if got := s3.streams[stID].st.ExportState().Epoch; got != 3 {
+	if got := s3st.ExportState().Epoch; got != 3 {
 		t.Fatalf("gen3 recovered epoch = %d, want 3", got)
 	}
 }

@@ -1,266 +1,120 @@
-// Package server exposes the blowfish library as a concurrent
-// JSON-over-HTTP policy-release service: clients declare domains and
-// secret-graph policies (Sections 3–5 of the paper), upload datasets,
-// open budgeted sessions, and draw histogram, cumulative-histogram and
-// range-query releases until the session's ε budget is exhausted.
-//
-// Every policy is compiled once at registration (blowfish.Compile): its
-// sensitivities, partition block index and range-tree layout are reused by
-// every session, and dataset count vectors are indexed on first release and
-// shared across the policy's sessions, so repeated releases never rescan
-// the uploaded rows.
-//
-// The server is safe under full concurrency: registries are guarded by a
-// read-write mutex, every session's engine draws noise from a sharded pool
-// (one stream per CPU) so parallel releases do not serialize on a source
-// mutex, and budget charges are atomic — parallel release requests against
-// one session can never overspend its ε (sequential composition, Theorem
-// 4.1).
 package server
 
 import (
-	"fmt"
-	"log/slog"
+	"context"
 	"net/http"
-	"sort"
-	"strings"
-	"sync"
-	"sync/atomic"
+	"strconv"
 	"time"
 
 	"blowfish"
+	"blowfish/internal/metrics"
+	"blowfish/internal/service"
 )
 
-// Config tunes a Server. The zero value is usable.
-type Config struct {
-	// Seed is the base seed per-session noise sources are derived from.
-	// Two servers with the same seed, the same request sequence and
-	// explicit session seeds produce identical releases.
-	Seed int64
-	// SessionTTL expires sessions idle for longer than this; zero means
-	// sessions never expire.
-	SessionTTL time.Duration
-	// MaxBodyBytes caps request bodies; defaults to 32 MiB.
-	MaxBodyBytes int64
-	// Now overrides the clock (tests); defaults to time.Now.
-	Now func() time.Time
-	// Ingest tunes the per-dataset event ingestors (batch size, flush
-	// interval, queue depth). Zero values take the library defaults.
-	Ingest blowfish.StreamIngestConfig
-	// MaxEventsPerRequest caps one events POST; defaults to 100k.
-	MaxEventsPerRequest int
-	// MaxLongPollWait caps the wait_ms long-poll parameter of the stream
-	// releases endpoint; defaults to 30s.
-	MaxLongPollWait time.Duration
-	// Durability enables the write-ahead log and snapshots. The zero value
-	// (empty Dir) keeps the server fully in-memory — the zero-config
-	// default every test and benchmark runs on.
-	Durability DurabilityConfig
-	// Logger receives structured server events (recovery phases, epoch
-	// closes, shutdown drains). Nil discards them.
-	Logger *slog.Logger
-	// CloseDrainTimeout bounds how long Close waits for stream tickers and
-	// ingest writers to exit after signaling them; defaults to 10s.
-	// Goroutines still alive at the deadline are logged and counted in the
-	// blowfish_close_leaked_goroutines gauge instead of blocking shutdown
-	// forever.
-	CloseDrainTimeout time.Duration
+// Service is the transport-agnostic surface the HTTP front serves. A
+// single service.Core implements it directly; the shard router
+// (internal/shard) implements it by routing each call to the owning
+// shard's core. The front never sees which one it is fronting.
+type Service interface {
+	Config() service.Config
+
+	CreatePolicy(req CreatePolicyRequest) (PolicyResponse, error)
+	GetPolicy(id string) (PolicyResponse, error)
+	ListPolicies() ListPoliciesResponse
+	DeletePolicy(id string) error
+
+	CreateDataset(req CreateDatasetRequest) (DatasetResponse, error)
+	GetDataset(id string) (DatasetResponse, error)
+	ListDatasets() ListDatasetsResponse
+	DeleteDataset(id string) error
+	IngestEvents(ctx context.Context, datasetID string, events []blowfish.StreamEvent, wait bool) (EventsResponse, error)
+
+	CreateSession(req CreateSessionRequest) (SessionResponse, error)
+	GetSession(id string) (SessionResponse, error)
+	ListSessions() ListSessionsResponse
+	DeleteSession(id string) error
+
+	Histogram(sessionID string, req HistogramRequest) (HistogramResponse, error)
+	Cumulative(sessionID string, req CumulativeRequest) (CumulativeResponse, error)
+	Range(sessionID string, req RangeRequest) (RangeResponse, error)
+
+	CreateStream(req CreateStreamRequest) (StreamResponse, error)
+	GetStream(id string) (StreamResponse, error)
+	ListStreams() ListStreamsResponse
+	DeleteStream(id string) error
+	CloseEpoch(ctx context.Context, id string) (EpochReleaseWire, error)
+	StreamReleases(ctx context.Context, id string, since uint64, wait time.Duration) (StreamReleasesResponse, error)
+
+	Checkpoint() (CheckpointStats, error)
+	ExpireSessions() int
+	SessionCount() int
+	StreamCount() int
+	CloseLeaked() int
+	Close()
+	Registries() []*metrics.Registry
 }
 
-const (
-	defaultMaxEventsPerRequest = 100_000
-	defaultMaxLongPollWait     = 30 * time.Second
-	defaultCloseDrainTimeout   = 10 * time.Second
-)
+// A single core is a complete Service.
+var _ Service = (*service.Core)(nil)
 
-const defaultMaxBodyBytes = 32 << 20
-
-// Server is the in-memory policy-release service. Create with New; it
-// implements http.Handler.
+// Server is the HTTP front over a Service. Create with New, Open or
+// NewWith; it implements http.Handler.
 type Server struct {
-	cfg     Config
-	mux     *http.ServeMux
-	metrics *serverMetrics
-	logger  *slog.Logger
+	svc Service
+	// core is non-nil when the front wraps exactly one service.Core (New
+	// and Open); the white-box accessors the crash/recovery tests use go
+	// through it. Router-backed fronts (NewWith) leave it nil.
+	core *service.Core
+	cfg  Config
+	mux  *http.ServeMux
 
-	mu       sync.RWMutex
-	policies map[string]*policyEntry
-	datasets map[string]*datasetEntry
-	sessions map[string]*sessionEntry
-	streams  map[string]*streamEntry
-	nextID   [4]uint64 // policy, dataset, session, stream counters
-	closed   bool
-
-	nextSeed atomic.Int64
-
-	// persist is nil for in-memory servers; when set, every state-changing
-	// operation is journaled to the write-ahead log before it is
-	// acknowledged, and Checkpoint snapshots the registries. See persist.go
-	// and recover.go.
-	persist *persistence
+	httpRequests *metrics.CounterVec
+	httpLatency  *metrics.HistogramVec
+	// metricsHandler serves GET /metrics: the core's own registry for a
+	// single-core front (byte-identical to the pre-split exposition), a
+	// merged multi-registry exposition for a router front.
+	metricsHandler http.Handler
 }
 
-type policyEntry struct {
-	id    string
-	pol   *blowfish.Policy
-	attrs []AttrSpec
-	// graph is the wire-level secret-graph spec the policy was registered
-	// with, kept so snapshots and WAL replay can rebuild the compiled plan
-	// from the client's own declaration.
-	graph GraphSpec
-	// cp is the policy compiled into the release engine's plan at
-	// registration: every session minted from it shares the precomputed
-	// sensitivities, tree layouts and dataset indexes.
-	cp *blowfish.CompiledPolicy
-	// part is non-nil for partition policies; histogram releases over such
-	// policies answer the block histogram h_P.
-	part blowfish.Partition
-	// histSens is S(h, P), computed once at registration.
-	histSens float64
-	// edges and components describe the compiled structure of explicit
-	// secret graphs (zero for implicit kinds).
-	edges, components int
-}
-
-type datasetEntry struct {
-	id    string
-	ds    *blowfish.Dataset
-	attrs []AttrSpec
-	// tbl coordinates streaming writers (event batches, window expiry)
-	// against release readers: every release over ds runs under its read
-	// lock, every mutation under its write lock.
-	tbl *blowfish.StreamTable
-	// ing is the dataset's single-writer event log, started lazily on the
-	// first events POST (an upload-once dataset costs no goroutine) and
-	// stopped on dataset deletion / server Close.
-	ingOnce    sync.Once
-	ing        *blowfish.StreamIngestor
-	ingErr     error
-	ingStarted atomic.Bool
-	ingCfg     blowfish.StreamIngestConfig
-}
-
-// ingestor returns the dataset's event-log writer, starting it on first use.
-func (e *datasetEntry) ingestor() (*blowfish.StreamIngestor, error) {
-	e.ingOnce.Do(func() {
-		e.ing, e.ingErr = blowfish.NewStreamIngestor(e.tbl, e.ingCfg)
-		if e.ingErr == nil {
-			e.ingStarted.Store(true)
-		}
-	})
-	return e.ing, e.ingErr
-}
-
-// startedIngestor returns the writer only if one is already running —
-// flush paths use it so they never spawn a goroutine just to drain an
-// event log that was never opened.
-func (e *datasetEntry) startedIngestor() *blowfish.StreamIngestor {
-	if !e.ingStarted.Load() {
-		return nil
-	}
-	return e.ing
-}
-
-// closeIngestor stops the event-log goroutine if it was ever started, and
-// pins the never-started case to an error so a late events POST cannot
-// spawn a writer the shutdown already missed.
-func (e *datasetEntry) closeIngestor() {
-	if done := e.shutdownIngestor(); done != nil {
-		<-done
-	}
-}
-
-// shutdownIngestor is the non-blocking half of closeIngestor: it pins the
-// never-started case, signals a running writer to drain, and returns the
-// channel that closes when the writer has exited (nil if none ever ran).
-func (e *datasetEntry) shutdownIngestor() <-chan struct{} {
-	e.ingOnce.Do(func() { e.ingErr = errShuttingDown })
-	if e.ing == nil {
-		return nil
-	}
-	return e.ing.Shutdown()
-}
-
-var errShuttingDown = fmt.Errorf("server is shutting down")
-
-type streamEntry struct {
-	id        string
-	policyID  string
-	datasetID string
-	pol       *policyEntry
-	de        *datasetEntry
-	// sess is the dedicated session backing the stream's budget schedule;
-	// its accountant is what epoch closes charge.
-	sess *blowfish.Session
-	st   *blowfish.Stream
-	// req is the creation request with the noise seed/shard resolution
-	// pinned, so snapshots and WAL replay rebuild an identical stream.
-	req    CreateStreamRequest
-	seed   int64
-	shards int
-}
-
-type sessionEntry struct {
-	id       string
-	policyID string
-	// pol is the policy entry captured at session creation: releases use
-	// this reference rather than re-resolving policyID, so a policy
-	// deletion racing session creation can never change which mechanism a
-	// live session's releases go through.
-	pol  *policyEntry
-	sess *blowfish.Session
-	// lastUsed is the unix-nano timestamp of the latest access, advanced
-	// atomically so reads can stay under the server's read lock.
-	lastUsed atomic.Int64
-	// seed and shards pin the noise construction for snapshots and replay.
-	seed   int64
-	shards int
-	// relMu serializes this session's releases on the durable path: a
-	// release and its WAL record form one critical section, so a
-	// checkpoint (which takes the same lock to export the ledger, the
-	// noise state and the ordinal together) can never observe one without
-	// the other. In-memory servers never take it.
-	relMu sync.Mutex
-	// ordinal counts journaled releases; guarded by relMu. WAL replay
-	// skips release records with ordinal <= the snapshot's.
-	ordinal uint64
-}
-
-// New creates a Server.
+// New creates an in-memory single-core server.
 func New(cfg Config) *Server {
-	if cfg.MaxBodyBytes <= 0 {
-		cfg.MaxBodyBytes = defaultMaxBodyBytes
+	return newFront(service.New(cfg))
+}
+
+// Open creates a single-core server, recovering durable state from
+// cfg.Durability.Dir when one is configured.
+func Open(cfg Config) (*Server, error) {
+	core, err := service.Open(cfg)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.Now == nil {
-		cfg.Now = time.Now
-	}
-	if cfg.MaxEventsPerRequest <= 0 {
-		cfg.MaxEventsPerRequest = defaultMaxEventsPerRequest
-	}
-	if cfg.MaxLongPollWait <= 0 {
-		cfg.MaxLongPollWait = defaultMaxLongPollWait
-	}
-	if cfg.CloseDrainTimeout <= 0 {
-		cfg.CloseDrainTimeout = defaultCloseDrainTimeout
-	}
-	logger := cfg.Logger
-	if logger == nil {
-		logger = slog.New(slog.DiscardHandler)
-	}
-	s := &Server{
-		cfg:      cfg,
-		metrics:  newServerMetrics(),
-		logger:   logger,
-		policies: make(map[string]*policyEntry),
-		datasets: make(map[string]*datasetEntry),
-		sessions: make(map[string]*sessionEntry),
-		streams:  make(map[string]*streamEntry),
-	}
-	// The shared ingest instruments flow into every dataset's writer via
-	// the base ingest config.
-	s.cfg.Ingest.Metrics = s.metrics.ingest
-	s.nextSeed.Store(cfg.Seed)
-	s.registerCollectors()
+	return newFront(core), nil
+}
+
+func newFront(core *service.Core) *Server {
+	s := &Server{svc: core, core: core, cfg: core.Config()}
+	// The request instruments live in the core's registry so the
+	// single-core exposition stays one registry.
+	s.httpRequests, s.httpLatency = core.HTTPMetrics()
+	s.metricsHandler = core.Metrics().Handler()
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+// NewWith fronts an arbitrary Service — in practice the shard router. The
+// front owns its own request-metrics registry (requests span shards, so
+// they belong to no single core) and serves /metrics as the merged
+// exposition of that registry plus every core's.
+func NewWith(svc Service) *Server {
+	reg := metrics.NewRegistry()
+	s := &Server{svc: svc, cfg: svc.Config()}
+	s.httpRequests = reg.CounterVec("blowfish_http_requests_total",
+		"HTTP requests by route pattern and status code.", "route", "status")
+	s.httpLatency = reg.HistogramVec("blowfish_http_request_seconds",
+		"HTTP request latency by route pattern.", nil, "route")
+	regs := append([]*metrics.Registry{reg}, svc.Registries()...)
+	s.metricsHandler = metrics.MergedHandler(regs...)
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s
@@ -293,7 +147,7 @@ func (s *Server) routes() {
 	s.handle("POST /v1/admin/checkpoint", s.handleCheckpoint)
 	// The exposition itself is served unwrapped: a scrape should not
 	// perturb the request counters it reads.
-	s.mux.Handle("GET /metrics", s.metrics.reg.Handler())
+	s.mux.Handle("GET /metrics", s.metricsHandler)
 }
 
 // ServeHTTP implements http.Handler.
@@ -304,225 +158,69 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// newID mints the next identifier in one of the three namespaces.
-func (s *Server) newID(kind int, prefix string) string {
-	s.nextID[kind]++
-	return fmt.Sprintf("%s-%d", prefix, s.nextID[kind])
+// handle registers an instrumented route: latency histogram resolved once
+// at registration, request counter labeled by pattern and status.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	lat := s.httpLatency.With(pattern)
+	requests := s.httpRequests
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(&sw, r)
+		lat.ObserveSince(start)
+		requests.With(pattern, strconv.Itoa(sw.status)).Inc()
+	})
 }
+
+// statusWriter captures the response status for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so long-poll responses keep
+// streaming through the instrumentation wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Core returns the single service core behind this front, or nil for a
+// router-backed front. The crash/recovery tests and the load harness use
+// it to reach the white-box accessors.
+func (s *Server) Core() *service.Core { return s.core }
+
+// Service returns the service this front serves.
+func (s *Server) Service() Service { return s.svc }
 
 // ExpireSessions drops sessions idle past the configured TTL and returns
 // how many were removed. Call it periodically (cmd/blowfish-serve runs a
 // sweeper goroutine); a zero TTL makes it a no-op.
-func (s *Server) ExpireSessions() int {
-	if s.cfg.SessionTTL <= 0 {
-		return 0
-	}
-	cutoff := s.cfg.Now().Add(-s.cfg.SessionTTL).UnixNano()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n := 0
-	for id, e := range s.sessions {
-		if e.lastUsed.Load() < cutoff {
-			// Best-effort journal: if the WAL is down (failures are
-			// sticky), expire in memory anyway — holding every idle
-			// session forever would leak without bound. A restart may
-			// resurrect the session from the snapshot, where the next
-			// sweep expires it again; its ledger survives either way, so
-			// budget accounting is unaffected.
-			_ = s.journalDelete(nsSession, id)
-			delete(s.sessions, id)
-			n++
-		}
-	}
-	return n
-}
+func (s *Server) ExpireSessions() int { return s.svc.ExpireSessions() }
 
 // SessionCount returns the number of live sessions (diagnostics).
-func (s *Server) SessionCount() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.sessions)
-}
+func (s *Server) SessionCount() int { return s.svc.SessionCount() }
 
 // StreamCount returns the number of live streams (diagnostics).
-func (s *Server) StreamCount() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.streams)
-}
+func (s *Server) StreamCount() int { return s.svc.StreamCount() }
 
-// Close stops every background goroutine the server owns: stream epoch
-// tickers and per-dataset event-log writers (flushing their queues). On a
-// durable server the shutdown then checkpoints: the ingest queues are fully
-// drained *before* the final snapshot is taken, so every acknowledged event
-// is in it — a graceful shutdown loses nothing, and the next boot recovers
-// from the snapshot alone with no WAL tail to replay. A failed final
-// snapshot is safe (the WAL still holds every record; recovery just
-// replays more). It is idempotent; stream and dataset creation after Close
-// is refused. In-flight HTTP requests are the caller's to drain
-// (http.Server.Shutdown does).
-func (s *Server) Close() {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return
-	}
-	s.closed = true
-	streams := make([]*streamEntry, 0, len(s.streams))
-	for _, e := range s.streams {
-		streams = append(streams, e)
-	}
-	datasets := make([]*datasetEntry, 0, len(s.datasets))
-	for _, e := range s.datasets {
-		datasets = append(datasets, e)
-	}
-	s.mu.Unlock()
-	// Drain in ID order: Ingestor.Close journals queued events, so the
-	// shutdown tail of the WAL gets a reproducible cross-dataset order
-	// instead of whatever the map iteration produced.
-	sort.Slice(streams, func(i, j int) bool { return byID(streams[i].id, streams[j].id) < 0 })
-	sort.Slice(datasets, func(i, j int) bool { return byID(datasets[i].id, datasets[j].id) < 0 })
-	start := time.Now()
-	// One drain deadline covers the whole shutdown: a wedged ticker or
-	// writer is logged and counted instead of blocking Close forever.
-	expired := make(chan struct{})
-	watchdog := time.AfterFunc(s.cfg.CloseDrainTimeout, func() { close(expired) })
-	defer watchdog.Stop()
-	leaked := 0
-	waitOne := func(what, id string, done <-chan struct{}) {
-		select {
-		case <-done:
-			return
-		default:
-		}
-		select {
-		case <-done:
-		case <-expired:
-			leaked++
-			s.logger.Error("close drain timed out; goroutine still running",
-				"what", what, "id", id, "timeout", s.cfg.CloseDrainTimeout)
-		}
-	}
-	// Stop schedulers first so no epoch close races the ingestor drain:
-	// signal every ticker at once, then wait for each under the deadline.
-	stops := make([]<-chan struct{}, len(streams))
-	for i, e := range streams {
-		stops[i] = e.st.Shutdown()
-	}
-	for i, e := range streams {
-		waitOne("stream ticker", e.id, stops[i])
-	}
-	// Drain every event queue: the writer applies (and therefore journals)
-	// everything submitted before exiting. Signal-then-wait serially, per
-	// dataset, to keep the WAL tail's cross-dataset order reproducible.
-	for _, e := range datasets {
-		if done := e.shutdownIngestor(); done != nil {
-			waitOne("ingest writer", e.id, done)
-		}
-	}
-	s.metrics.closeLeaked.Set(int64(leaked))
-	if s.persist != nil {
-		s.persist.stopAutoCheckpoint()
-		_, _ = s.Checkpoint() // best-effort: the WAL remains authoritative
-		_ = s.persist.log.Close()
-	}
-	if leaked > 0 {
-		s.logger.Error("server close left goroutines running",
-			"leaked", leaked, "elapsed", time.Since(start))
-		return
-	}
-	s.logger.Info("server closed",
-		"streams", len(streams), "datasets", len(datasets), "elapsed", time.Since(start))
-}
+// Close stops every background goroutine the service owns; see
+// service.Core.Close for the drain-then-checkpoint contract.
+func (s *Server) Close() { s.svc.Close() }
 
 // CloseLeaked reports how many stream-ticker / ingest-writer goroutines
 // the last Close abandoned at its drain deadline (0 after a clean close).
-// Tests and the leak watchdog assert on it.
-func (s *Server) CloseLeaked() int {
-	return int(s.metrics.closeLeaked.Value())
-}
+func (s *Server) CloseLeaked() int { return s.svc.CloseLeaked() }
 
-// checkOpen refuses resource creation on a closed (shutting down) server.
-func (s *Server) checkOpen(w http.ResponseWriter) bool {
-	s.mu.RLock()
-	closed := s.closed
-	s.mu.RUnlock()
-	if closed {
-		writeError(w, CodeBadRequest, "server is shutting down")
-	}
-	return !closed
-}
+// Checkpoint snapshots the registries; see service.Core.Checkpoint.
+func (s *Server) Checkpoint() (CheckpointStats, error) { return s.svc.Checkpoint() }
 
-// byID orders resource ids of one namespace ("pol-2" < "pol-10") for the
-// list endpoints: shorter ids first, then lexicographic — numeric order for
-// the server's prefix-counter ids.
-func byID(a, b string) int {
-	if len(a) != len(b) {
-		return len(a) - len(b)
-	}
-	return strings.Compare(a, b)
-}
-
-// snapshotSorted copies one registry under the server's read lock and
-// orders the entries by id — the shared skeleton of every list endpoint.
-func snapshotSorted[E any](s *Server, m map[string]E, id func(E) string) []E {
-	s.mu.RLock()
-	out := make([]E, 0, len(m))
-	for _, e := range m {
-		out = append(out, e)
-	}
-	s.mu.RUnlock()
-	sort.Slice(out, func(i, j int) bool { return byID(id(out[i]), id(out[j])) < 0 })
-	return out
-}
-
-// getSession looks a session up and refreshes its idle timer.
-func (s *Server) getSession(id string) (*sessionEntry, bool) {
-	s.mu.RLock()
-	e, ok := s.sessions[id]
-	s.mu.RUnlock()
-	if !ok {
-		return nil, false
-	}
-	e.lastUsed.Store(s.cfg.Now().UnixNano())
-	return e, true
-}
-
-func (s *Server) getPolicy(id string) (*policyEntry, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	e, ok := s.policies[id]
-	return e, ok
-}
-
-func (s *Server) getDataset(id string) (*datasetEntry, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	e, ok := s.datasets[id]
-	return e, ok
-}
-
-func (s *Server) getStream(id string) (*streamEntry, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	e, ok := s.streams[id]
-	return e, ok
-}
-
-// buildDomain validates an AttrSpec list into a Domain.
-func buildDomain(attrs []AttrSpec) (*blowfish.Domain, error) {
-	if len(attrs) == 0 {
-		return nil, fmt.Errorf("domain needs at least one attribute")
-	}
-	out := make([]blowfish.Attribute, len(attrs))
-	for i, a := range attrs {
-		out[i] = blowfish.Attribute{Name: a.Name, Size: a.Size}
-	}
-	return blowfish.NewDomain(out...)
-}
-
-// buildGraph constructs the secret graph named by spec, returning the
-// partition alongside for kind "partition".
-func buildGraph(dom *blowfish.Domain, spec GraphSpec) (blowfish.SecretGraph, blowfish.Partition, error) {
-	return blowfish.BuildGraph(dom, spec)
-}
+// MetricsHandler returns the handler behind GET /metrics, for mounting
+// the same exposition on an admin mux.
+func (s *Server) MetricsHandler() http.Handler { return s.metricsHandler }

@@ -3,9 +3,7 @@ package server
 import (
 	"bufio"
 	"bytes"
-	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -24,28 +22,29 @@ import (
 // the format high-volume producers pipe without building an envelope in
 // memory — and the binary columnar batch frame (Content-Type
 // application/x-blowfish-batch, internal/codec), which decodes with no
-// per-event allocation for producers that saturate the NDJSON front.
-// Events are sequence-numbered and applied by the dataset's single writer;
-// the response carries the assigned range and the writer's cursor. The
-// ingest queue is bounded: a batch that does not fit whole is rejected
-// with the structured queue_full error, 429 and a Retry-After hint, never
-// parked on the connection (explicit backpressure).
+// per-event allocation for producers that saturate the NDJSON front. The
+// decode needs the dataset's attribute count, so the front resolves the
+// dataset first (a 404 costs no body parse); the service re-resolves it
+// under its own locks when the batch is submitted.
 func (s *Server) handleDatasetEvents(w http.ResponseWriter, r *http.Request) {
-	de, ok := s.getDataset(r.PathValue("id"))
-	if !ok {
-		writeError(w, CodeUnknownDataset, fmt.Sprintf("no dataset %q", r.PathValue("id")))
+	id := r.PathValue("id")
+	ds, err := s.svc.GetDataset(id)
+	if err != nil {
+		writeServiceError(w, err)
 		return
 	}
+	maxEvents := s.cfg.MaxEventsPerRequest
 	var events []blowfish.StreamEvent
 	var wait bool
 	switch {
 	case isBinaryBatch(r):
 		dec := codec.GetDecoder()
-		// The decoded events alias the decoder's scratch. TrySubmit copies
-		// them into mutations before returning and the response only carries
-		// counters, so releasing the decoder at handler exit is safe.
+		// The decoded events alias the decoder's scratch. The service's
+		// ingest path copies them into mutations before returning and the
+		// response only carries counters, so releasing the decoder at
+		// handler exit is safe.
 		defer codec.PutDecoder(dec)
-		evs, err := dec.DecodeAll(r.Body, de.ds.Domain().NumAttrs(), s.cfg.MaxEventsPerRequest)
+		evs, err := dec.DecodeAll(r.Body, len(ds.Domain), maxEvents)
 		if err != nil {
 			writeError(w, CodeBadRequest, err.Error())
 			return
@@ -55,7 +54,7 @@ func (s *Server) handleDatasetEvents(w http.ResponseWriter, r *http.Request) {
 	case isNDJSON(r):
 		sc := getNDJSONScratch()
 		defer putNDJSONScratch(sc)
-		if err := sc.decode(r.Body, s.cfg.MaxEventsPerRequest); err != nil {
+		if err := sc.decode(r.Body, maxEvents); err != nil {
 			writeError(w, CodeBadRequest, err.Error())
 			return
 		}
@@ -72,45 +71,12 @@ func (s *Server) handleDatasetEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		wait = req.Wait
 	}
-	if len(events) == 0 {
-		writeError(w, CodeBadRequest, "events batch is empty")
-		return
-	}
-	if len(events) > s.cfg.MaxEventsPerRequest {
-		writeError(w, CodeBadRequest, fmt.Sprintf("%d events exceed the per-request cap %d", len(events), s.cfg.MaxEventsPerRequest))
-		return
-	}
-	ing, err := de.ingestor()
+	resp, err := s.svc.IngestEvents(r.Context(), id, events, wait)
 	if err != nil {
-		writeError(w, CodeBadRequest, err.Error())
+		writeServiceError(w, err)
 		return
 	}
-	first, last, err := ing.TrySubmit(events)
-	if err != nil {
-		var qf *blowfish.StreamQueueFullError
-		if errors.As(err, &qf) {
-			s.metrics.queueFull.Inc()
-			writeQueueFull(w, qf)
-			return
-		}
-		writeError(w, CodeBadRequest, err.Error())
-		return
-	}
-	if wait {
-		if err := ing.WaitProcessed(r.Context(), last); err != nil {
-			writeError(w, CodeBadRequest, "waiting for apply: "+err.Error())
-			return
-		}
-	}
-	stats := ing.Stats()
-	writeJSON(w, http.StatusAccepted, EventsResponse{
-		Accepted:     len(events),
-		FirstSeq:     first,
-		LastSeq:      last,
-		ProcessedSeq: stats.Processed,
-		Rejected:     stats.Rejected,
-		LastError:    stats.LastError,
-	})
+	writeJSON(w, http.StatusAccepted, resp)
 }
 
 func isNDJSON(r *http.Request) bool {
@@ -194,223 +160,56 @@ func (sc *ndjsonScratch) decode(body io.Reader, max int) error {
 	return nil
 }
 
-// handleCreateStream binds a dataset and a policy into a continual-release
-// stream: a dedicated budgeted session backs the epsilon schedule, the
-// dataset's table is indexed through the policy's compiled plan, and (when
-// an interval is configured) an epoch ticker starts.
 func (s *Server) handleCreateStream(w http.ResponseWriter, r *http.Request) {
-	if !s.checkOpen(w) {
-		return
-	}
 	var req CreateStreamRequest
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	pe, ok := s.getPolicy(req.PolicyID)
-	if !ok {
-		writeError(w, CodeUnknownPolicy, fmt.Sprintf("no policy %q", req.PolicyID))
-		return
-	}
-	de, ok := s.getDataset(req.DatasetID)
-	if !ok {
-		writeError(w, CodeUnknownDataset, fmt.Sprintf("no dataset %q", req.DatasetID))
-		return
-	}
-	// Same seeding contract as sessions: explicit seeds pin one noise shard
-	// so the stream replays identically on any host.
-	seed, shards := s.resolveSeed(req.Seed)
-	e, err := s.buildStreamEntry(pe, de, req, seed, shards)
+	resp, err := s.svc.CreateStream(req)
 	if err != nil {
-		writeLibError(w, err)
+		writeServiceError(w, err)
 		return
 	}
-	st := e.st
-	// rollback undoes the side effects New applied to the shared table when
-	// the registration below is refused.
-	rollback := func() {
-		st.Stop()
-		st.Unbind()
-	}
-	s.mu.Lock()
-	// Re-check the referenced resources under the write lock that inserts
-	// the stream, so a racing policy/dataset deletion cannot strand it.
-	if s.closed {
-		s.mu.Unlock()
-		rollback()
-		writeError(w, CodeBadRequest, "server is shutting down")
-		return
-	}
-	if _, still := s.policies[pe.id]; !still {
-		s.mu.Unlock()
-		rollback()
-		writeError(w, CodeUnknownPolicy, fmt.Sprintf("no policy %q", req.PolicyID))
-		return
-	}
-	if _, still := s.datasets[de.id]; !still {
-		s.mu.Unlock()
-		rollback()
-		writeError(w, CodeUnknownDataset, fmt.Sprintf("no dataset %q", req.DatasetID))
-		return
-	}
-	// Windowed (tumbling/sliding) streams mutate shared table state at
-	// each close — dataset resets, epoch tags — so a dataset carrying one
-	// admits no other stream, in either direction. Cumulative streams
-	// coexist freely.
-	newWin := st.Config().Window
-	for _, other := range s.streams {
-		if other.datasetID != de.id {
-			continue
-		}
-		otherWin := other.st.Config().Window
-		if newWin != blowfish.WindowCumulative || otherWin != blowfish.WindowCumulative {
-			s.mu.Unlock()
-			rollback()
-			writeError(w, CodeDatasetInUse, fmt.Sprintf(
-				"dataset %q already has stream %q (window %q); windowed streams need the dataset to themselves",
-				de.id, other.id, otherWin))
-			return
-		}
-	}
-	e.id = s.newID(3, "stream")
-	if err := s.journal(recStreamPut, walStreamPut{
-		ID: e.id, Req: req, Seed: seed, Shards: shards, NextSeed: s.nextSeed.Load(),
-	}); err != nil {
-		s.mu.Unlock()
-		rollback()
-		writeError(w, CodeDurability, err.Error())
-		return
-	}
-	if s.persist != nil {
-		// Install the epoch journal before the stream is reachable (and
-		// before Start), so no close can ever precede its stream's own
-		// creation record in the log.
-		st.SetJournal(s.epochJournal(e.id))
-	}
-	s.streams[e.id] = e
-	s.mu.Unlock()
-	st.Start()
-	writeJSON(w, http.StatusCreated, streamResponse(e))
-}
-
-func streamResponse(e *streamEntry) StreamResponse {
-	acct := e.sess.Accountant()
-	status := e.st.Status()
-	cfg := e.st.Config()
-	kinds := make([]string, len(cfg.Kinds))
-	for i, k := range cfg.Kinds {
-		kinds[i] = string(k)
-	}
-	return StreamResponse{
-		ID:          e.id,
-		PolicyID:    e.policyID,
-		DatasetID:   e.datasetID,
-		Budget:      acct.Budget(),
-		Spent:       acct.Spent(),
-		Remaining:   acct.Remaining(),
-		Window:      string(cfg.Window),
-		Kinds:       kinds,
-		Epoch:       status.Epoch,
-		NextEpsilon: status.NextEpsilon,
-		Exhausted:   status.Exhausted,
-		FirstSeq:    status.FirstSeq,
-		LastSeq:     status.LastSeq,
-		Rows:        status.N,
-		Events:      status.Events,
-	}
-}
-
-// streamFor resolves the {id} path segment, writing the structured
-// unknown-stream error on miss.
-func (s *Server) streamFor(w http.ResponseWriter, r *http.Request) (*streamEntry, bool) {
-	e, ok := s.getStream(r.PathValue("id"))
-	if !ok {
-		writeError(w, CodeUnknownStream, fmt.Sprintf("no stream %q", r.PathValue("id")))
-		return nil, false
-	}
-	return e, true
+	writeJSON(w, http.StatusCreated, resp)
 }
 
 func (s *Server) handleGetStream(w http.ResponseWriter, r *http.Request) {
-	e, ok := s.streamFor(w, r)
-	if !ok {
+	resp, err := s.svc.GetStream(r.PathValue("id"))
+	if err != nil {
+		writeServiceError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, streamResponse(e))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleListStreams(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.ListStreams())
 }
 
 func (s *Server) handleDeleteStream(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	s.mu.Lock()
-	e, ok := s.streams[id]
-	if ok {
-		if err := s.journalDelete(nsStream, id); err != nil {
-			s.mu.Unlock()
-			writeError(w, CodeDurability, err.Error())
-			return
-		}
-	}
-	delete(s.streams, id)
-	s.mu.Unlock()
-	if !ok {
-		writeError(w, CodeUnknownStream, fmt.Sprintf("no stream %q", id))
+	if err := s.svc.DeleteStream(r.PathValue("id")); err != nil {
+		writeServiceError(w, err)
 		return
 	}
-	e.st.Stop()
-	// Detach the stream's index so ingestion on the surviving dataset stops
-	// maintaining count vectors nobody will read.
-	e.st.Unbind()
 	w.WriteHeader(http.StatusNoContent)
 }
 
 // handleCloseEpoch closes the stream's current epoch on demand — the
-// deterministic trigger (automatic interval-driven closes are configured at
-// stream creation). The dataset's event queue is flushed first so the epoch
-// covers everything submitted before the call.
+// deterministic trigger (automatic interval-driven closes are configured
+// at stream creation).
 func (s *Server) handleCloseEpoch(w http.ResponseWriter, r *http.Request) {
-	e, ok := s.streamFor(w, r)
-	if !ok {
-		return
-	}
-	if ing := e.de.startedIngestor(); ing != nil {
-		if err := ing.Flush(r.Context()); err != nil {
-			writeError(w, CodeBadRequest, "flushing event queue: "+err.Error())
-			return
-		}
-	}
-	rel, err := e.st.CloseEpoch()
+	resp, err := s.svc.CloseEpoch(r.Context(), r.PathValue("id"))
 	if err != nil {
-		writeLibError(w, err)
+		writeServiceError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, releaseWire(rel))
-}
-
-func releaseWire(rel *blowfish.EpochRelease) EpochReleaseWire {
-	return EpochReleaseWire{
-		Seq:                rel.Seq,
-		Epoch:              rel.Epoch,
-		Events:             rel.Events,
-		Rows:               rel.N,
-		Epsilon:            rel.Epsilon,
-		Remaining:          rel.Remaining,
-		Histogram:          rel.Histogram,
-		CumulativeRaw:      rel.CumulativeRaw,
-		CumulativeInferred: rel.CumulativeInferred,
-		RangeAnswers:       rel.RangeAnswers,
-	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleStreamReleases answers a cursor poll over the stream's published
-// releases. With wait_ms > 0 and nothing past the cursor, the request long-
-// polls until a release arrives or the wait elapses (200 with an empty
-// list). A poll — waiting or not — that lands past the last release of an
-// exhausted stream gets the structured budget_exhausted error: nothing
-// will ever arrive, so pollers know to stop.
+// releases; see service.Core.StreamReleases for the long-poll and
+// exhaustion contract. The front owns only the query-parameter parsing.
 func (s *Server) handleStreamReleases(w http.ResponseWriter, r *http.Request) {
-	e, ok := s.streamFor(w, r)
-	if !ok {
-		return
-	}
 	q := r.URL.Query()
 	var since uint64
 	if v := q.Get("since"); v != "" {
@@ -429,53 +228,11 @@ func (s *Server) handleStreamReleases(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		wait = time.Duration(n) * time.Millisecond
-		if wait > s.cfg.MaxLongPollWait {
-			wait = s.cfg.MaxLongPollWait
-		}
 	}
-	rels := e.st.Releases(since)
-	if len(rels) == 0 && wait > 0 {
-		ctx, cancel := context.WithTimeout(r.Context(), wait)
-		waited, err := e.st.WaitReleases(ctx, since)
-		cancel()
-		switch {
-		case err == nil:
-			rels = waited
-		case errors.Is(err, context.DeadlineExceeded):
-			// Wait elapsed: answer the empty list, the poller retries.
-		case errors.Is(err, blowfish.ErrStreamStopped):
-			// The stream (or server) is shutting down: a clean empty
-			// response, not an error — the poller's next request resolves
-			// the stream's fate.
-		case errors.Is(err, blowfish.ErrBudgetExceeded):
-			writeLibError(w, err)
-			return
-		default:
-			writeError(w, CodeBadRequest, err.Error())
-			return
-		}
-	}
-	if len(rels) == 0 && e.st.Status().Exhausted {
-		// Past the last release of an exhausted stream nothing will ever
-		// arrive — the terminal budget_exhausted signal must reach plain
-		// polls too, not only the long-poll branch above, or a non-waiting
-		// poller loops on empty 200s forever.
-		writeLibError(w, blowfish.ErrBudgetExceeded)
+	resp, err := s.svc.StreamReleases(r.Context(), r.PathValue("id"), since, wait)
+	if err != nil {
+		writeServiceError(w, err)
 		return
-	}
-	resp := StreamReleasesResponse{Releases: make([]EpochReleaseWire, len(rels)), NextSince: since}
-	for i, rel := range rels {
-		resp.Releases[i] = releaseWire(rel)
-		resp.NextSince = rel.Seq
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-func (s *Server) handleListStreams(w http.ResponseWriter, r *http.Request) {
-	entries := snapshotSorted(s, s.streams, func(e *streamEntry) string { return e.id })
-	resp := ListStreamsResponse{Streams: make([]StreamResponse, len(entries))}
-	for i, e := range entries {
-		resp.Streams[i] = streamResponse(e)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -441,9 +441,7 @@ func TestServerStreamHammer(t *testing.T) {
 	})
 	sessID := mustCreateSession(t, s, CreateSessionRequest{PolicyID: polID, Budget: 1e9})
 
-	s.mu.RLock()
-	de := s.datasets[dsID]
-	s.mu.RUnlock()
+	tbl := s.Core().DatasetTable(dsID)
 
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
@@ -511,7 +509,7 @@ func TestServerStreamHammer(t *testing.T) {
 				return
 			default:
 			}
-			err := de.tbl.Mutate(func(ds *blowfish.Dataset) error {
+			err := tbl.Mutate(func(ds *blowfish.Dataset) error {
 				return ds.Add(blowfish.Point(i % 64))
 			})
 			if err != nil {
@@ -556,16 +554,16 @@ func TestServerStreamHammer(t *testing.T) {
 	// index against a from-scratch rebuild: a near-noiseless release
 	// (enormous ε) through the server must match the true histogram, which
 	// catches any count the interleaving tore.
-	ing, err := de.ingestor()
-	if err != nil {
-		t.Fatal(err)
+	ing := s.Core().StartedIngestor(dsID)
+	if ing == nil {
+		t.Fatal("ingestor never started")
 	}
 	if err := ing.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	de.tbl.RLock()
-	want, err := de.ds.Histogram()
-	de.tbl.RUnlock()
+	tbl.RLock()
+	want, err := tbl.Dataset().Histogram()
+	tbl.RUnlock()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,16 +1,16 @@
-package server
+package service
 
-// Observability: the server's metric families and scrape-time collectors.
+// Observability: the core's metric families and scrape-time collectors.
 //
 // Two disciplines keep instrumentation off the hot paths. First, every
 // metric a hot path touches is pre-resolved: the engine gets bare
 // counter/histogram pointers per policy at session construction, the
-// ingest writer gets its instruments in its config, and each HTTP route's
-// latency histogram is resolved at route registration — no label-map
-// lookups per operation. Second, anything derived or high-churn
+// ingest writer gets its instruments in its config, and the HTTP front
+// resolves each route's latency histogram at route registration — no
+// label-map lookups per operation. Second, anything derived or high-churn
 // (per-session budget gauges, ingest queue depth, epoch lag, long-poll
 // waiters) is computed only when /metrics is scraped, by collectors that
-// read the registries under the server's ordinary locks.
+// read the registries under the core's ordinary locks.
 //
 // Naming convention: blowfish_<subsystem>_<quantity>[_unit], latencies in
 // seconds (Prometheus base units), counters suffixed _total. Cardinality
@@ -18,11 +18,15 @@ package server
 // handful of policies × 5 release kinds); per-session and per-stream
 // series exist only at scrape time and scale with the live registry, which
 // the session TTL sweeper bounds.
+//
+// Sharded deployments give each core a ShardLabel; the registry stamps it
+// onto every family as a constant shard="<i>" label, so the merged
+// exposition keeps per-shard series distinct without any per-sample labels
+// on the hot paths. A core with no ShardLabel (the single-core default)
+// adds nothing — its exposition is byte-identical to the pre-shard layout.
 
 import (
-	"net/http"
 	"runtime"
-	"strconv"
 	"time"
 
 	"blowfish"
@@ -30,8 +34,8 @@ import (
 	"blowfish/internal/wal"
 )
 
-// serverMetrics bundles the registry and every pre-resolved family.
-type serverMetrics struct {
+// coreMetrics bundles the registry and every pre-resolved family.
+type coreMetrics struct {
 	reg *metrics.Registry
 
 	httpRequests *metrics.CounterVec   // route, status
@@ -52,9 +56,12 @@ type serverMetrics struct {
 	closeLeaked *metrics.Gauge
 }
 
-func newServerMetrics() *serverMetrics {
+func newCoreMetrics(shardLabel string) *coreMetrics {
 	reg := metrics.NewRegistry()
-	m := &serverMetrics{
+	if shardLabel != "" {
+		reg.SetConstLabels(metrics.Label{Name: "shard", Value: shardLabel})
+	}
+	m := &coreMetrics{
 		reg: reg,
 		httpRequests: reg.CounterVec("blowfish_http_requests_total",
 			"HTTP requests by route pattern and status code.", "route", "status"),
@@ -107,7 +114,7 @@ func newServerMetrics() *serverMetrics {
 // engineMetrics resolves the per-policy engine instruments. Called once
 // per session construction; the children live in the vec maps, so two
 // sessions of one policy share series.
-func (m *serverMetrics) engineMetrics(policyID string) *blowfish.EngineMetrics {
+func (m *coreMetrics) engineMetrics(policyID string) *blowfish.EngineMetrics {
 	rel := func(kind string) blowfish.EngineReleaseMetrics {
 		return blowfish.EngineReleaseMetrics{
 			Latency: m.releaseLatency.With(policyID, kind),
@@ -124,72 +131,51 @@ func (m *serverMetrics) engineMetrics(policyID string) *blowfish.EngineMetrics {
 	}
 }
 
-// Metrics returns the server's metric registry, for mounting the
-// exposition on an admin mux alongside the built-in GET /metrics route.
-func (s *Server) Metrics() *metrics.Registry { return s.metrics.reg }
+// Metrics returns the core's metric registry, for mounting the exposition
+// on an admin mux or merging several shards' registries into one endpoint.
+func (c *Core) Metrics() *metrics.Registry { return c.metrics.reg }
 
-// handle registers one route with per-route instrumentation: the latency
-// histogram child is resolved here, once, and each request adds one
-// histogram observation and one counter increment on top of the handler.
-func (s *Server) handle(pattern string, h http.HandlerFunc) {
-	lat := s.metrics.httpLatency.With(pattern)
-	requests := s.metrics.httpRequests
-	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		sw := statusWriter{ResponseWriter: w, status: http.StatusOK}
-		h(&sw, r)
-		lat.ObserveSince(start)
-		requests.With(pattern, strconv.Itoa(sw.status)).Inc()
-	})
-}
+// Registries returns every metrics registry backing this service — one for
+// a single core. The Service interface carries it so a front can build a
+// merged /metrics exposition without knowing how many cores sit behind it.
+func (c *Core) Registries() []*metrics.Registry { return []*metrics.Registry{c.metrics.reg} }
 
-// statusWriter captures the response status for the request counter.
-type statusWriter struct {
-	http.ResponseWriter
-	status int
-}
-
-func (w *statusWriter) WriteHeader(code int) {
-	w.status = code
-	w.ResponseWriter.WriteHeader(code)
-}
-
-// Flush forwards to the underlying writer so long-poll responses keep
-// streaming through the instrumentation wrapper.
-func (w *statusWriter) Flush() {
-	if f, ok := w.ResponseWriter.(http.Flusher); ok {
-		f.Flush()
-	}
+// HTTPMetrics returns the request counter and latency histogram families a
+// front wraps around its routes. They live in the core's registry so a
+// single-core server's exposition stays one registry; a multi-core front
+// (the shard router) registers its own.
+func (c *Core) HTTPMetrics() (*metrics.CounterVec, *metrics.HistogramVec) {
+	return c.metrics.httpRequests, c.metrics.httpLatency
 }
 
 // registerCollectors installs the scrape-time sample producers.
-func (s *Server) registerCollectors() {
-	s.metrics.reg.RegisterCollector(s.collectRegistries)
-	s.metrics.reg.RegisterCollector(s.collectSessions)
-	s.metrics.reg.RegisterCollector(s.collectStreams)
-	s.metrics.reg.RegisterCollector(s.collectIngest)
-	s.metrics.reg.RegisterCollector(collectRuntime)
+func (c *Core) registerCollectors() {
+	c.metrics.reg.RegisterCollector(c.collectRegistries)
+	c.metrics.reg.RegisterCollector(c.collectSessions)
+	c.metrics.reg.RegisterCollector(c.collectStreams)
+	c.metrics.reg.RegisterCollector(c.collectIngest)
+	c.metrics.reg.RegisterCollector(collectRuntime)
 }
 
 // collectRegistries emits the live-resource counts.
-func (s *Server) collectRegistries(emit func(metrics.Sample)) {
-	s.mu.RLock()
+func (c *Core) collectRegistries(emit func(metrics.Sample)) {
+	c.mu.RLock()
 	counts := []struct {
 		kind string
 		n    int
 	}{
-		{"policies", len(s.policies)},
-		{"datasets", len(s.datasets)},
-		{"sessions", len(s.sessions)},
-		{"streams", len(s.streams)},
+		{"policies", len(c.policies)},
+		{"datasets", len(c.datasets)},
+		{"sessions", len(c.sessions)},
+		{"streams", len(c.streams)},
 	}
-	s.mu.RUnlock()
-	for _, c := range counts {
+	c.mu.RUnlock()
+	for _, ct := range counts {
 		emit(metrics.Sample{
 			Name: "blowfish_resources", Help: "Live registry entries by kind.",
 			Kind:   metrics.KindGauge,
-			Labels: []metrics.Label{{Name: "kind", Value: c.kind}},
-			Value:  float64(c.n),
+			Labels: []metrics.Label{{Name: "kind", Value: ct.kind}},
+			Value:  float64(ct.n),
 		})
 	}
 }
@@ -197,8 +183,8 @@ func (s *Server) collectRegistries(emit func(metrics.Sample)) {
 // collectSessions emits per-session budget spent/remaining gauges. The
 // accountant reads are atomic snapshots; the series set tracks the live
 // session registry (bounded by the TTL sweeper).
-func (s *Server) collectSessions(emit func(metrics.Sample)) {
-	for _, e := range snapshotSorted(s, s.sessions, func(e *sessionEntry) string { return e.id }) {
+func (c *Core) collectSessions(emit func(metrics.Sample)) {
+	for _, e := range snapshotSorted(c, c.sessions, func(e *sessionEntry) string { return e.id }) {
 		acct := e.sess.Accountant()
 		labels := []metrics.Label{
 			{Name: "session", Value: e.id},
@@ -219,9 +205,9 @@ func (s *Server) collectSessions(emit func(metrics.Sample)) {
 
 // collectStreams emits per-stream progress: epoch lag (now − last epoch
 // close), buffered releases, long-poll waiters, remaining budget.
-func (s *Server) collectStreams(emit func(metrics.Sample)) {
+func (c *Core) collectStreams(emit func(metrics.Sample)) {
 	now := time.Now()
-	for _, e := range snapshotSorted(s, s.streams, func(e *streamEntry) string { return e.id }) {
+	for _, e := range snapshotSorted(c, c.streams, func(e *streamEntry) string { return e.id }) {
 		st := e.st.Status()
 		labels := []metrics.Label{{Name: "stream", Value: e.id}}
 		emit(metrics.Sample{
@@ -255,8 +241,8 @@ func (s *Server) collectStreams(emit func(metrics.Sample)) {
 
 // collectIngest emits per-dataset queue depth and sequence cursors for
 // every started ingestor.
-func (s *Server) collectIngest(emit func(metrics.Sample)) {
-	for _, e := range snapshotSorted(s, s.datasets, func(e *datasetEntry) string { return e.id }) {
+func (c *Core) collectIngest(emit func(metrics.Sample)) {
+	for _, e := range snapshotSorted(c, c.datasets, func(e *datasetEntry) string { return e.id }) {
 		ing := e.startedIngestor()
 		if ing == nil {
 			continue

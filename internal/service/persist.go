@@ -1,7 +1,7 @@
-package server
+package service
 
 // Durability: the write-ahead log and snapshot integration. Every
-// state-changing operation the server acknowledges is journaled first
+// state-changing operation the core acknowledges is journaled first
 // (write-ahead), so a crash can lose only work no client was told
 // succeeded; Checkpoint serializes the four registries — policies,
 // datasets, sessions, streams — plus budget ledgers, noise-stream
@@ -24,9 +24,7 @@ package server
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
-	"net/http"
 	"sort"
 	"strconv"
 	"strings"
@@ -136,7 +134,7 @@ type walEpoch struct {
 	Epoch    int    `json:"epoch"`
 }
 
-// Snapshot payload: the whole server, JSON-encoded inside a wal snapshot
+// Snapshot payload: the whole core, JSON-encoded inside a wal snapshot
 // frame.
 type snapServer struct {
 	NextID   [4]uint64     `json:"next_id"`
@@ -235,15 +233,15 @@ func (p *persistence) resetCount() {
 // autoCheckpointLoop runs checkpoints when the record counter passes the
 // configured threshold. Errors are swallowed: a failed snapshot costs
 // recovery time, never durability (the WAL keeps everything).
-func (s *Server) autoCheckpointLoop() {
-	p := s.persist
+func (c *Core) autoCheckpointLoop() {
+	p := c.persist
 	defer close(p.loopDone)
 	for {
 		select {
 		case <-p.quit:
 			return
 		case <-p.trigger:
-			_, _ = s.Checkpoint()
+			_, _ = c.Checkpoint()
 		}
 	}
 }
@@ -255,30 +253,30 @@ func (p *persistence) stopAutoCheckpoint() {
 
 // journal appends one record, honoring the fsync policy (wal.Append syncs
 // under fsync=always).
-func (s *Server) journal(kind byte, v any) error {
-	if s.persist == nil {
+func (c *Core) journal(kind byte, v any) error {
+	if c.persist == nil {
 		return nil
 	}
 	data, err := json.Marshal(v)
 	if err != nil {
-		return fmt.Errorf("server: encoding wal record: %w", err)
+		return fmt.Errorf("service: encoding wal record: %w", err)
 	}
-	if _, err := s.persist.log.Append(kind, data); err != nil {
+	if _, err := c.persist.log.Append(kind, data); err != nil {
 		return err
 	}
-	s.persist.bump()
+	c.persist.bump()
 	return nil
 }
 
 // journalDelete journals a registry removal.
-func (s *Server) journalDelete(ns, id string) error {
-	return s.journal(recDelete, walDelete{NS: ns, ID: id})
+func (c *Core) journalDelete(ns, id string) error {
+	return c.journal(recDelete, walDelete{NS: ns, ID: id})
 }
 
 // lockForRelease enters the session's durable release critical section; the
-// returned unlock is nil on in-memory servers (nothing to serialize).
-func (s *Server) lockForRelease(e *sessionEntry) func() {
-	if s.persist == nil {
+// returned unlock is nil on in-memory cores (nothing to serialize).
+func (c *Core) lockForRelease(e *sessionEntry) func() {
+	if c.persist == nil {
 		return nil
 	}
 	e.relMu.Lock()
@@ -289,12 +287,12 @@ func (s *Server) lockForRelease(e *sessionEntry) func() {
 // session's release lock held (lockForRelease). A journal error is
 // reported to the client as a failed release; the in-memory charge stands,
 // so privacy loss is never under-counted.
-func (s *Server) journalRelease(e *sessionEntry, kind, datasetID string, eps float64, fanout int) error {
-	if s.persist == nil {
+func (c *Core) journalRelease(e *sessionEntry, kind, datasetID string, eps float64, fanout int) error {
+	if c.persist == nil {
 		return nil
 	}
 	e.ordinal++
-	return s.journal(recRelease, walRelease{
+	return c.journal(recRelease, walRelease{
 		SessionID: e.id,
 		Ordinal:   e.ordinal,
 		Kind:      kind,
@@ -306,22 +304,22 @@ func (s *Server) journalRelease(e *sessionEntry, kind, datasetID string, eps flo
 
 // eventJournal is the table's write-ahead hook: it runs under the table
 // lock, in the same critical section that applies the batch.
-func (s *Server) eventJournal(datasetID string) func(uint64, []blowfish.StreamMutation) error {
+func (c *Core) eventJournal(datasetID string) func(uint64, []blowfish.StreamMutation) error {
 	return func(firstSeq uint64, muts []blowfish.StreamMutation) error {
 		rec := walEvents{DatasetID: datasetID, First: firstSeq, Muts: make([]walMut, len(muts))}
 		for i, m := range muts {
 			rec.Muts[i] = walMut{O: uint8(m.Op), I: m.Index, P: m.P}
 		}
-		return s.journal(recEvents, rec)
+		return c.journal(recEvents, rec)
 	}
 }
 
 // epochJournal is the stream's write-ahead hook: it runs under the
 // stream's epoch lock, after the epoch's releases are charged and before
 // they publish.
-func (s *Server) epochJournal(streamID string) func(int) error {
+func (c *Core) epochJournal(streamID string) func(int) error {
 	return func(epoch int) error {
-		return s.journal(recEpoch, walEpoch{StreamID: streamID, Epoch: epoch})
+		return c.journal(recEpoch, walEpoch{StreamID: streamID, Epoch: epoch})
 	}
 }
 
@@ -333,26 +331,27 @@ type CheckpointStats struct {
 	Path       string `json:"path"`
 }
 
-// Checkpoint snapshots the whole server and retires the covered WAL
-// prefix. Safe to call at any time on a durable server; checkpoints
-// single-flight. See the consistency model at the top of this file.
-func (s *Server) Checkpoint() (CheckpointStats, error) {
-	p := s.persist
+// Checkpoint snapshots the whole core and retires the covered WAL
+// prefix. Safe to call at any time on a durable core; checkpoints
+// single-flight. On an in-memory core it reports ErrNotDurable. See the
+// consistency model at the top of this file.
+func (c *Core) Checkpoint() (CheckpointStats, error) {
+	p := c.persist
 	if p == nil {
-		return CheckpointStats{}, errors.New("server: not durable (no data directory configured)")
+		return CheckpointStats{}, ErrNotDurable
 	}
 	p.cpMu.Lock()
 	defer p.cpMu.Unlock()
 	start := time.Now()
 	startLSN := p.log.LastLSN()
 
-	snap, err := s.buildSnapshot()
+	snap, err := c.buildSnapshot()
 	if err != nil {
 		return CheckpointStats{}, err
 	}
 	payload, err := json.Marshal(snap)
 	if err != nil {
-		return CheckpointStats{}, fmt.Errorf("server: encoding snapshot: %w", err)
+		return CheckpointStats{}, fmt.Errorf("service: encoding snapshot: %w", err)
 	}
 	path, err := wal.WriteSnapshot(p.cfg.Dir, startLSN, payload)
 	if err != nil {
@@ -362,10 +361,10 @@ func (s *Server) Checkpoint() (CheckpointStats, error) {
 		return CheckpointStats{}, err
 	}
 	p.resetCount()
-	s.metrics.snapshotSeconds.ObserveSince(start)
-	s.metrics.snapshotBytes.Set(int64(len(payload)))
-	s.metrics.checkpoints.Inc()
-	s.logger.Info("checkpoint complete",
+	c.metrics.snapshotSeconds.ObserveSince(start)
+	c.metrics.snapshotBytes.Set(int64(len(payload)))
+	c.metrics.checkpoints.Inc()
+	c.logger.Info("checkpoint complete",
 		"lsn", startLSN, "bytes", len(payload), "elapsed", time.Since(start))
 	return CheckpointStats{
 		LSN:        startLSN,
@@ -377,27 +376,27 @@ func (s *Server) Checkpoint() (CheckpointStats, error) {
 
 // buildSnapshot serializes every registry. Each entry is exported under
 // its own consistency lock; the registry itself is copied under the
-// server's read lock first.
-func (s *Server) buildSnapshot() (*snapServer, error) {
-	s.mu.RLock()
-	snap := &snapServer{NextID: s.nextID, NextSeed: s.nextSeed.Load()}
-	policies := make([]*policyEntry, 0, len(s.policies))
-	for _, e := range s.policies {
+// core's read lock first.
+func (c *Core) buildSnapshot() (*snapServer, error) {
+	c.mu.RLock()
+	snap := &snapServer{NextID: c.nextID, NextSeed: c.nextSeed.Load()}
+	policies := make([]*policyEntry, 0, len(c.policies))
+	for _, e := range c.policies {
 		policies = append(policies, e)
 	}
-	datasets := make([]*datasetEntry, 0, len(s.datasets))
-	for _, e := range s.datasets {
+	datasets := make([]*datasetEntry, 0, len(c.datasets))
+	for _, e := range c.datasets {
 		datasets = append(datasets, e)
 	}
-	sessions := make([]*sessionEntry, 0, len(s.sessions))
-	for _, e := range s.sessions {
+	sessions := make([]*sessionEntry, 0, len(c.sessions))
+	for _, e := range c.sessions {
 		sessions = append(sessions, e)
 	}
-	streams := make([]*streamEntry, 0, len(s.streams))
-	for _, e := range s.streams {
+	streams := make([]*streamEntry, 0, len(c.streams))
+	for _, e := range c.streams {
 		streams = append(streams, e)
 	}
-	s.mu.RUnlock()
+	c.mu.RUnlock()
 	sort.Slice(policies, func(i, j int) bool { return byID(policies[i].id, policies[j].id) < 0 })
 	sort.Slice(datasets, func(i, j int) bool { return byID(datasets[i].id, datasets[j].id) < 0 })
 	sort.Slice(sessions, func(i, j int) bool { return byID(sessions[i].id, sessions[j].id) < 0 })
@@ -416,7 +415,7 @@ func (s *Server) buildSnapshot() (*snapServer, error) {
 		ord := e.ordinal
 		e.relMu.Unlock()
 		if err != nil {
-			return nil, fmt.Errorf("server: exporting session %s: %w", e.id, err)
+			return nil, fmt.Errorf("service: exporting session %s: %w", e.id, err)
 		}
 		snap.Sessions = append(snap.Sessions, snapSession{
 			ID: e.id, PolicyID: e.policyID,
@@ -435,7 +434,7 @@ func (s *Server) buildSnapshot() (*snapServer, error) {
 			return err
 		})
 		if err != nil {
-			return nil, fmt.Errorf("server: exporting stream %s: %w", e.id, err)
+			return nil, fmt.Errorf("service: exporting stream %s: %w", e.id, err)
 		}
 		snap.Streams = append(snap.Streams, snapStream{
 			ID: e.id, Req: e.req, Seed: e.seed, Shards: e.shards,
@@ -443,23 +442,6 @@ func (s *Server) buildSnapshot() (*snapServer, error) {
 		})
 	}
 	return snap, nil
-}
-
-// handleCheckpoint is POST /v1/admin/checkpoint: force a snapshot now.
-// Asking an in-memory server is the client's mistake (400); a failed
-// write on a durable server is an internal durability fault (500), so
-// monitors keyed on 5xx see it.
-func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
-	if s.persist == nil {
-		writeError(w, CodeBadRequest, "server is not durable (no data directory configured)")
-		return
-	}
-	stats, err := s.Checkpoint()
-	if err != nil {
-		writeError(w, CodeDurability, err.Error())
-		return
-	}
-	writeJSON(w, http.StatusOK, stats)
 }
 
 // bumpCounter advances a registry id counter past a replayed id, so ids
@@ -478,11 +460,20 @@ func bumpCounter(ctr *uint64, id string) {
 	}
 }
 
-// raiseSeed advances the server's seed counter past a replayed value.
-func (s *Server) raiseSeed(v int64) {
+// CounterFromID parses the numeric suffix of a prefix-counter resource id
+// ("sess-42" → 42, 0 when the id has no numeric suffix). The shard router
+// seeds its namespace counters from recovered ids with it.
+func CounterFromID(id string) uint64 {
+	var ctr uint64
+	bumpCounter(&ctr, id)
+	return ctr
+}
+
+// raiseSeed advances the core's seed counter past a replayed value.
+func (c *Core) raiseSeed(v int64) {
 	for {
-		cur := s.nextSeed.Load()
-		if v <= cur || s.nextSeed.CompareAndSwap(cur, v) {
+		cur := c.nextSeed.Load()
+		if v <= cur || c.nextSeed.CompareAndSwap(cur, v) {
 			return
 		}
 	}

@@ -1,15 +1,15 @@
-package server
+package service
 
-// Recovery: boot a durable server from its data directory. The latest
+// Recovery: boot a durable core from its data directory. The latest
 // valid snapshot is loaded first (registries, budget ledgers, noise-stream
 // positions, ingest cursors, release buffers), then the WAL tail is
 // replayed in LSN order. Replay re-executes operations through the same
-// library paths the live server used — an ingest batch goes through the
+// library paths the live core used — an ingest batch goes through the
 // table, an epoch close through Stream.CloseEpoch, an ad-hoc release
 // through the session — so the recomputed noisy releases and charges are
-// bit-for-bit what the pre-crash server produced (given its deterministic,
+// bit-for-bit what the pre-crash core produced (given its deterministic,
 // single-shard seeded mode) and the accountants end up refusing exactly
-// the releases the pre-crash server would have refused.
+// the releases the pre-crash core would have refused.
 
 import (
 	"encoding/json"
@@ -21,14 +21,14 @@ import (
 	"blowfish/internal/wal"
 )
 
-// Open creates a Server, recovering durable state from
+// Open creates a Core, recovering durable state from
 // Config.Durability.Dir when one is configured. With an empty Dir it is
-// exactly New: the zero-config in-memory server.
-func Open(cfg Config) (*Server, error) {
-	s := New(cfg)
+// exactly New: the zero-config in-memory core.
+func Open(cfg Config) (*Core, error) {
+	c := New(cfg)
 	d := cfg.Durability
 	if d.Dir == "" {
-		return s, nil
+		return c, nil
 	}
 	if d.Fsync == "" {
 		d.Fsync = "always"
@@ -38,14 +38,14 @@ func Open(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	recoverStart := time.Now()
-	s.logger.Info("recovery started", "dir", d.Dir, "fsync", d.Fsync)
+	c.logger.Info("recovery started", "dir", d.Dir, "fsync", d.Fsync)
 	log, err := wal.Open(d.Dir, wal.Options{
-		Fsync: fsync, FsyncInterval: d.FsyncInterval, Metrics: s.metrics.wal,
+		Fsync: fsync, FsyncInterval: d.FsyncInterval, Metrics: c.metrics.wal,
 	})
 	if err != nil {
 		return nil, err
 	}
-	fail := func(err error) (*Server, error) {
+	fail := func(err error) (*Core, error) {
 		log.Close()
 		return nil, err
 	}
@@ -55,39 +55,39 @@ func Open(cfg Config) (*Server, error) {
 	}
 	if payload != nil {
 		phase := time.Now()
-		if err := s.loadSnapshot(payload); err != nil {
-			return fail(fmt.Errorf("server: loading snapshot: %w", err))
+		if err := c.loadSnapshot(payload); err != nil {
+			return fail(fmt.Errorf("service: loading snapshot: %w", err))
 		}
-		s.logger.Info("snapshot loaded", "lsn", snapLSN,
+		c.logger.Info("snapshot loaded", "lsn", snapLSN,
 			"bytes", len(payload), "elapsed", time.Since(phase))
 	}
 	phase := time.Now()
-	if err := log.Replay(snapLSN, s.replayRecord); err != nil {
-		return fail(fmt.Errorf("server: replaying wal: %w", err))
+	if err := log.Replay(snapLSN, c.replayRecord); err != nil {
+		return fail(fmt.Errorf("service: replaying wal: %w", err))
 	}
-	s.logger.Info("wal replayed", "from_lsn", snapLSN, "elapsed", time.Since(phase))
-	s.persist = newPersistence(log, d)
-	s.finishRecovery()
-	go s.autoCheckpointLoop()
-	s.logger.Info("recovery complete",
-		"policies", len(s.policies), "datasets", len(s.datasets),
-		"sessions", len(s.sessions), "streams", len(s.streams),
+	c.logger.Info("wal replayed", "from_lsn", snapLSN, "elapsed", time.Since(phase))
+	c.persist = newPersistence(log, d)
+	c.finishRecovery()
+	go c.autoCheckpointLoop()
+	c.logger.Info("recovery complete",
+		"policies", len(c.policies), "datasets", len(c.datasets),
+		"sessions", len(c.sessions), "streams", len(c.streams),
 		"elapsed", time.Since(recoverStart))
-	return s, nil
+	return c, nil
 }
 
 // finishRecovery attaches the write-ahead hooks to every recovered entry
 // and starts the stream tickers. It runs after replay so replayed
 // operations never re-journal themselves.
-func (s *Server) finishRecovery() {
-	for _, e := range s.datasets {
-		e.tbl.SetJournal(s.eventJournal(e.id))
+func (c *Core) finishRecovery() {
+	for _, e := range c.datasets {
+		e.tbl.SetJournal(c.eventJournal(e.id))
 		e.ingCfg.StartSeq = e.tbl.LastSeq()
 	}
-	for _, e := range s.streams {
-		e.st.SetJournal(s.epochJournal(e.id))
+	for _, e := range c.streams {
+		e.st.SetJournal(c.epochJournal(e.id))
 	}
-	for _, e := range s.streams {
+	for _, e := range c.streams {
 		e.st.Start()
 	}
 }
@@ -95,23 +95,23 @@ func (s *Server) finishRecovery() {
 // loadSnapshot rebuilds the registries from a checkpoint payload.
 //
 //lint:allow waljournal recovery populates the registries FROM durable state; journaling the rebuild would append a duplicate record for every row already in the snapshot
-func (s *Server) loadSnapshot(payload []byte) error {
+func (c *Core) loadSnapshot(payload []byte) error {
 	snap, err := decodeSnapshot(payload)
 	if err != nil {
 		return err
 	}
-	s.nextID = snap.NextID
-	s.nextSeed.Store(snap.NextSeed)
+	c.nextID = snap.NextID
+	c.nextSeed.Store(snap.NextSeed)
 	for _, p := range snap.Policies {
 		pe, err := buildPolicyEntry(p.Domain, p.Graph)
 		if err != nil {
 			return fmt.Errorf("policy %s: %w", p.ID, err)
 		}
 		pe.id = p.ID
-		s.policies[pe.id] = pe
+		c.policies[pe.id] = pe
 	}
 	for _, d := range snap.Datasets {
-		de, err := s.buildDatasetEntry(d.Domain, d.Points)
+		de, err := c.buildDatasetEntry(d.Domain, d.Points)
 		if err != nil {
 			return fmt.Errorf("dataset %s: %w", d.ID, err)
 		}
@@ -119,14 +119,14 @@ func (s *Server) loadSnapshot(payload []byte) error {
 		if err := de.tbl.RestoreState(d.Table); err != nil {
 			return fmt.Errorf("dataset %s: %w", d.ID, err)
 		}
-		s.datasets[de.id] = de
+		c.datasets[de.id] = de
 	}
 	for _, sn := range snap.Sessions {
-		pe, ok := s.policies[sn.PolicyID]
+		pe, ok := c.policies[sn.PolicyID]
 		if !ok {
 			return fmt.Errorf("session %s references unknown policy %s", sn.ID, sn.PolicyID)
 		}
-		se, err := s.buildSessionEntry(pe, sn.Budget, sn.Seed, sn.Shards)
+		se, err := c.buildSessionEntry(pe, sn.Budget, sn.Seed, sn.Shards)
 		if err != nil {
 			return fmt.Errorf("session %s: %w", sn.ID, err)
 		}
@@ -135,10 +135,10 @@ func (s *Server) loadSnapshot(payload []byte) error {
 		if err := se.sess.RestoreState(sn.State); err != nil {
 			return fmt.Errorf("session %s: %w", sn.ID, err)
 		}
-		s.sessions[se.id] = se
+		c.sessions[se.id] = se
 	}
 	for _, sn := range snap.Streams {
-		e, err := s.buildStreamEntryLocked(sn.Req, sn.Seed, sn.Shards)
+		e, err := c.buildStreamEntryLocked(sn.Req, sn.Seed, sn.Shards)
 		if err != nil {
 			return fmt.Errorf("stream %s: %w", sn.ID, err)
 		}
@@ -149,7 +149,7 @@ func (s *Server) loadSnapshot(payload []byte) error {
 		if err := e.sess.RestoreState(sn.Session); err != nil {
 			return fmt.Errorf("stream %s: %w", sn.ID, err)
 		}
-		s.streams[e.id] = e
+		c.streams[e.id] = e
 	}
 	return nil
 }
@@ -160,7 +160,7 @@ func (s *Server) loadSnapshot(payload []byte) error {
 // zero times.
 //
 //lint:allow waljournal replay applies records read FROM the journal; re-journaling them would double every record on each recovery
-func (s *Server) replayRecord(rec wal.Record) error {
+func (c *Core) replayRecord(rec wal.Record) error {
 	wrap := func(err error) error {
 		if err != nil {
 			return fmt.Errorf("lsn %d: %w", rec.LSN, err)
@@ -173,8 +173,8 @@ func (s *Server) replayRecord(rec wal.Record) error {
 		if err := decodeRecord(rec.Data, &r); err != nil {
 			return wrap(err)
 		}
-		bumpCounter(&s.nextID[0], r.ID)
-		if _, ok := s.policies[r.ID]; ok {
+		bumpCounter(&c.nextID[0], r.ID)
+		if _, ok := c.policies[r.ID]; ok {
 			return nil // already in the snapshot
 		}
 		pe, err := buildPolicyEntry(r.Domain, r.Graph)
@@ -182,82 +182,82 @@ func (s *Server) replayRecord(rec wal.Record) error {
 			return wrap(err)
 		}
 		pe.id = r.ID
-		s.policies[pe.id] = pe
+		c.policies[pe.id] = pe
 	case recDatasetPut:
 		var r walDatasetPut
 		if err := decodeRecord(rec.Data, &r); err != nil {
 			return wrap(err)
 		}
-		bumpCounter(&s.nextID[1], r.ID)
-		if _, ok := s.datasets[r.ID]; ok {
+		bumpCounter(&c.nextID[1], r.ID)
+		if _, ok := c.datasets[r.ID]; ok {
 			return nil
 		}
-		de, err := s.buildDatasetEntry(r.Domain, r.Points)
+		de, err := c.buildDatasetEntry(r.Domain, r.Points)
 		if err != nil {
 			return wrap(err)
 		}
 		de.id = r.ID
-		s.datasets[de.id] = de
+		c.datasets[de.id] = de
 	case recSessionPut:
 		var r walSessionPut
 		if err := decodeRecord(rec.Data, &r); err != nil {
 			return wrap(err)
 		}
-		bumpCounter(&s.nextID[2], r.ID)
-		s.raiseSeed(r.NextSeed)
-		if _, ok := s.sessions[r.ID]; ok {
+		bumpCounter(&c.nextID[2], r.ID)
+		c.raiseSeed(r.NextSeed)
+		if _, ok := c.sessions[r.ID]; ok {
 			return nil
 		}
-		pe, ok := s.policies[r.PolicyID]
+		pe, ok := c.policies[r.PolicyID]
 		if !ok {
 			return wrap(fmt.Errorf("session %s references unknown policy %s", r.ID, r.PolicyID))
 		}
-		se, err := s.buildSessionEntry(pe, r.Budget, r.Seed, r.Shards)
+		se, err := c.buildSessionEntry(pe, r.Budget, r.Seed, r.Shards)
 		if err != nil {
 			return wrap(err)
 		}
 		se.id = r.ID
-		s.sessions[se.id] = se
+		c.sessions[se.id] = se
 	case recStreamPut:
 		var r walStreamPut
 		if err := decodeRecord(rec.Data, &r); err != nil {
 			return wrap(err)
 		}
-		bumpCounter(&s.nextID[3], r.ID)
-		s.raiseSeed(r.NextSeed)
-		if _, ok := s.streams[r.ID]; ok {
+		bumpCounter(&c.nextID[3], r.ID)
+		c.raiseSeed(r.NextSeed)
+		if _, ok := c.streams[r.ID]; ok {
 			return nil
 		}
-		e, err := s.buildStreamEntryLocked(r.Req, r.Seed, r.Shards)
+		e, err := c.buildStreamEntryLocked(r.Req, r.Seed, r.Shards)
 		if err != nil {
 			return wrap(err)
 		}
 		e.id = r.ID
-		s.streams[e.id] = e
+		c.streams[e.id] = e
 	case recDelete:
 		var r walDelete
 		if err := decodeRecord(rec.Data, &r); err != nil {
 			return wrap(err)
 		}
-		s.replayDelete(r)
+		c.replayDelete(r)
 	case recEvents:
 		var r walEvents
 		if err := decodeRecord(rec.Data, &r); err != nil {
 			return wrap(err)
 		}
-		return wrap(s.replayEvents(r))
+		return wrap(c.replayEvents(r))
 	case recRelease:
 		var r walRelease
 		if err := decodeRecord(rec.Data, &r); err != nil {
 			return wrap(err)
 		}
-		return wrap(s.replayRelease(r))
+		return wrap(c.replayRelease(r))
 	case recEpoch:
 		var r walEpoch
 		if err := decodeRecord(rec.Data, &r); err != nil {
 			return wrap(err)
 		}
-		return wrap(s.replayEpoch(r))
+		return wrap(c.replayEpoch(r))
 	default:
 		return wrap(fmt.Errorf("unknown wal record kind %d", rec.Kind))
 	}
@@ -267,24 +267,24 @@ func (s *Server) replayRecord(rec wal.Record) error {
 // replayDelete applies a WAL delete record to the matching registry.
 //
 //lint:allow waljournal replay applies deletes read FROM the journal; the delete record being applied is already durable
-func (s *Server) replayDelete(r walDelete) {
+func (c *Core) replayDelete(r walDelete) {
 	switch r.NS {
 	case nsPolicy:
-		delete(s.policies, r.ID)
+		delete(c.policies, r.ID)
 	case nsDataset:
-		e, ok := s.datasets[r.ID]
-		delete(s.datasets, r.ID)
+		e, ok := c.datasets[r.ID]
+		delete(c.datasets, r.ID)
 		if ok {
 			e.closeIngestor()
-			for _, pe := range s.policies {
+			for _, pe := range c.policies {
 				pe.cp.Forget(e.ds)
 			}
 		}
 	case nsSession:
-		delete(s.sessions, r.ID)
+		delete(c.sessions, r.ID)
 	case nsStream:
-		e, ok := s.streams[r.ID]
-		delete(s.streams, r.ID)
+		e, ok := c.streams[r.ID]
+		delete(c.streams, r.ID)
 		if ok {
 			e.st.Stop()
 			e.st.Unbind()
@@ -296,8 +296,8 @@ func (s *Server) replayDelete(r walDelete) {
 // snapshot's sequence cursor already covers. A batch for a dataset that
 // is gone is dropped: a concurrent delete raced the ingest drain, so the
 // delete record landed first — the end state has no dataset either way.
-func (s *Server) replayEvents(r walEvents) error {
-	e, ok := s.datasets[r.DatasetID]
+func (c *Core) replayEvents(r walEvents) error {
+	e, ok := c.datasets[r.DatasetID]
 	if !ok {
 		return nil
 	}
@@ -328,8 +328,8 @@ func (s *Server) replayEvents(r walEvents) error {
 // pre-crash. Records at or below the snapshot's ordinal are skipped.
 //
 //lint:allow waljournal re-execution of a release whose WAL record is the thing being replayed; journaling it again would duplicate the record
-func (s *Server) replayRelease(r walRelease) error {
-	e, ok := s.sessions[r.SessionID]
+func (c *Core) replayRelease(r walRelease) error {
+	e, ok := c.sessions[r.SessionID]
 	if !ok {
 		return nil // session since deleted (delete record raced the release)
 	}
@@ -337,7 +337,7 @@ func (s *Server) replayRelease(r walRelease) error {
 		return nil
 	}
 	ds, ephemeral := (*blowfish.Dataset)(nil), false
-	if de, ok := s.datasets[r.DatasetID]; ok {
+	if de, ok := c.datasets[r.DatasetID]; ok {
 		ds = de.ds
 	} else {
 		// The dataset's delete record raced ahead of this release in the
@@ -346,7 +346,7 @@ func (s *Server) replayRelease(r walRelease) error {
 		// noise vector length is |T|, never n) — so re-execute against an
 		// empty stand-in over the same domain. The values are discarded;
 		// the accountant and the noise stream land exactly where the
-		// pre-crash server left them.
+		// pre-crash core left them.
 		ds = blowfish.NewDataset(e.pol.pol.Domain())
 		ephemeral = true
 	}
@@ -378,8 +378,8 @@ func (s *Server) replayRelease(r walRelease) error {
 // replayEpoch re-executes a stream's epoch close. Closes the snapshot
 // already reflects are skipped; a gap means the directory is inconsistent
 // and recovery fails loudly rather than silently diverging.
-func (s *Server) replayEpoch(r walEpoch) error {
-	e, ok := s.streams[r.StreamID]
+func (c *Core) replayEpoch(r walEpoch) error {
+	e, ok := c.streams[r.StreamID]
 	if !ok {
 		// The stream's delete record raced ahead of this close. Its
 		// accountant died with it (streams have dedicated sessions), so
@@ -401,7 +401,7 @@ func (s *Server) replayEpoch(r walEpoch) error {
 
 // --- shared entry builders -------------------------------------------------
 //
-// The HTTP create handlers and the recovery paths construct entries
+// The front-end create paths and the recovery paths construct entries
 // through the same builders, so a replayed create can never diverge from
 // the original.
 
@@ -438,7 +438,7 @@ func buildPolicyEntry(attrs []AttrSpec, graph GraphSpec) (*policyEntry, error) {
 }
 
 // buildDatasetEntry constructs a dataset entry from encoded points.
-func (s *Server) buildDatasetEntry(attrs []AttrSpec, pts []blowfish.Point) (*datasetEntry, error) {
+func (c *Core) buildDatasetEntry(attrs []AttrSpec, pts []blowfish.Point) (*datasetEntry, error) {
 	dom, err := buildDomain(attrs)
 	if err != nil {
 		return nil, err
@@ -453,28 +453,28 @@ func (s *Server) buildDatasetEntry(attrs []AttrSpec, pts []blowfish.Point) (*dat
 	if err != nil {
 		return nil, err
 	}
-	return &datasetEntry{ds: ds, attrs: append([]AttrSpec(nil), attrs...), tbl: tbl, ingCfg: s.cfg.Ingest}, nil
+	return &datasetEntry{ds: ds, attrs: append([]AttrSpec(nil), attrs...), tbl: tbl, ingCfg: c.cfg.Ingest}, nil
 }
 
 // buildSessionEntry mints a session over a registered policy with a pinned
 // noise seed and shard count, wiring the engine's per-policy release
 // instruments (resolved once here, never per release).
-func (s *Server) buildSessionEntry(pe *policyEntry, budget float64, seed int64, shards int) (*sessionEntry, error) {
+func (c *Core) buildSessionEntry(pe *policyEntry, budget float64, seed int64, shards int) (*sessionEntry, error) {
 	sess, err := pe.cp.NewSessionShards(budget, blowfish.NewSource(seed), shards)
 	if err != nil {
 		return nil, err
 	}
-	sess.SetEngineMetrics(s.metrics.engineMetrics(pe.id))
+	sess.SetEngineMetrics(c.metrics.engineMetrics(pe.id))
 	e := &sessionEntry{policyID: pe.id, pol: pe, sess: sess, seed: seed, shards: shards}
-	e.lastUsed.Store(s.cfg.Now().UnixNano())
+	e.lastUsed.Store(c.cfg.Now().UnixNano())
 	return e, nil
 }
 
 // resolveSeed pins the noise construction for a create request: explicit
 // client seeds run on a single shard (host-independent determinism),
 // server-derived seeds shard per CPU for parallel release throughput.
-func (s *Server) resolveSeed(reqSeed *int64) (seed int64, shards int) {
-	seed = s.nextSeed.Add(1)
+func (c *Core) resolveSeed(reqSeed *int64) (seed int64, shards int) {
+	seed = c.nextSeed.Add(1)
 	shards = runtime.GOMAXPROCS(0)
 	if reqSeed != nil {
 		seed = *reqSeed
@@ -509,31 +509,31 @@ func streamConfigFromRequest(req CreateStreamRequest) blowfish.StreamConfig {
 
 // buildStreamEntryLocked constructs a stream entry from its creation
 // request, resolving the policy and dataset from the registries without
-// taking the server lock — recovery (single-threaded) owns the maps, and
-// the HTTP path resolves entries itself before calling the shared core.
-func (s *Server) buildStreamEntryLocked(req CreateStreamRequest, seed int64, shards int) (*streamEntry, error) {
-	pe, ok := s.policies[req.PolicyID]
+// taking the core lock — recovery (single-threaded) owns the maps, and
+// the serving path resolves entries itself before calling the shared core.
+func (c *Core) buildStreamEntryLocked(req CreateStreamRequest, seed int64, shards int) (*streamEntry, error) {
+	pe, ok := c.policies[req.PolicyID]
 	if !ok {
 		return nil, fmt.Errorf("unknown policy %s", req.PolicyID)
 	}
-	de, ok := s.datasets[req.DatasetID]
+	de, ok := c.datasets[req.DatasetID]
 	if !ok {
 		return nil, fmt.Errorf("unknown dataset %s", req.DatasetID)
 	}
-	return s.buildStreamEntry(pe, de, req, seed, shards)
+	return c.buildStreamEntry(pe, de, req, seed, shards)
 }
 
 // buildStreamEntry binds a policy and dataset into a stream with a pinned
 // seed; the stream is NOT started (callers start it after registration —
 // recovery only after the whole replay).
-func (s *Server) buildStreamEntry(pe *policyEntry, de *datasetEntry, req CreateStreamRequest, seed int64, shards int) (*streamEntry, error) {
+func (c *Core) buildStreamEntry(pe *policyEntry, de *datasetEntry, req CreateStreamRequest, seed int64, shards int) (*streamEntry, error) {
 	sess, err := pe.cp.NewSessionShards(req.Budget, blowfish.NewSource(seed), shards)
 	if err != nil {
 		return nil, err
 	}
-	sess.SetEngineMetrics(s.metrics.engineMetrics(pe.id))
+	sess.SetEngineMetrics(c.metrics.engineMetrics(pe.id))
 	cfg := streamConfigFromRequest(req)
-	cfg.Logger = s.logger.With("policy", pe.id, "dataset", de.id)
+	cfg.Logger = c.logger.With("policy", pe.id, "dataset", de.id)
 	st, err := sess.NewStream(de.tbl, cfg)
 	if err != nil {
 		return nil, err

@@ -1,8 +1,10 @@
-package server
+package service
 
-// Wire types: the JSON request and response bodies of the v1 API. Every
+// Wire types: the request and response bodies of the v1 API. Every
 // response that costs privacy budget echoes the session's remaining budget
-// so clients can pace themselves without an extra round trip.
+// so clients can pace themselves without an extra round trip. They live in
+// the service package (not the HTTP front) because they are what a Core
+// speaks: every front — HTTP, the shard router — exchanges exactly these.
 
 import "blowfish"
 
@@ -27,7 +29,7 @@ type AttrSpec struct {
 //	explicit  — arbitrary adjacency given by Edges
 //	compose   — Op ("union", "intersect" or "product") over Graphs
 //
-// The spec is journaled verbatim in the server's write-ahead log and
+// The spec is journaled verbatim in the core's write-ahead log and
 // snapshots, and recovery rebuilds the identical compiled plan from it.
 // The wire type IS the library's serializable spec (see blowfish.GraphSpec
 // for the field reference: Theta for l1/linf, Blocks/Widths for partition,
@@ -88,6 +90,11 @@ type CreateSessionRequest struct {
 	// server derives a fresh per-session seed and shards the noise pool
 	// per CPU for parallel release throughput.
 	Seed *int64 `json:"seed,omitempty"`
+	// DatasetID is an optional placement hint for sharded deployments:
+	// the session is colocated with the named dataset's shard, so its
+	// releases over that dataset route without a cross-shard hop. A
+	// single-core server ignores it (every resource is local anyway).
+	DatasetID string `json:"dataset_id,omitempty"`
 }
 
 // ReleaseRecord is one entry of a session's budget ledger.

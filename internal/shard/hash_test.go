@@ -1,0 +1,70 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestShardForDeterministic pins the property the durable layout depends
+// on: the assignment is a pure function of (id, n). Nothing may perturb
+// it between calls or processes.
+func TestShardForDeterministic(t *testing.T) {
+	for n := 1; n <= 9; n++ {
+		for i := 0; i < 500; i++ {
+			id := fmt.Sprintf("ds-%d", i)
+			a, b := ShardFor(id, n), ShardFor(id, n)
+			if a != b {
+				t.Fatalf("ShardFor(%q, %d) unstable: %d then %d", id, n, a, b)
+			}
+			if a < 0 || a >= n {
+				t.Fatalf("ShardFor(%q, %d) = %d out of range", id, n, a)
+			}
+		}
+	}
+	if got := ShardFor("anything", 1); got != 0 {
+		t.Fatalf("single shard must absorb every id, got %d", got)
+	}
+	if got := ShardFor("anything", 0); got != 0 {
+		t.Fatalf("degenerate n=0 must clamp to shard 0, got %d", got)
+	}
+}
+
+// TestShardForDistribution checks the ids the router actually mints
+// ("ds-1", "ds-2", ...) spread roughly evenly — a shard starved or
+// overloaded by the hash would defeat the point of sharding.
+func TestShardForDistribution(t *testing.T) {
+	const n, ids = 8, 10000
+	counts := make([]int, n)
+	for i := 0; i < ids; i++ {
+		counts[ShardFor(fmt.Sprintf("ds-%d", i), n)]++
+	}
+	want := ids / n
+	for k, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Fatalf("shard %d got %d of %d ids (expect ~%d): %v", k, c, ids, want, counts)
+		}
+	}
+}
+
+// TestShardForRelocation pins the rendezvous property: adding shard n
+// moves an id only if the new shard outscores every old one, so every id
+// either stays put or moves to the newest shard. A ring rebuild that
+// shuffled ids between old shards would corrupt a grown deployment.
+func TestShardForRelocation(t *testing.T) {
+	const oldN = 4
+	moved := 0
+	for i := 0; i < 5000; i++ {
+		id := fmt.Sprintf("ds-%d", i)
+		before, after := ShardFor(id, oldN), ShardFor(id, oldN+1)
+		if after != before && after != oldN {
+			t.Fatalf("id %q moved %d -> %d when shard %d was added; rendezvous ids may only move to the new shard", id, before, after, oldN)
+		}
+		if after != before {
+			moved++
+		}
+	}
+	// Expectation is 1/(n+1) = 1000 of 5000; allow a wide band.
+	if moved < 500 || moved > 1700 {
+		t.Fatalf("%d of 5000 ids moved when growing %d -> %d shards, want ~1000", moved, oldN, oldN+1)
+	}
+}

@@ -1,0 +1,348 @@
+package shard
+
+// Sharded crash-recovery: the single-core durability contract (see
+// internal/server's recovery tests) must hold per shard, plus the
+// router's own invariants — the routing tables and id counters are
+// rebuilt purely from the shards' recovered registries, and a policy
+// broadcast torn by the crash is repaired to the union.
+//
+// TestShardedCrashRecovery re-executes this test binary as a child
+// process (TestMain) running a durable 4-shard HTTP server, drives it
+// over HTTP, SIGKILLs it mid-ingest, and recovers the directory
+// in-process. The CI sharded-recovery job runs it with -race.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"syscall"
+	"testing"
+	"time"
+
+	"blowfish/internal/server"
+	"blowfish/internal/service"
+)
+
+const crashChildEnv = "BLOWFISH_SHARD_CRASH_CHILD_DIR"
+
+const crashShards = 4
+
+// TestMain turns the test binary into a durable sharded server when
+// re-executed as the crash child: it serves until killed, never
+// returning.
+func TestMain(m *testing.M) {
+	if dir := os.Getenv(crashChildEnv); dir != "" {
+		runCrashChild(dir)
+		return // unreachable: runCrashChild blocks until killed
+	}
+	os.Exit(m.Run())
+}
+
+// runCrashChild serves a 4-shard durable server on a random port, writing
+// the address to <dir>/../addr for the parent, with the shard WALs under
+// <dir>.
+func runCrashChild(dir string) {
+	r, err := Open(service.Config{
+		Durability: service.DurabilityConfig{Dir: dir, Fsync: "always"},
+	}, crashShards)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shard crash child: %v\n", err)
+		os.Exit(1)
+	}
+	srv := server.NewWith(r)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shard crash child: %v\n", err)
+		os.Exit(1)
+	}
+	addrFile := filepath.Join(filepath.Dir(dir), "addr")
+	if err := os.WriteFile(addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "shard crash child: %v\n", err)
+		os.Exit(1)
+	}
+	_ = http.Serve(ln, srv)
+	select {} // hold until SIGKILL
+}
+
+// httpJSON posts (or gets) JSON against the child server.
+func httpJSON(t *testing.T, method, url string, body, out any) int {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestShardedCrashRecovery is the sharded kill -9 harness: resources are
+// spread over every shard, acked work must survive on all of them, and
+// the rebuilt router must route every recovered id to the shard that
+// holds it.
+func TestShardedCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a child process")
+	}
+	root := t.TempDir()
+	dir := filepath.Join(root, "data")
+
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), crashChildEnv+"="+dir)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	killed := false
+	defer func() {
+		if !killed {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		}
+	}()
+
+	addrFile := filepath.Join(root, "addr")
+	var base string
+	for i := 0; i < 200; i++ {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			base = "http://" + string(b)
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if base == "" {
+		t.Fatal("shard crash child never published an address")
+	}
+
+	// --- drive the child over HTTP -----------------------------------
+	var pol service.PolicyResponse
+	httpJSON(t, "POST", base+"/v1/policies", testPolicy, &pol)
+	if pol.ID == "" {
+		t.Fatal("policy create returned no id")
+	}
+
+	// Enough datasets that every shard owns at least one (ds-1..ds-12
+	// over 4 rendezvous shards; verified below, not assumed).
+	const numDatasets = 12
+	var datasets []service.DatasetResponse
+	for i := 0; i < numDatasets; i++ {
+		var ds service.DatasetResponse
+		httpJSON(t, "POST", base+"/v1/datasets", service.CreateDatasetRequest{PolicyID: pol.ID}, &ds)
+		datasets = append(datasets, ds)
+	}
+	owned := make(map[int]bool)
+	for _, ds := range datasets {
+		owned[ShardFor(ds.ID, crashShards)] = true
+	}
+	if len(owned) != crashShards {
+		t.Fatalf("datasets cover %d of %d shards; grow numDatasets", len(owned), crashShards)
+	}
+
+	// One seeded stream per dataset; the first takes the mid-ingest
+	// kill, the second is quiesced pre-kill and carries the bit-for-bit
+	// release assertion.
+	var streams []service.StreamResponse
+	for i, ds := range datasets[:2] {
+		var st service.StreamResponse
+		httpJSON(t, "POST", base+"/v1/streams", service.CreateStreamRequest{
+			PolicyID: pol.ID, DatasetID: ds.ID, Budget: 3.0, Seed: i64(int64(7 + i)),
+			Epoch: service.EpochSpec{Epsilon: 0.5},
+		}, &st)
+		streams = append(streams, st)
+	}
+
+	ingest := func(dsID string, vals []int) service.EventsResponse {
+		evs := make([]service.EventWire, len(vals))
+		for i, v := range vals {
+			evs[i] = service.EventWire{Op: "append", Row: []int{v}}
+		}
+		var out service.EventsResponse
+		code := httpJSON(t, "POST", base+"/v1/datasets/"+dsID+"/events",
+			service.EventsRequest{Events: evs, Wait: true}, &out)
+		if code != http.StatusAccepted {
+			t.Fatalf("ingest on %s: status %d", dsID, code)
+		}
+		return out
+	}
+	// Acked rows on every dataset: all must survive on whichever shard
+	// owns them.
+	acked := make(map[string]service.EventsResponse)
+	rows := make(map[string]int)
+	for i, ds := range datasets {
+		vals := []int{i % 16, (i + 3) % 16, (i + 5) % 16}
+		acked[ds.ID] = ingest(ds.ID, vals)
+		rows[ds.ID] = len(vals)
+	}
+
+	closeEpoch := func(stID string) service.EpochReleaseWire {
+		var rel service.EpochReleaseWire
+		code := httpJSON(t, "POST", base+"/v1/streams/"+stID+"/epochs", nil, &rel)
+		if code != http.StatusOK {
+			t.Fatalf("epoch close on %s: status %d", stID, code)
+		}
+		return rel
+	}
+	acked0 := closeEpoch(streams[0].ID)
+	acked1 := closeEpoch(streams[1].ID)
+
+	// --- kill -9 mid-ingest ------------------------------------------
+	// Hammer unacked batches across every dataset (so every shard has a
+	// WAL tail in flight) and kill while they are mid-request.
+	stop := make(chan struct{})
+	stormDone := make(chan struct{})
+	go func() {
+		defer close(stormDone)
+		cl := &http.Client{Timeout: 2 * time.Second}
+		n := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			evs := make([]service.EventWire, 10)
+			for i := range evs {
+				evs[i] = service.EventWire{Op: "append", Row: []int{(n + i) % 16}}
+			}
+			ds := datasets[n%len(datasets)]
+			n++
+			b, _ := json.Marshal(service.EventsRequest{Events: evs})
+			resp, err := cl.Post(base+"/v1/datasets/"+ds.ID+"/events", "application/json", bytes.NewReader(b))
+			if err != nil {
+				return // child died mid-request: expected
+			}
+			resp.Body.Close()
+		}
+	}()
+	time.Sleep(60 * time.Millisecond) // let the storm land mid-flight
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	killed = true
+	_, _ = cmd.Process.Wait()
+	close(stop)
+	<-stormDone
+
+	// --- recover in-process ------------------------------------------
+	rec, err := Open(service.Config{
+		Durability: service.DurabilityConfig{Dir: dir, Fsync: "always"},
+	}, crashShards)
+	if err != nil {
+		t.Fatalf("sharded recovery: %v", err)
+	}
+	defer rec.Abandon()
+
+	// Routing tables rebuilt: every dataset routes to the shard that
+	// holds it, which is still ShardFor(id, n).
+	for _, ds := range datasets {
+		want := ShardFor(ds.ID, crashShards)
+		if got := rec.ShardOf(ds.ID); got != want {
+			t.Fatalf("dataset %s recovered onto shard %d, want %d", ds.ID, got, want)
+		}
+		if !rec.Core(want).HasDataset(ds.ID) {
+			t.Fatalf("dataset %s missing from its shard %d after recovery", ds.ID, want)
+		}
+	}
+
+	// The policy broadcast survived on every shard.
+	for k := 0; k < crashShards; k++ {
+		if !rec.Core(k).HasPolicy(pol.ID) {
+			t.Fatalf("policy %s missing on shard %d after recovery", pol.ID, k)
+		}
+	}
+
+	// No acked ingest event is lost, on any shard.
+	for _, ds := range datasets {
+		k := rec.ShardOf(ds.ID)
+		core := rec.Core(k)
+		if got := core.DatasetTable(ds.ID).LastSeq(); got < acked[ds.ID].LastSeq {
+			t.Fatalf("dataset %s (shard %d) recovered seq %d < acked %d", ds.ID, k, got, acked[ds.ID].LastSeq)
+		}
+		if got := core.DatasetHandle(ds.ID).Len(); got < rows[ds.ID] {
+			t.Fatalf("dataset %s (shard %d) recovered %d rows, want >= %d acked", ds.ID, k, got, rows[ds.ID])
+		}
+	}
+
+	// Budget spend is monotone and the acked releases are in the
+	// recovered buffers bit-for-bit.
+	for i, st := range streams {
+		k := rec.ShardOf(st.ID)
+		if k < 0 {
+			t.Fatalf("stream %s unrouted after recovery", st.ID)
+		}
+		stream, sess := rec.Core(k).StreamHandles(st.ID)
+		if stream == nil {
+			t.Fatalf("stream %s not recovered on shard %d", st.ID, k)
+		}
+		if got := sess.Accountant().Spent(); got != 0.5 {
+			t.Fatalf("stream %s spent = %v after recovery, want 0.5 (one acked close)", st.ID, got)
+		}
+		want := []service.EpochReleaseWire{acked0, acked1}[i]
+		got := stream.ExportState().Releases
+		if len(got) != 1 {
+			t.Fatalf("stream %s recovered %d releases, want 1", st.ID, len(got))
+		}
+		if got[0].Seq != want.Seq || got[0].Epoch != want.Epoch || !reflect.DeepEqual(got[0].Histogram, want.Histogram) {
+			t.Fatalf("stream %s release diverges:\nrecovered %+v\nacked     %+v", st.ID, got[0], want)
+		}
+	}
+
+	// The rebuilt id counters mint fresh ids past everything recovered.
+	ds, err := rec.CreateDataset(service.CreateDatasetRequest{PolicyID: pol.ID})
+	if err != nil {
+		t.Fatalf("post-recovery create: %v", err)
+	}
+	for _, old := range datasets {
+		if ds.ID == old.ID {
+			t.Fatalf("post-recovery dataset reused id %s", ds.ID)
+		}
+	}
+}
+
+// TestOpenRejectsShrunkLayout: reopening a sharded directory with fewer
+// shards than it holds must refuse rather than silently strand the
+// datasets on the orphaned shards.
+func TestOpenRejectsShrunkLayout(t *testing.T) {
+	dir := t.TempDir()
+	cfg := service.Config{Durability: service.DurabilityConfig{Dir: dir, Fsync: "always"}}
+	r, err := Open(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	if _, err := Open(cfg, 2); err == nil {
+		t.Fatal("Open with 2 shards over a 3-shard directory succeeded; want a layout refusal")
+	}
+	// The original count still works, as does growing.
+	for _, n := range []int{3, 5} {
+		r, err := Open(cfg, n)
+		if err != nil {
+			t.Fatalf("reopen with %d shards: %v", n, err)
+		}
+		r.Close()
+	}
+}
