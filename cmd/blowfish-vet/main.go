@@ -3,30 +3,45 @@
 // unsuppressed finding remains. It is the mechanical form of the review
 // checklist that grew around PRs 1–5: every rule it enforces exists
 // because the property it guards — ε-accounting, write-ahead ordering,
-// replay determinism, lock ordering — fails silently and is expensive to
-// rediscover under a fuzzer or a crash hammer.
+// replay determinism, lock ordering, truth-flow containment — fails
+// silently and is expensive to rediscover under a fuzzer or a crash
+// hammer.
 //
 // Usage:
 //
 //	go run ./cmd/blowfish-vet ./...
 //	go run ./cmd/blowfish-vet -show-suppressed ./...
+//	go run ./cmd/blowfish-vet -json ./...
+//	go run ./cmd/blowfish-vet -inventory ./... > vet-allowlist.txt
+//	go run ./cmd/blowfish-vet -analyzers truthflow,errcode ./...
 //
-// Findings print as file:line:col: analyzer: message. A finding covered
-// by a //lint:allow <analyzer> <justification> directive is suppressed
-// and does not affect the exit code; -show-suppressed prints those too,
-// with their justifications, so the exception inventory stays auditable.
+// Findings print as file:line:col: analyzer: message (paths relative to
+// the working directory, which is what the CI problem-matcher parses). A
+// finding covered by a //lint:allow <analyzer> <justification> directive
+// is suppressed and does not affect the exit code; -show-suppressed
+// prints those too, with their justifications. -json emits the full
+// finding list as machine-readable JSON; -inventory emits the stable
+// suppression inventory that must match the committed vet-allowlist.txt
+// (the CI drift gate), so every new exception gets reviewed.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 
 	"blowfish/internal/analysis"
 	"blowfish/internal/analysis/budgetcharge"
 	"blowfish/internal/analysis/detorder"
+	"blowfish/internal/analysis/errcode"
 	"blowfish/internal/analysis/lockdiscipline"
 	"blowfish/internal/analysis/noisesource"
+	"blowfish/internal/analysis/shardsafe"
+	"blowfish/internal/analysis/truthflow"
 	"blowfish/internal/analysis/waljournal"
 )
 
@@ -36,11 +51,28 @@ var analyzers = []*analysis.Analyzer{
 	noisesource.Default,
 	detorder.Default,
 	lockdiscipline.Default,
+	truthflow.Default,
+	errcode.Default,
+	shardsafe.Default,
+}
+
+// jsonFinding is the machine-readable form of one diagnostic.
+type jsonFinding struct {
+	File          string `json:"file"`
+	Line          int    `json:"line"`
+	Col           int    `json:"col"`
+	Analyzer      string `json:"analyzer"`
+	Message       string `json:"message"`
+	Suppressed    bool   `json:"suppressed"`
+	Justification string `json:"justification,omitempty"`
 }
 
 func main() {
 	showSuppressed := flag.Bool("show-suppressed", false, "also print findings silenced by //lint:allow directives, with their justifications")
-	listOnly := flag.Bool("list", false, "list the registered analyzers and exit")
+	listOnly := flag.Bool("list", false, "list each registered analyzer with its one-line doc and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array (file/line/col/analyzer/message/suppressed)")
+	inventory := flag.Bool("inventory", false, "emit the suppression inventory (one stable line per //lint:allow exception) and exit 0; diffed against vet-allowlist.txt in CI")
+	selected := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all); unknown names exit 2 with the valid set")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: blowfish-vet [flags] [package pattern ...]\n\nAnalyzers:\n")
 		for _, a := range analyzers {
@@ -58,6 +90,33 @@ func main() {
 		return
 	}
 
+	run := analyzers
+	if *selected != "" {
+		byName := make(map[string]*analysis.Analyzer, len(analyzers))
+		valid := make([]string, 0, len(analyzers))
+		for _, a := range analyzers {
+			byName[a.Name] = a
+			valid = append(valid, a.Name)
+		}
+		run = nil
+		for _, name := range strings.Split(*selected, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "blowfish-vet: unknown analyzer %q (valid: %s)\n", name, strings.Join(valid, ", "))
+				os.Exit(2)
+			}
+			run = append(run, a)
+		}
+		if len(run) == 0 {
+			fmt.Fprintf(os.Stderr, "blowfish-vet: -analyzers selected nothing (valid: %s)\n", strings.Join(valid, ", "))
+			os.Exit(2)
+		}
+	}
+
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -72,23 +131,79 @@ func main() {
 		fmt.Fprintf(os.Stderr, "blowfish-vet: %v\n", err)
 		os.Exit(2)
 	}
-	diags, err := analysis.Run(prog, analyzers)
+	diags, err := analysis.Run(prog, run)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "blowfish-vet: %v\n", err)
 		os.Exit(2)
 	}
 
+	rel := func(name string) string {
+		if r, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(r, "..") {
+			return r
+		}
+		return name
+	}
+
+	if *inventory {
+		lines := make(map[string]bool)
+		for _, d := range diags {
+			if !d.Suppressed {
+				continue
+			}
+			lines[fmt.Sprintf("%s:%d: %s: %s", rel(d.Position.Filename), d.Position.Line, d.Analyzer, d.Justification)] = true
+		}
+		sorted := make([]string, 0, len(lines))
+		for l := range lines {
+			sorted = append(sorted, l)
+		}
+		sort.Strings(sorted)
+		for _, l := range sorted {
+			fmt.Println(l)
+		}
+		return
+	}
+
+	if *jsonOut {
+		findings := []jsonFinding{}
+		open := 0
+		for _, d := range diags {
+			if !d.Suppressed {
+				open++
+			}
+			findings = append(findings, jsonFinding{
+				File:          rel(d.Position.Filename),
+				Line:          d.Position.Line,
+				Col:           d.Position.Column,
+				Analyzer:      d.Analyzer,
+				Message:       d.Message,
+				Suppressed:    d.Suppressed,
+				Justification: d.Justification,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "blowfish-vet: %v\n", err)
+			os.Exit(2)
+		}
+		if open > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
 	open, suppressed := 0, 0
 	for _, d := range diags {
+		pos := fmt.Sprintf("%s:%d:%d", rel(d.Position.Filename), d.Position.Line, d.Position.Column)
 		if d.Suppressed {
 			suppressed++
 			if *showSuppressed {
-				fmt.Printf("%s: %s: %s [suppressed: %s]\n", d.Position, d.Analyzer, d.Message, d.Justification)
+				fmt.Printf("%s: %s: %s [suppressed: %s]\n", pos, d.Analyzer, d.Message, d.Justification)
 			}
 			continue
 		}
 		open++
-		fmt.Printf("%s: %s: %s\n", d.Position, d.Analyzer, d.Message)
+		fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
 	}
 	fmt.Fprintf(os.Stderr, "blowfish-vet: %d package(s), %d finding(s), %d suppressed\n", len(prog.Pkgs), open, suppressed)
 	if open > 0 {

@@ -1,0 +1,105 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"blowfish/internal/analysis"
+	"blowfish/internal/analysis/truthflow"
+)
+
+// TestCrossPackageFactPropagation drives the loader and the fixpoint
+// driver over a three-package module shaped like the real tree
+// (engine → service → server) and checks that truth-taint facts derived
+// in the engine package cross TWO package boundaries through an
+// intermediate helper: engine.Truth is marked truth-returning because it
+// forwards a configured source, service.Fetch inherits the mark because
+// it forwards engine.Truth, and the diagnostic finally fires in the
+// server package where the value lands in a wire-struct field — three
+// packages away from the source.
+func TestCrossPackageFactPropagation(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	write("go.mod", "module factchain\n\ngo 1.24\n")
+	write("internal/engine/engine.go", `package engine
+
+// DatasetIndex is a stand-in truth holder.
+type DatasetIndex struct{ counts []float64 }
+
+// Histogram is the configured truthflow source.
+func (ix *DatasetIndex) Histogram() ([]float64, error) { return ix.counts, nil }
+
+// Truth forwards raw truth: the fixpoint marks it truth-returning.
+func Truth(ix *DatasetIndex) []float64 {
+	v, _ := ix.Histogram()
+	return v
+}
+`)
+	write("internal/service/service.go", `package service
+
+import "factchain/internal/engine"
+
+// Fetch is the intermediate helper: it only sees engine.Truth, never the
+// configured source itself, so flagging downstream callers requires the
+// truth-returning fact to propagate through this package.
+func Fetch(ix *engine.DatasetIndex) []float64 { return engine.Truth(ix) }
+`)
+	write("internal/server/server.go", `package server
+
+import (
+	"factchain/internal/engine"
+	"factchain/internal/service"
+)
+
+// Payload is a wire struct (internal/server is a wire package).
+type Payload struct{ Counts []float64 }
+
+// Handle stores raw truth in a wire field: the finding lands here.
+func Handle(ix *engine.DatasetIndex) Payload {
+	return Payload{Counts: service.Fetch(ix)}
+}
+`)
+
+	prog, err := analysis.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(prog.Pkgs) != 3 {
+		t.Fatalf("loaded %d packages, want 3", len(prog.Pkgs))
+	}
+	diags, err := analysis.Run(prog, []*analysis.Analyzer{truthflow.Default})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("want exactly 1 finding, got %d: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Suppressed {
+		t.Errorf("finding unexpectedly suppressed: %v", d)
+	}
+	if want := filepath.Join("internal", "server", "server.go"); !strings.HasSuffix(d.Position.Filename, want) {
+		t.Errorf("finding in %s, want it in the server package (%s)", d.Position.Filename, want)
+	}
+	// The origin names the intermediate helper, proving the taint arrived
+	// via the service-package fact rather than direct source visibility.
+	if !regexp.MustCompile(`truth-returning .*Fetch`).MatchString(d.Message) {
+		t.Errorf("origin does not name the intermediate helper: %q", d.Message)
+	}
+	if !regexp.MustCompile(`wire field Payload\.Counts`).MatchString(d.Message) {
+		t.Errorf("sink is not the wire field: %q", d.Message)
+	}
+}

@@ -1,0 +1,21 @@
+package errcode_test
+
+import (
+	"testing"
+
+	"blowfish/internal/analysis/analysistest"
+	"blowfish/internal/analysis/errcode"
+)
+
+func TestErrCode(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", errcode.Default,
+		"internal/service", "fronts/internal/server")
+	if len(diags) != 5 {
+		t.Errorf("want 5 unsuppressed findings, got %d: %v", len(diags), diags)
+	}
+	analysistest.MustFind(t, diags, `CodeOrphan`)
+	analysistest.MustFind(t, diags, `stale_entry`)
+	analysistest.MustFind(t, diags, `unregistered code "bad_requset"`)
+	analysistest.MustFind(t, diags, `must be a compile-time constant`)
+	analysistest.MustFind(t, diags, `no explicit case in httpStatus`)
+}

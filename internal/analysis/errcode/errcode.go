@@ -1,0 +1,299 @@
+// Package errcode enforces the service error-code registry contract.
+// Clients branch on the machine code of a *service.Error, and fronts
+// translate codes to transport statuses, so the vocabulary must be
+// closed: every Code* constant is listed in the canonical service.Codes
+// table, every constructed *Error (composite literal or errf call)
+// carries a registered code, and the HTTP front's httpStatus switch maps
+// every registered code explicitly rather than leaking new codes through
+// its default arm. Registration travels across packages as
+// errcode.registered facts keyed by the code's string value, so the
+// server package (which re-declares the constants) checks against the
+// same table.
+package errcode
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"blowfish/internal/analysis"
+)
+
+// factRegistered marks a code string value as listed in the canonical
+// table.
+const factRegistered = "errcode.registered"
+
+// Config tunes the analyzer; zero fields take the repository defaults.
+type Config struct {
+	// TablePackages hold the error vocabulary: the Code* constants, the
+	// canonical table, and the Error type.
+	TablePackages []string
+	// TableVar names the canonical []string registry.
+	TableVar string
+	// ConstPrefix selects the code constants audited against the table.
+	ConstPrefix string
+	// ErrorType names the structured error type whose Code field must be
+	// registered.
+	ErrorType string
+	// Constructors are table-package functions whose first argument is a
+	// code (errf-style).
+	Constructors []string
+	// StatusPackages/StatusFunc identify the front's code→status mapping,
+	// which must cover every registered code with an explicit case.
+	StatusPackages []string
+	StatusFunc     string
+}
+
+func (c *Config) fill() {
+	if len(c.TablePackages) == 0 {
+		c.TablePackages = []string{"internal/service"}
+	}
+	if c.TableVar == "" {
+		c.TableVar = "Codes"
+	}
+	if c.ConstPrefix == "" {
+		c.ConstPrefix = "Code"
+	}
+	if c.ErrorType == "" {
+		c.ErrorType = "Error"
+	}
+	if len(c.Constructors) == 0 {
+		c.Constructors = []string{"errf"}
+	}
+	if len(c.StatusPackages) == 0 {
+		c.StatusPackages = []string{"internal/server"}
+	}
+	if c.StatusFunc == "" {
+		c.StatusFunc = "httpStatus"
+	}
+}
+
+// New constructs the analyzer. Default audits the repository layout.
+func New(cfg Config) *analysis.Analyzer {
+	cfg.fill()
+	return &analysis.Analyzer{
+		Name: "errcode",
+		Doc:  "require every service error code to be registered in the canonical Codes table and explicitly mapped to an HTTP status",
+		Run:  func(pass *analysis.Pass) error { return run(pass, cfg) },
+	}
+}
+
+// Default audits internal/service and internal/server.
+var Default = New(Config{})
+
+func run(pass *analysis.Pass, cfg Config) error {
+	inTablePkg := analysis.PathHasSuffix(pass.Pkg.Path(), cfg.TablePackages)
+	if inTablePkg {
+		checkTable(pass, cfg)
+	}
+	checkConstructions(pass, cfg)
+	if analysis.PathHasSuffix(pass.Pkg.Path(), cfg.StatusPackages) {
+		checkStatusFunc(pass, cfg)
+	}
+	return nil
+}
+
+// checkTable registers the canonical table's entries as facts and flags
+// Code* constants missing from it (and entries naming no constant).
+func checkTable(pass *analysis.Pass, cfg Config) {
+	consts := map[string]*ast.Ident{} // value -> declaring ident
+	var firstConst *ast.Ident
+	var tableElems []ast.Expr
+	haveTable := false
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					switch {
+					case gd.Tok == token.CONST && hasPrefix(name.Name, cfg.ConstPrefix):
+						if v := constVal(pass.TypesInfo, name); v != "" {
+							consts[v] = name
+							if firstConst == nil {
+								firstConst = name
+							}
+						}
+					case gd.Tok == token.VAR && name.Name == cfg.TableVar:
+						haveTable = true
+						if len(vs.Values) == 1 {
+							if cl, ok := vs.Values[0].(*ast.CompositeLit); ok {
+								tableElems = cl.Elts
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	if len(consts) > 0 && !haveTable {
+		pass.Reportf(firstConst.Pos(),
+			"package declares %s* error codes but no canonical %s table: the errcode registry contract needs one",
+			cfg.ConstPrefix, cfg.TableVar)
+		return
+	}
+	registered := map[string]bool{}
+	for _, elt := range tableElems {
+		tv, ok := pass.TypesInfo.Types[elt]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			pass.Reportf(elt.Pos(), "%s entry must be a compile-time string constant", cfg.TableVar)
+			continue
+		}
+		v := constant.StringVal(tv.Value)
+		if registered[v] {
+			pass.Reportf(elt.Pos(), "%s lists code %q twice", cfg.TableVar, v)
+		}
+		registered[v] = true
+		pass.Facts.Set(factRegistered, v)
+		if _, ok := consts[v]; !ok && haveTable {
+			pass.Reportf(elt.Pos(), "%s entry %q does not correspond to any %s* constant", cfg.TableVar, v, cfg.ConstPrefix)
+		}
+	}
+	for v, ident := range consts {
+		if !registered[v] {
+			pass.Reportf(ident.Pos(),
+				"error code %s (%q) is not registered in the canonical %s table: clients and fronts cannot handle it",
+				ident.Name, v, cfg.TableVar)
+		}
+	}
+}
+
+// checkConstructions flags Error composite literals and errf-style calls
+// whose code is not a registered compile-time constant.
+func checkConstructions(pass *analysis.Pass, cfg Config) {
+	if len(pass.Facts.Keys(factRegistered)) == 0 {
+		return // no table seen anywhere: nothing to check against
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				// Constructor bodies are the blessed indirection: their
+				// parameter flows into the literal; call sites are checked.
+				if analysis.PathHasSuffix(pass.Pkg.Path(), cfg.TablePackages) && contains(cfg.Constructors, x.Name.Name) {
+					return false
+				}
+			case *ast.CompositeLit:
+				named := analysis.NamedOf(pass.TypesInfo.TypeOf(x))
+				if named == nil || named.Obj().Name() != cfg.ErrorType {
+					return true
+				}
+				pkg := named.Obj().Pkg()
+				if pkg == nil || !analysis.PathHasSuffix(pkg.Path(), cfg.TablePackages) {
+					return true
+				}
+				if code := errorCodeExpr(x); code != nil {
+					checkCodeExpr(pass, cfg, code)
+				}
+			case *ast.CallExpr:
+				fn := analysis.CalleeFunc(pass.TypesInfo, x)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				if !analysis.PathHasSuffix(fn.Pkg().Path(), cfg.TablePackages) || !contains(cfg.Constructors, fn.Name()) {
+					return true
+				}
+				if len(x.Args) > 0 {
+					checkCodeExpr(pass, cfg, x.Args[0])
+				}
+			}
+			return true
+		})
+	}
+}
+
+// errorCodeExpr extracts the Code field value from an Error literal.
+func errorCodeExpr(cl *ast.CompositeLit) ast.Expr {
+	for i, elt := range cl.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Code" {
+				return kv.Value
+			}
+			continue
+		}
+		if i == 0 {
+			return elt // positional literal: Code is the first field
+		}
+	}
+	return nil
+}
+
+func checkCodeExpr(pass *analysis.Pass, cfg Config, e ast.Expr) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(e.Pos(),
+			"error code must be a compile-time constant from the %s table, not a computed value",
+			cfg.TableVar)
+		return
+	}
+	v := constant.StringVal(tv.Value)
+	if !pass.Facts.Has(factRegistered, v) {
+		pass.Reportf(e.Pos(),
+			"error constructed with unregistered code %q: add it to the canonical %s table and map it to a status",
+			v, cfg.TableVar)
+	}
+}
+
+// checkStatusFunc requires the front's switch to carry an explicit case
+// for every registered code.
+func checkStatusFunc(pass *analysis.Pass, cfg Config) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != cfg.StatusFunc || fd.Body == nil {
+				continue
+			}
+			covered := map[string]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				cc, ok := n.(*ast.CaseClause)
+				if !ok {
+					return true
+				}
+				for _, e := range cc.List {
+					if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+						covered[constant.StringVal(tv.Value)] = true
+					}
+				}
+				return true
+			})
+			for _, v := range pass.Facts.Keys(factRegistered) {
+				if !covered[v] {
+					pass.Reportf(fd.Name.Pos(),
+						"registered error code %q has no explicit case in %s: new codes must not fall through the default status",
+						v, cfg.StatusFunc)
+				}
+			}
+		}
+	}
+}
+
+// constVal resolves a declared constant's string value, or "".
+func constVal(info *types.Info, name *ast.Ident) string {
+	c, ok := info.Defs[name].(*types.Const)
+	if !ok || c.Val().Kind() != constant.String {
+		return ""
+	}
+	return constant.StringVal(c.Val())
+}
+
+func hasPrefix(s, prefix string) bool {
+	return len(s) > len(prefix) && s[:len(prefix)] == prefix
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

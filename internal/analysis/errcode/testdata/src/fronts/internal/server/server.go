@@ -1,0 +1,21 @@
+// Package server is a stand-in HTTP front: its httpStatus switch must
+// carry an explicit case for every code registered in the imported
+// service table (this stand-in misses one).
+package server
+
+import "blowfish/internal/analysis/errcode/testdata/src/fronts/internal/service"
+
+const (
+	CodeBadRequest    = service.CodeBadRequest
+	CodeUnknownPolicy = service.CodeUnknownPolicy
+)
+
+// httpStatus misses the registered "unknown_policy" case.
+func httpStatus(code string) int { // want `registered error code "unknown_policy" has no explicit case`
+	switch code {
+	case CodeBadRequest:
+		return 400
+	default:
+		return 400
+	}
+}

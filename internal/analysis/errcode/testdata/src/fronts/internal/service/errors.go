@@ -1,0 +1,22 @@
+// Package service is the clean table stand-in the server corpus imports
+// (kept separate from the flagged corpus so its findings stay local).
+package service
+
+const (
+	CodeBadRequest    = "bad_request"
+	CodeUnknownPolicy = "unknown_policy"
+)
+
+// Codes is the canonical registry.
+var Codes = []string{
+	CodeBadRequest,
+	CodeUnknownPolicy,
+}
+
+// Error is the structured failure.
+type Error struct {
+	Code    string
+	Message string
+}
+
+func (e *Error) Error() string { return e.Code + ": " + e.Message }

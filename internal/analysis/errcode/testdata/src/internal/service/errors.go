@@ -1,0 +1,56 @@
+// Package service is a stand-in error vocabulary: two registered codes,
+// one constant missing from the table, a stale table entry, constructor
+// checks, and one //lint:allow escape.
+package service
+
+import "fmt"
+
+const (
+	CodeBadRequest    = "bad_request"
+	CodeUnknownPolicy = "unknown_policy"
+	CodeOrphan        = "orphan_code" // want `not registered in the canonical Codes table`
+)
+
+// Codes is the canonical registry.
+var Codes = []string{
+	CodeBadRequest,
+	CodeUnknownPolicy,
+	"stale_entry", // want `does not correspond to any Code\* constant`
+}
+
+// Error is the structured failure.
+type Error struct {
+	Code    string
+	Message string
+}
+
+func (e *Error) Error() string { return e.Code + ": " + e.Message }
+
+// errf builds a coded error.
+func errf(code, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// Registered constructions: accepted.
+func badRequest(err error) *Error {
+	return &Error{Code: CodeBadRequest, Message: err.Error()}
+}
+
+func unknownPolicy(id string) *Error {
+	return errf(CodeUnknownPolicy, "no policy %q", id)
+}
+
+// Unregistered constructions: flagged.
+func typoErr() *Error {
+	return errf("bad_requset", "typo") // want `unregistered code "bad_requset"`
+}
+
+func dynamicErr(code string) *Error {
+	return &Error{Code: code, Message: "dynamic"} // want `must be a compile-time constant`
+}
+
+// legacyErr predates the registry and is tolerated explicitly.
+func legacyErr() *Error {
+	//lint:allow errcode legacy wire code kept for pre-registry clients; remove with v2
+	return errf("legacy_code", "grandfathered")
+}

@@ -1,0 +1,18 @@
+package shardsafe_test
+
+import (
+	"testing"
+
+	"blowfish/internal/analysis/analysistest"
+	"blowfish/internal/analysis/shardsafe"
+)
+
+func TestShardSafe(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", shardsafe.Default, "shardtree/internal/shard")
+	if len(diags) != 3 {
+		t.Errorf("want 3 unsuppressed findings, got %d: %v", len(diags), diags)
+	}
+	analysistest.MustFind(t, diags, `Core\.DatasetTable`)
+	analysistest.MustFind(t, diags, `computed expression`)
+	analysistest.MustFind(t, diags, `ApplyPolicy without a rollback branch`)
+}

@@ -1,0 +1,55 @@
+// Package engine is a stand-in release engine: DatasetIndex.Histogram
+// is a configured truth source, and the release helpers demonstrate the
+// sanitized, leaking, and primitive-noising shapes.
+package engine
+
+import (
+	"blowfish/internal/analysis/truthflow/testdata/src/internal/mechanism"
+	"blowfish/internal/analysis/truthflow/testdata/src/internal/noise"
+)
+
+// DatasetIndex is a stand-in incremental index.
+type DatasetIndex struct{ counts []float64 }
+
+// Histogram returns the raw per-block truth counts.
+func (ix *DatasetIndex) Histogram() []float64 {
+	return append([]float64(nil), ix.counts...)
+}
+
+// GoodRelease noises the truth in place before returning: accepted.
+func GoodRelease(ix *DatasetIndex, m *mechanism.Laplace) []float64 {
+	truth := ix.Histogram()
+	m.ReleaseInPlace(truth)
+	return truth
+}
+
+// LeakRelease returns the raw histogram without any noise call — the
+// fixpoint marks it truth-returning, and the escape is reported where
+// its result reaches a wire struct or log downstream.
+func LeakRelease(ix *DatasetIndex) []float64 {
+	return ix.Histogram()
+}
+
+// LeakReleaseErr is the two-result form of LeakRelease: the error result
+// stays untainted (errors are opaque), the counts carry truth.
+func LeakReleaseErr(ix *DatasetIndex) ([]float64, error) {
+	return ix.Histogram(), nil
+}
+
+// GoodReleaseErr is the two-result sanitized form: accepted.
+func GoodReleaseErr(ix *DatasetIndex, m *mechanism.Laplace) ([]float64, error) {
+	truth := ix.Histogram()
+	m.ReleaseInPlace(truth)
+	return truth, nil
+}
+
+// ManualNoise applies the primitive noising idiom: an assignment whose
+// right-hand side adds a Source sample is clean. Accepted.
+func ManualNoise(ix *DatasetIndex, src *noise.Source, scale float64) []float64 {
+	truth := ix.Histogram()
+	out := make([]float64, len(truth))
+	for i, v := range truth {
+		out[i] = v + src.Laplace(scale)
+	}
+	return out
+}

@@ -1,0 +1,31 @@
+// Package mechanism is a stand-in for the calibrated noise mechanisms.
+package mechanism
+
+import "blowfish/internal/analysis/truthflow/testdata/src/internal/noise"
+
+// Laplace adds calibrated Laplace noise.
+type Laplace struct {
+	src   *noise.Source
+	scale float64
+}
+
+// NewLaplace builds a mechanism.
+func NewLaplace(src *noise.Source, scale float64) *Laplace {
+	return &Laplace{src: src, scale: scale}
+}
+
+// ReleaseInPlace noises each count in place.
+func (m *Laplace) ReleaseInPlace(v []float64) {
+	for i := range v {
+		v[i] += m.src.Laplace(m.scale)
+	}
+}
+
+// Release returns a noised copy.
+func (m *Laplace) Release(v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i, c := range v {
+		out[i] = c + m.src.Laplace(m.scale)
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+// Package noise is a stand-in for the repository's restorable noise
+// source; truthflow only needs the Source type name and sampler method.
+package noise
+
+// Source is a deterministic sampler stand-in.
+type Source struct{ state uint64 }
+
+// Laplace draws one sample.
+func (s *Source) Laplace(scale float64) float64 {
+	s.state = s.state*6364136223846793005 + 1442695040888963407
+	return scale * (float64(s.state>>11)/9007199254740992.0 - 0.5)
+}

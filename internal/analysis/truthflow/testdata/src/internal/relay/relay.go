@@ -1,0 +1,18 @@
+// Package relay is the intermediate helper in the three-package chain
+// engine → relay → server: taint crosses it purely through facts.
+package relay
+
+import (
+	"blowfish/internal/analysis/truthflow/testdata/src/internal/engine"
+	"blowfish/internal/analysis/truthflow/testdata/src/internal/mechanism"
+)
+
+// Fetch forwards the raw histogram — truth-returning by fixpoint.
+func Fetch(ix *engine.DatasetIndex) []float64 {
+	return ix.Histogram()
+}
+
+// Noised forwards the sanitized release — clean.
+func Noised(ix *engine.DatasetIndex, m *mechanism.Laplace) []float64 {
+	return engine.GoodRelease(ix, m)
+}

@@ -1,0 +1,100 @@
+// Package service is a stand-in transport-agnostic core: its exported
+// structs are wire surfaces, and the handlers demonstrate sanitized
+// releases, a truth leak into the wire, a raw-count log argument, a
+// WAL-payload escape through a helper, and the designed snapshot
+// exception under //lint:allow.
+package service
+
+import (
+	"log/slog"
+	"math"
+
+	"blowfish/internal/analysis/truthflow/testdata/src/internal/engine"
+	"blowfish/internal/analysis/truthflow/testdata/src/internal/mechanism"
+	"blowfish/internal/analysis/truthflow/testdata/src/internal/wal"
+)
+
+// HistogramResponse is the wire struct clients receive.
+type HistogramResponse struct {
+	Counts    []float64
+	Remaining float64
+}
+
+// Core is the stand-in service core.
+type Core struct {
+	idx *engine.DatasetIndex
+	m   *mechanism.Laplace
+	log *wal.Log
+}
+
+// Histogram releases noised counts: accepted.
+func (c *Core) Histogram() HistogramResponse {
+	counts := engine.GoodRelease(c.idx, c.m)
+	return HistogramResponse{Counts: counts, Remaining: 1}
+}
+
+// LeakHistogram forwards the unnoised engine release path into the wire
+// struct: the planted truth return is caught here.
+func (c *Core) LeakHistogram() HistogramResponse {
+	counts := engine.LeakRelease(c.idx)
+	return HistogramResponse{Counts: counts} // want `unnoised truth`
+}
+
+// LogCounts logs the raw histogram: the planted slog escape.
+func (c *Core) LogCounts() {
+	truth := c.idx.Histogram()
+	slog.Info("released", "counts", truth) // want `unnoised truth`
+}
+
+// LogNoised logs released output: accepted.
+func (c *Core) LogNoised() {
+	counts := engine.GoodRelease(c.idx, c.m)
+	slog.Info("released", "counts", counts)
+}
+
+// BranchHistogram reassigns counts on both branches of a policy switch
+// via multi-value assigns. Taint from the leaking branch must survive
+// the sibling branch's clean reassignment (sticky taint): flagged.
+func (c *Core) BranchHistogram(partitioned bool) (HistogramResponse, error) {
+	var counts []float64
+	var err error
+	if partitioned {
+		counts, err = engine.LeakReleaseErr(c.idx)
+	} else {
+		counts, err = engine.GoodReleaseErr(c.idx, c.m)
+	}
+	if err != nil {
+		return HistogramResponse{}, err
+	}
+	return HistogramResponse{Counts: counts}, nil // want `unnoised truth`
+}
+
+// JournalCounts writes raw truth into a WAL payload through the journal
+// helper — the sink fact on journal's parameter fires at this call.
+func (c *Core) JournalCounts() error {
+	truth := c.idx.Histogram()
+	return c.journal(encode(truth)) // want `unnoised truth`
+}
+
+// Snapshot journals the dataset state itself. The WAL directory is the
+// server-private durable copy of the data, not a release surface.
+func (c *Core) Snapshot() error {
+	pts := c.idx.Histogram()
+	//lint:allow truthflow snapshots journal the dataset itself; the WAL dir is server-private, not a release surface
+	return c.log.Append("snap", encode(pts))
+}
+
+// journal frames and appends one payload.
+func (c *Core) journal(b []byte) error {
+	return c.log.Append("rel", b)
+}
+
+// encode packs values little-endian-ish; taint passes through.
+func encode(v []float64) []byte {
+	out := make([]byte, 0, len(v)*8)
+	for _, c := range v {
+		bits := math.Float64bits(c)
+		out = append(out, byte(bits), byte(bits>>8))
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+// Package wal is a stand-in write-ahead log; Log.Append payloads are a
+// configured truthflow sink.
+package wal
+
+// Log is a stand-in journal.
+type Log struct{ buf []byte }
+
+// Append journals one entry.
+func (l *Log) Append(kind string, payload []byte) error {
+	l.buf = append(l.buf, payload...)
+	return nil
+}

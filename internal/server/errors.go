@@ -21,9 +21,13 @@ type errorEnvelope struct {
 
 func (e *APIError) Error() string { return e.Code + ": " + e.Message }
 
-// httpStatus maps an error code to its response status.
+// httpStatus maps an error code to its response status. Every code in
+// service.Codes has an explicit case (enforced by the errcode analyzer);
+// the default covers uncoded fallback strings from writeError callers.
 func httpStatus(code string) int {
 	switch code {
+	case CodeBadRequest:
+		return http.StatusBadRequest
 	case CodeUnknownPolicy, CodeUnknownDataset, CodeUnknownSession, CodeUnknownStream:
 		return http.StatusNotFound
 	case CodeBudgetExhausted, CodePolicyInUse, CodeDatasetInUse:

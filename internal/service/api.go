@@ -441,6 +441,7 @@ func (c *Core) Histogram(sessionID string, req HistogramRequest) (HistogramRespo
 	if err := c.journalRelease(e, "histogram", req.DatasetID, req.Epsilon, 0); err != nil {
 		return HistogramResponse{}, durabilityErr(err)
 	}
+	//lint:allow truthflow a zero-sensitivity partition release is exact by design: no secret pair crosses a block, so the counts are policy-public (Section 5 coarse-grid observation); any sens>0 path is noised inside the mechanism
 	return HistogramResponse{Counts: counts, Remaining: e.sess.Remaining()}, nil
 }
 

@@ -24,6 +24,26 @@ const (
 	CodeQueueFull       = "queue_full"
 )
 
+// Codes is the canonical registry of every error code the service can
+// emit. blowfish-vet's errcode analyzer enforces the contract: every
+// Code* constant is listed here, every constructed *Error carries a
+// registered code, and internal/server's httpStatus mapping explicitly
+// covers the whole table. Adding a code means adding it here and giving
+// it a status in the same change.
+var Codes = []string{
+	CodeBadRequest,
+	CodeUnknownPolicy,
+	CodeUnknownDataset,
+	CodeUnknownSession,
+	CodeUnknownStream,
+	CodeDomainMismatch,
+	CodeBudgetExhausted,
+	CodePolicyInUse,
+	CodeDatasetInUse,
+	CodeDurability,
+	CodeQueueFull,
+}
+
 // Error is the structured service failure every Core method reports:
 // a stable machine code plus a human message. Fronts translate the code
 // (HTTP status, Retry-After hints); the message passes through verbatim.

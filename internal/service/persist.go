@@ -377,6 +377,8 @@ func (c *Core) Checkpoint() (CheckpointStats, error) {
 // buildSnapshot serializes every registry. Each entry is exported under
 // its own consistency lock; the registry itself is copied under the
 // core's read lock first.
+//
+//lint:allow truthflow snapshots journal the raw dataset tuples by design: the durable state IS the data, and the data directory is server-private, never a release surface
 func (c *Core) buildSnapshot() (*snapServer, error) {
 	c.mu.RLock()
 	snap := &snapServer{NextID: c.nextID, NextSeed: c.nextSeed.Load()}
